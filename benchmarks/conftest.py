@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table/figure of the paper: it runs the
+corresponding experiment (timed by pytest-benchmark) and emits a plain-text
+"paper vs measured" report both to stdout and to ``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a benchmark report and persist it under benchmarks/reports/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text + "\n")
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def report():
+    """Fixture handing benchmarks the report emitter."""
+    return emit_report

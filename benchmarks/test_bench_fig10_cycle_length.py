@@ -1,0 +1,52 @@
+"""E4 — Figure 10: impact of the cycle length on the posterior probability.
+
+Setting: a single positive cycle of 2–20 mappings, priors at 0.5, two
+iterations (the factor graph is a tree), three values of Δ.  Paper claim:
+shorter cycles provide much stronger evidence; cycles longer than about ten
+mappings provide very little evidence, even for small Δ.
+"""
+
+from repro.evaluation.experiments import run_cycle_length
+from repro.evaluation.reporting import format_comparison, format_table
+
+
+def run():
+    return run_cycle_length(lengths=tuple(range(2, 21)), deltas=(0.01, 0.1, 0.2))
+
+
+def test_bench_fig10_cycle_length(benchmark, report):
+    # A single timed round: the 20-mapping cycle owns a 2^20-entry feedback
+    # factor, which makes each round deliberately heavy.
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lengths = [length for length, _ in result.series[0.1]]
+    rows = []
+    for index, length in enumerate(lengths):
+        rows.append(
+            (
+                length,
+                result.series[0.01][index][1],
+                result.series[0.1][index][1],
+                result.series[0.2][index][1],
+            )
+        )
+    by_delta = {delta: dict(points) for delta, points in result.series.items()}
+    lines = [
+        format_comparison("posterior at length 2 (Δ=0.1)", "~0.9", by_delta[0.1][2]),
+        format_comparison("posterior at length 10 (Δ=0.1)", "≈0.5 (no evidence)", by_delta[0.1][10]),
+        format_comparison("posterior at length 10 (Δ=0.01)", "noticeably above 0.5", by_delta[0.01][10]),
+        format_comparison("posterior at length 20 (any Δ)", "≈0.5", by_delta[0.01][20]),
+        "",
+        format_table(
+            ("cycle length", "Δ=0.01", "Δ=0.1", "Δ=0.2"),
+            rows,
+            title="Figure 10 — posterior of a positive cycle (priors 0.5, 2 iterations)",
+        ),
+    ]
+    report("E4_fig10_cycle_length", "\n".join(lines))
+
+    for delta, points in result.series.items():
+        values = dict(points)
+        assert values[2] > values[10] - 1e-9
+        assert abs(values[20] - 0.5) < 0.02
+    assert by_delta[0.01][10] > by_delta[0.1][10]

@@ -1,0 +1,50 @@
+"""E5 — Figure 11: robustness against faulty links (lost messages).
+
+Setting: the example graph, Δ = 0.1, priors at 0.8, f1+, f2−, f3−; every
+remote message is transmitted with probability P(send).  Paper claim: the
+method always converges, even when 90% of the messages are discarded, and
+the number of iterations needed grows (roughly linearly) with the rate of
+discarded messages.
+"""
+
+from repro.evaluation.experiments import run_fault_tolerance
+from repro.evaluation.reporting import format_comparison, format_table
+
+
+def run():
+    return run_fault_tolerance(
+        send_probabilities=(1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1),
+        repetitions=5,
+    )
+
+
+def test_bench_fig11_fault_tolerance(benchmark, report):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (p_send, 1.0 - p_send, iterations, converged)
+        for p_send, iterations, converged in result.points
+    ]
+    baseline_iterations = result.iterations_at(1.0)
+    lines = [
+        format_comparison("always converges (even at 90% loss)", "yes",
+                          "yes" if all(c == 1.0 for _, _, c in result.points) else "NO"),
+        format_comparison(
+            "iterations grow with the discard rate", "monotone growth",
+            "monotone" if all(
+                a[1] <= b[1] + 1e-9
+                for a, b in zip(sorted(result.points, reverse=True), sorted(result.points, reverse=True)[1:])
+            ) else "non-monotone",
+        ),
+        format_comparison("iterations at P(send)=1.0", "~10", baseline_iterations),
+        "",
+        format_table(
+            ("P(send)", "discard rate", "mean iterations to fixed point", "converged fraction"),
+            rows,
+            title="Figure 11 — convergence under message loss (priors 0.8, Δ=0.1)",
+        ),
+    ]
+    report("E5_fig11_fault_tolerance", "\n".join(lines))
+
+    assert all(converged == 1.0 for _, _, converged in result.points)
+    assert result.iterations_at(0.1) > result.iterations_at(0.5) > result.iterations_at(1.0)

@@ -1,0 +1,62 @@
+"""E6 — Figure 12: precision on the (synthetic) EON bibliography schemas.
+
+Setting: six bibliographic ontologies of ~30 concepts, automatically aligned
+(≈400 generated correspondences, a substantial minority of which is wrong),
+uniform priors, Δ = 0.1, one assessment round per peer and attribute.
+
+Paper reference points: 396 generated mappings, 86 erroneous; precision of
+80% or more for low θ, decreasing as θ grows; at the θ = 0.6 phase
+transition about half of the erroneous mappings have been discovered; always
+significantly better than random guessing.
+
+Our ontologies are synthetic stand-ins (see DESIGN.md), so the absolute
+recall differs — notably, reciprocal faux-ami errors (French *Editeur* ↔
+English *Editor*) are self-consistent around every cycle and therefore
+invisible to any consistency-based detector — but the precision/θ shape and
+the better-than-random margin reproduce.
+"""
+
+from repro.evaluation.experiments import run_real_world
+from repro.evaluation.reporting import format_comparison, format_table
+
+THETAS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def run():
+    return run_real_world(thetas=THETAS)
+
+
+def test_bench_fig12_real_world(benchmark, report):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for theta in THETAS:
+        metrics = result.metrics[theta]
+        rows.append(
+            (theta, metrics.precision, metrics.recall, metrics.counts.flagged)
+        )
+    random_precision = result.erroneous_count / result.correspondence_count
+    lines = [
+        format_comparison("generated correspondences", 396, result.correspondence_count),
+        format_comparison("erroneous correspondences", 86, result.erroneous_count),
+        format_comparison("precision at low θ (0.2)", ">= 0.8", result.precision_at(0.2)),
+        format_comparison("precision at high θ (0.9)", "lower, still >> random", result.precision_at(0.9)),
+        format_comparison("random-guess precision", random_precision, random_precision),
+        format_comparison(
+            "erroneous mappings discovered at θ=0.6",
+            "~50% (real EON data)",
+            result.recall_at(0.6),
+            note="lower here: the synthetic faux-ami errors are reciprocal and hence self-consistent",
+        ),
+        "",
+        format_table(
+            ("θ", "precision", "recall", "flagged"),
+            rows,
+            title="Figure 12 — precision of the message passing approach vs θ",
+        ),
+    ]
+    report("E6_fig12_real_world", "\n".join(lines))
+
+    assert 300 <= result.correspondence_count <= 500
+    assert result.precision_at(0.2) >= 0.8
+    assert result.precision_at(0.9) > 2 * random_precision

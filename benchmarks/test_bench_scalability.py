@@ -1,0 +1,51 @@
+"""Extra ablation — runtime scalability of the embedded message passing.
+
+Not a figure of the paper, but the paper repeatedly claims the scheme is
+"computationally efficient as it is solely based on sum–product operations"
+and discusses TTL-bounded probing as the lever that keeps neighbourhoods
+small (§5.1.2).  This benchmark measures the wall-clock cost of a full
+assessment round on generated scale-free PDMS of growing size, so that
+regressions in the inference engine show up.
+"""
+
+import pytest
+
+from repro.core.quality import MappingQualityAssessor
+from repro.evaluation.reporting import format_table
+from repro.generators.scenarios import generate_scenario
+
+SIZES = (8, 16, 32)
+
+
+def assess(network, attribute):
+    assessor = MappingQualityAssessor(network, delta=None, ttl=3, include_parallel_paths=False)
+    return assessor.assess_attribute(attribute)
+
+
+@pytest.mark.parametrize("peer_count", SIZES)
+def test_bench_scalability(benchmark, report, peer_count):
+    scenario = generate_scenario(
+        topology="scale-free",
+        peer_count=peer_count,
+        attribute_count=10,
+        error_rate=0.15,
+        seed=peer_count,
+    )
+    attribute = scenario.network.attribute_universe()[0]
+    assessment = benchmark(assess, scenario.network, attribute)
+
+    lines = format_table(
+        ("peers", "mappings", "cycles found", "mappings with evidence"),
+        [
+            (
+                peer_count,
+                len(scenario.network.mappings),
+                len(assessment.evidence.cycles),
+                len(assessment.posteriors),
+            )
+        ],
+        title=f"Scalability — one assessment round on a {peer_count}-peer scale-free PDMS",
+    )
+    report(f"EX_scalability_{peer_count}_peers", lines)
+
+    assert assessment.converged or assessment.iterations > 0

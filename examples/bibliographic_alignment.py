@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Detecting faulty automatic alignments between bibliographic ontologies.
+
+This reproduces the workflow of the paper's real-world experiment (§5.2):
+
+1. take six bibliographic ontologies (synthetic stand-ins for the EON
+   Ontology Alignment Contest set — a reference ontology, its French
+   translation, two BibTeX flavours and two institutional flavours),
+2. align every ordered pair automatically with simple string matchers,
+   which produces a few hundred correspondences of mixed quality,
+3. let every peer probe its neighbourhood, run the probabilistic message
+   passing for each of its attributes, and flag its own suspicious
+   correspondences, and
+4. score the flags against the known ground truth.
+
+Run with::
+
+    python examples/bibliographic_alignment.py
+"""
+
+from collections import Counter
+
+from repro.alignment import build_eon_network
+from repro.core import MappingQualityAssessor
+from repro.evaluation.metrics import score_detection
+
+
+def main() -> None:
+    # 1–2. Build the ontology network via automatic alignment.
+    scenario = build_eon_network()
+    print(f"aligned {len(scenario.alignments)} ordered ontology pairs")
+    print(f"generated correspondences : {scenario.correspondence_count}")
+    print(f"actually erroneous        : {scenario.erroneous_count} "
+          f"({scenario.error_rate:.0%})")
+
+    worst_pairs = Counter()
+    for (source, target), result in scenario.alignments.items():
+        worst_pairs[(source, target)] = result.erroneous_count
+    print("\npairs with the most alignment errors:")
+    for (source, target), count in worst_pairs.most_common(5):
+        print(f"  {source} -> {target}: {count} wrong correspondences")
+
+    # 3. Every peer assesses its own outgoing mappings, attribute by
+    #    attribute, from its purely local view of the network.
+    assessor = MappingQualityAssessor(
+        scenario.network, delta=0.1, ttl=3, include_parallel_paths=False
+    )
+    posteriors = {}
+    for peer in scenario.network.peers:
+        for attribute in peer.schema.attribute_names:
+            local = assessor.assess_local(peer.name, attribute)
+            for mapping_name, posterior in local.items():
+                if (mapping_name, attribute) in scenario.ground_truth:
+                    posteriors[(mapping_name, attribute)] = posterior
+
+    flagged = sorted(
+        (key for key, value in posteriors.items() if value <= 0.5),
+        key=lambda key: posteriors[key],
+    )
+    print(f"\ncorrespondences flagged as erroneous (θ = 0.5): {len(flagged)}")
+    for mapping_name, attribute in flagged[:10]:
+        truth = "wrong" if scenario.ground_truth[(mapping_name, attribute)] is False else "correct!"
+        print(f"  {mapping_name:28s} {attribute:20s} "
+              f"P(correct)={posteriors[(mapping_name, attribute)]:.3f}  [{truth}]")
+
+    # 4. Score against the ground truth for a sweep of thresholds.
+    print("\nprecision / recall of the detector:")
+    for theta in (0.2, 0.4, 0.5, 0.6, 0.8):
+        metrics = score_detection(posteriors, scenario.ground_truth, theta=theta)
+        print(f"  θ = {theta:.1f}: precision = {metrics.precision:.2f}, "
+              f"recall = {metrics.recall:.2f}, flagged = {metrics.counts.flagged}")
+
+
+if __name__ == "__main__":
+    main()

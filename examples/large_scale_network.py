@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Large(r)-scale simulation: erroneous mappings in a scale-free PDMS.
+
+The paper motivates its cycle analysis with the topology of real semantic
+overlay networks: scale-free degree distributions and unusually high
+clustering (§3.2.1).  This example
+
+1. generates a scale-free PDMS (Barabási–Albert topology, identity mappings
+   along every edge, a controlled fraction of correspondences corrupted),
+2. runs the quality assessment for every attribute,
+3. reports detection precision/recall against the generator's ground truth,
+   and
+4. shows how the TTL of the probes trades evidence for effort, mirroring
+   the paper's discussion of bounded neighbourhood exploration (§5.1.2).
+
+Run with::
+
+    python examples/large_scale_network.py
+"""
+
+from repro.core import MappingQualityAssessor
+from repro.evaluation.metrics import score_detection
+from repro.generators import generate_scenario
+
+
+def assess_all(scenario, ttl):
+    """Assess every attribute of the scenario; return posteriors keyed by
+    (mapping, attribute), plus the number of cycles the probes discovered."""
+    assessor = MappingQualityAssessor(
+        scenario.network, delta=None, ttl=ttl, include_parallel_paths=False
+    )
+    posteriors = {}
+    cycles_seen = 0
+    for attribute in scenario.network.attribute_universe():
+        assessment = assessor.assess_attribute(attribute)
+        cycles_seen = max(cycles_seen, len(assessment.evidence.cycles))
+        for mapping_name, posterior in assessment.posteriors.items():
+            if (mapping_name, attribute) in scenario.ground_truth:
+                posteriors[(mapping_name, attribute)] = posterior
+    return posteriors, cycles_seen
+
+
+def main() -> None:
+    scenario = generate_scenario(
+        topology="scale-free",
+        peer_count=16,
+        attribute_count=10,
+        error_rate=0.15,
+        seed=42,
+    )
+    network = scenario.network
+    print(f"generated {scenario.topology} PDMS: {len(network)} peers, "
+          f"{len(network.mappings)} mappings, "
+          f"clustering coefficient {network.clustering_coefficient():.2f}")
+    print(f"injected errors: {len(scenario.erroneous_pairs)} of "
+          f"{len(scenario.ground_truth)} correspondences "
+          f"({scenario.error_rate:.0%} target rate)")
+
+    for ttl in (2, 3, 4):
+        posteriors, cycles = assess_all(scenario, ttl)
+        metrics = score_detection(posteriors, scenario.ground_truth, theta=0.5)
+        print(f"\nprobe TTL = {ttl} (up to {cycles} cycles per attribute):")
+        print(f"  scored correspondences : {len(posteriors)}")
+        print(f"  precision @ θ=0.5      : {metrics.precision:.2f}")
+        print(f"  recall    @ θ=0.5      : {metrics.recall:.2f}")
+        print(f"  flagged                : {metrics.counts.flagged} "
+              f"({metrics.counts.true_positives} truly erroneous)")
+
+
+if __name__ == "__main__":
+    main()

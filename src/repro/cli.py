@@ -1,0 +1,274 @@
+"""Command-line interface for running the paper's experiments.
+
+Installing the package exposes a ``repro-experiments`` console script (see
+``pyproject.toml``); the same entry point is reachable with
+``python -m repro.cli``.  Each sub-command runs one experiment of the
+evaluation section and prints the corresponding paper-vs-measured table —
+the same runners the benchmark harness uses, without the timing machinery.
+
+Examples
+--------
+::
+
+    repro-experiments intro
+    repro-experiments cycle-length --deltas 0.01 0.1
+    repro-experiments real-world --thetas 0.3 0.5 0.7
+    repro-experiments scenario --peers 16 --error-rate 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.quality import MappingQualityAssessor
+from .evaluation.experiments import (
+    run_baseline_comparison,
+    run_convergence,
+    run_cycle_length,
+    run_fault_tolerance,
+    run_intro_example,
+    run_real_world,
+    run_relative_error,
+    run_schedule_comparison,
+)
+from .evaluation.metrics import score_detection
+from .evaluation.reporting import format_comparison, format_table
+from .generators.scenarios import generate_scenario
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser with one sub-command per experiment."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the experiments of 'Probabilistic Message "
+        "Passing in Peer Data Management Systems' (ICDE 2006).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("intro", help="worked example of §4.5 (E1)")
+
+    convergence = subparsers.add_parser("convergence", help="Figure 7 (E2)")
+    convergence.add_argument("--priors", type=float, default=0.7)
+    convergence.add_argument("--delta", type=float, default=0.1)
+
+    relative = subparsers.add_parser("relative-error", help="Figure 9 (E3)")
+    relative.add_argument("--max-extra-peers", type=int, default=7)
+
+    cycle = subparsers.add_parser("cycle-length", help="Figure 10 (E4)")
+    cycle.add_argument("--max-length", type=int, default=20)
+    cycle.add_argument("--deltas", type=float, nargs="+", default=[0.01, 0.1, 0.2])
+
+    fault = subparsers.add_parser("fault-tolerance", help="Figure 11 (E5)")
+    fault.add_argument("--repetitions", type=int, default=5)
+    fault.add_argument(
+        "--send-probabilities", type=float, nargs="+",
+        default=[1.0, 0.8, 0.6, 0.4, 0.2, 0.1],
+    )
+
+    real = subparsers.add_parser("real-world", help="Figure 12 (E6)")
+    real.add_argument(
+        "--thetas", type=float, nargs="+",
+        default=[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+    )
+    real.add_argument("--ttl", type=int, default=3)
+
+    subparsers.add_parser("baseline", help="ablation vs the Chatty-Web heuristic (E7)")
+    subparsers.add_parser("schedules", help="ablation periodic vs lazy schedules (E8)")
+
+    scenario = subparsers.add_parser(
+        "scenario", help="assess a generated synthetic PDMS scenario"
+    )
+    scenario.add_argument("--topology", choices=("cycle", "random", "scale-free"), default="scale-free")
+    scenario.add_argument("--peers", type=int, default=12)
+    scenario.add_argument("--attributes", type=int, default=10)
+    scenario.add_argument("--error-rate", type=float, default=0.2)
+    scenario.add_argument("--theta", type=float, default=0.5)
+    scenario.add_argument("--ttl", type=int, default=3)
+    scenario.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# per-command renderers
+# ---------------------------------------------------------------------------
+
+
+def _render_intro() -> str:
+    result = run_intro_example()
+    lines = [
+        format_comparison("P(p2->p3 correct)", 0.59, result.posteriors["p2->p3"]),
+        format_comparison("P(p2->p4 correct)", 0.30, result.posteriors["p2->p4"]),
+        format_comparison("updated prior p2->p3", 0.55, result.updated_priors["p2->p3"]),
+        format_comparison("updated prior p2->p4", 0.40, result.updated_priors["p2->p4"]),
+        f"blocked mappings at θ=0.5: {', '.join(result.blocked_mappings)}",
+        f"false positives: {result.standard_false_positive_count} (standard) -> "
+        f"{result.aware_false_positive_count} (quality-aware)",
+    ]
+    return "\n".join(lines)
+
+
+def _render_convergence(priors: float, delta: float) -> str:
+    result = run_convergence(priors=priors, delta=delta)
+    rows = [
+        (i + 1, result.history["p2->p3"][i], result.history["p2->p4"][i])
+        for i in range(result.iterations)
+    ]
+    return format_table(
+        ("iteration", "P(m23 correct)", "P(m24 correct)"),
+        rows,
+        title=f"Figure 7 — convergence (priors {priors}, Δ={delta})",
+    )
+
+
+def _render_relative_error(max_extra_peers: int) -> str:
+    result = run_relative_error(extra_peer_range=range(0, max_extra_peers + 1))
+    worst = dict(result.worst_case_points)
+    return format_table(
+        ("long-cycle length", "mean |Δposterior|", "max |Δposterior|"),
+        [(length, error, worst[length]) for length, error in result.points],
+        title="Figure 9 — iterative vs exact inference",
+    )
+
+
+def _render_cycle_length(max_length: int, deltas: Sequence[float]) -> str:
+    result = run_cycle_length(lengths=tuple(range(2, max_length + 1)), deltas=tuple(deltas))
+    lengths = [length for length, _ in next(iter(result.series.values()))]
+    rows = []
+    for index, length in enumerate(lengths):
+        rows.append(
+            tuple([length] + [result.series[delta][index][1] for delta in deltas])
+        )
+    return format_table(
+        tuple(["cycle length"] + [f"Δ={delta}" for delta in deltas]),
+        rows,
+        title="Figure 10 — posterior of a positive cycle",
+    )
+
+
+def _render_fault_tolerance(repetitions: int, send_probabilities: Sequence[float]) -> str:
+    result = run_fault_tolerance(
+        send_probabilities=tuple(send_probabilities), repetitions=repetitions
+    )
+    return format_table(
+        ("P(send)", "mean iterations", "converged fraction"),
+        [(p, iterations, converged) for p, iterations, converged in result.points],
+        title="Figure 11 — convergence under message loss",
+    )
+
+
+def _render_real_world(thetas: Sequence[float], ttl: int) -> str:
+    result = run_real_world(thetas=tuple(thetas), ttl=ttl)
+    rows = [
+        (theta, result.metrics[theta].precision, result.metrics[theta].recall,
+         result.metrics[theta].counts.flagged)
+        for theta in thetas
+    ]
+    header = (
+        f"{result.correspondence_count} generated correspondences, "
+        f"{result.erroneous_count} erroneous"
+    )
+    return header + "\n" + format_table(
+        ("θ", "precision", "recall", "flagged"),
+        rows,
+        title="Figure 12 — precision of the message passing approach",
+    )
+
+
+def _render_baseline() -> str:
+    result = run_baseline_comparison()
+    return format_table(
+        ("detector", "flagged", "precision", "recall"),
+        [
+            ("probabilistic", ", ".join(result.probabilistic_flagged),
+             result.probabilistic.precision, result.probabilistic.recall),
+            ("chatty-web heuristic", ", ".join(result.baseline_flagged),
+             result.baseline.precision, result.baseline.recall),
+        ],
+        title="Ablation — probabilistic inference vs deductive heuristic",
+    )
+
+
+def _render_schedules() -> str:
+    result = run_schedule_comparison()
+    return format_table(
+        ("schedule", "rounds", "remote messages", "P(p2->p4 correct)"),
+        [
+            ("periodic", result.periodic_rounds, result.periodic_messages,
+             result.periodic_posteriors["p2->p4"]),
+            ("lazy", result.lazy_rounds, result.lazy_messages,
+             result.lazy_posteriors["p2->p4"]),
+        ],
+        title="Ablation — schedules of §4.3",
+    )
+
+
+def _render_scenario(args: argparse.Namespace) -> str:
+    scenario = generate_scenario(
+        topology=args.topology,
+        peer_count=args.peers,
+        attribute_count=args.attributes,
+        error_rate=args.error_rate,
+        seed=args.seed,
+    )
+    assessor = MappingQualityAssessor(
+        scenario.network, delta=None, ttl=args.ttl, include_parallel_paths=False
+    )
+    posteriors = {}
+    for attribute in scenario.network.attribute_universe():
+        assessment = assessor.assess_attribute(attribute)
+        for mapping_name, posterior in assessment.posteriors.items():
+            if (mapping_name, attribute) in scenario.ground_truth:
+                posteriors[(mapping_name, attribute)] = posterior
+    metrics = score_detection(posteriors, scenario.ground_truth, theta=args.theta)
+    return format_table(
+        ("peers", "mappings", "errors injected", "flagged", "precision", "recall"),
+        [
+            (
+                len(scenario.network),
+                len(scenario.network.mappings),
+                len(scenario.erroneous_pairs),
+                metrics.counts.flagged,
+                metrics.precision,
+                metrics.recall,
+            )
+        ],
+        title=f"Synthetic {args.topology} scenario @ θ={args.theta}",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "intro":
+        output = _render_intro()
+    elif args.command == "convergence":
+        output = _render_convergence(args.priors, args.delta)
+    elif args.command == "relative-error":
+        output = _render_relative_error(args.max_extra_peers)
+    elif args.command == "cycle-length":
+        output = _render_cycle_length(args.max_length, args.deltas)
+    elif args.command == "fault-tolerance":
+        output = _render_fault_tolerance(args.repetitions, args.send_probabilities)
+    elif args.command == "real-world":
+        output = _render_real_world(args.thetas, args.ttl)
+    elif args.command == "baseline":
+        output = _render_baseline()
+    elif args.command == "schedules":
+        output = _render_schedules()
+    elif args.command == "scenario":
+        output = _render_scenario(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

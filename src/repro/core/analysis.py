@@ -1,0 +1,156 @@
+"""Network analysis: from a PDMS to the feedback evidence it can produce.
+
+This is the glue between the PDMS substrate and the probabilistic model:
+given a network and an attribute, it enumerates the cycles and parallel
+paths (via :mod:`repro.pdms.probing`), evaluates each of them by pushing the
+attribute through the transitive closure of its mappings, and returns the
+resulting :class:`~repro.core.feedback.Feedback` evidence, ready to be
+turned into factors.
+
+It also reports, per mapping, whether the mapping provides *any*
+correspondence for the attribute — the paper treats a missing correspondence
+as correctness probability zero for that attribute (§3.2.1, the ⊥ case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import FeedbackError
+from ..mapping.mapping import Mapping
+from ..pdms.network import PDMSNetwork
+from ..pdms.probing import (
+    MappingCycle,
+    ParallelPaths,
+    find_all_cycles,
+    find_all_parallel_paths,
+    probe_neighborhood,
+)
+from .feedback import Feedback, FeedbackKind, feedback_from_cycle, feedback_from_parallel_paths
+
+__all__ = ["NetworkEvidence", "analyze_network", "analyze_neighborhood"]
+
+
+@dataclass(frozen=True)
+class NetworkEvidence:
+    """All evidence gathered for one attribute across (part of) a network."""
+
+    attribute: str
+    feedbacks: Tuple[Feedback, ...]
+    unmappable: Tuple[str, ...]
+    cycles: Tuple[MappingCycle, ...] = ()
+    parallel_paths: Tuple[ParallelPaths, ...] = ()
+
+    @property
+    def informative_feedbacks(self) -> Tuple[Feedback, ...]:
+        """Feedbacks that translate into factors (positive or negative)."""
+        return tuple(f for f in self.feedbacks if f.is_informative)
+
+    @property
+    def positive_count(self) -> int:
+        return sum(1 for f in self.feedbacks if f.kind is FeedbackKind.POSITIVE)
+
+    @property
+    def negative_count(self) -> int:
+        return sum(1 for f in self.feedbacks if f.kind is FeedbackKind.NEGATIVE)
+
+    @property
+    def neutral_count(self) -> int:
+        return sum(1 for f in self.feedbacks if f.kind is FeedbackKind.NEUTRAL)
+
+    def mappings_with_evidence(self) -> Tuple[str, ...]:
+        """Names of mappings constrained by at least one informative feedback."""
+        names: Dict[str, None] = {}
+        for feedback in self.informative_feedbacks:
+            for name in feedback.mapping_names:
+                names.setdefault(name, None)
+        return tuple(names)
+
+
+def _unmappable_mappings(network: PDMSNetwork, attribute: str) -> Tuple[str, ...]:
+    """Mappings that provide no correspondence for ``attribute`` although
+    their source schema declares it."""
+    unmappable: List[str] = []
+    for mapping in network.mappings:
+        source_schema = network.peer(mapping.source).schema
+        if not source_schema.has_attribute(attribute):
+            continue
+        if not mapping.maps_attribute(attribute):
+            unmappable.append(mapping.name)
+    return tuple(unmappable)
+
+
+def _evidence_from_structures(
+    cycles: Sequence[MappingCycle],
+    parallel_paths: Sequence[ParallelPaths],
+    attribute: str,
+) -> List[Feedback]:
+    feedbacks: List[Feedback] = []
+    for index, cycle in enumerate(cycles, start=1):
+        feedbacks.append(
+            feedback_from_cycle(cycle, attribute, identifier=f"f{index}")
+        )
+    offset = len(cycles)
+    for index, paths in enumerate(parallel_paths, start=1):
+        feedbacks.append(
+            feedback_from_parallel_paths(
+                paths, attribute, identifier=f"f{offset + index}=>"
+            )
+        )
+    return feedbacks
+
+
+def analyze_network(
+    network: PDMSNetwork,
+    attribute: str,
+    ttl: int = 6,
+    include_parallel_paths: Optional[bool] = None,
+) -> NetworkEvidence:
+    """Gather all feedback evidence for ``attribute`` across ``network``.
+
+    ``include_parallel_paths`` defaults to the network's directedness:
+    parallel paths are only meaningful in directed PDMS (§3.3) — in an
+    undirected network they already appear as cycles.
+    """
+    if include_parallel_paths is None:
+        include_parallel_paths = network.directed
+    cycles = find_all_cycles(network, ttl=ttl)
+    parallel_paths: Tuple[ParallelPaths, ...] = ()
+    if include_parallel_paths:
+        parallel_paths = find_all_parallel_paths(network, ttl=ttl)
+    feedbacks = _evidence_from_structures(cycles, parallel_paths, attribute)
+    return NetworkEvidence(
+        attribute=attribute,
+        feedbacks=tuple(feedbacks),
+        unmappable=_unmappable_mappings(network, attribute),
+        cycles=cycles,
+        parallel_paths=parallel_paths,
+    )
+
+
+def analyze_neighborhood(
+    network: PDMSNetwork,
+    origin: str,
+    attribute: str,
+    ttl: int = 6,
+    include_parallel_paths: Optional[bool] = None,
+) -> NetworkEvidence:
+    """Gather the feedback evidence one peer can see by probing with ``ttl``.
+
+    This is the fully decentralised view: only cycles through ``origin`` and
+    parallel paths departing from ``origin`` are considered, which is
+    exactly what the peer can learn from its own probes (§3.2.1, §4.5).
+    """
+    if include_parallel_paths is None:
+        include_parallel_paths = network.directed
+    probe = probe_neighborhood(network, origin, ttl=ttl)
+    parallel_paths = probe.parallel_paths if include_parallel_paths else ()
+    feedbacks = _evidence_from_structures(probe.cycles, parallel_paths, attribute)
+    return NetworkEvidence(
+        attribute=attribute,
+        feedbacks=tuple(feedbacks),
+        unmappable=_unmappable_mappings(network, attribute),
+        cycles=probe.cycles,
+        parallel_paths=parallel_paths,
+    )

@@ -1,0 +1,401 @@
+"""Embedded, decentralised message passing (the paper's §4).
+
+Every peer owns the correctness variables of its outgoing mappings, keeps a
+replica of each feedback factor its mappings participate in, and exchanges
+*remote messages* with the other peers involved in those feedbacks.  One
+"iteration" (a round) corresponds to every peer
+
+1. computing its variable→factor messages from its prior and the current
+   factor→variable messages,
+2. sending each of those messages to the other peers holding a replica of
+   the same feedback factor (each transmission succeeding with probability
+   ``send_probability`` — the fault-tolerance experiment of Figure 11), and
+3. recomputing its factor→variable messages and mapping posteriors from the
+   factor replicas, its own fresh messages and the last *received* remote
+   messages (initially the unit message, as prescribed in §4.3).
+
+Because every factor replica applies the same sum–product update as the
+corresponding factor of the global graph, the fixed points coincide with
+those of centralised loopy BP — which is what the tests verify.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConvergenceError, FeedbackError
+from ..factorgraph.factors import Factor
+from ..factorgraph.messages import normalize, unit_message
+from ..factorgraph.variables import BinaryVariable
+from .beliefs import PriorBeliefStore
+from .feedback import Feedback, feedback_factor
+from .local_graph import LocalFactorGraph, build_local_graphs, mapping_owner
+from .pdms_factor_graph import variable_name_for
+
+__all__ = [
+    "MessageTransport",
+    "TransportStatistics",
+    "EmbeddedOptions",
+    "EmbeddedResult",
+    "EmbeddedMessagePassing",
+]
+
+
+@dataclass
+class TransportStatistics:
+    """Counts of remote messages attempted, delivered and dropped."""
+
+    attempted: int = 0
+    delivered: int = 0
+    dropped: int = 0
+
+    def record(self, delivered: bool) -> None:
+        self.attempted += 1
+        if delivered:
+            self.delivered += 1
+        else:
+            self.dropped += 1
+
+    @property
+    def delivery_rate(self) -> float:
+        if self.attempted == 0:
+            return 1.0
+        return self.delivered / self.attempted
+
+
+class MessageTransport:
+    """Unreliable transport between peers.
+
+    Each remote message is delivered independently with probability
+    ``send_probability``; dropped messages simply leave the recipient's last
+    received value in place, which the algorithm tolerates by design
+    (§4.3.2, Figure 11).
+    """
+
+    def __init__(self, send_probability: float = 1.0, seed: Optional[int] = None) -> None:
+        if not 0.0 < send_probability <= 1.0:
+            raise FeedbackError(
+                f"send_probability must be in (0, 1], got {send_probability}"
+            )
+        self.send_probability = send_probability
+        self._rng = random.Random(seed)
+        self.statistics = TransportStatistics()
+
+    def try_send(self) -> bool:
+        """Decide whether one message makes it through; update statistics."""
+        delivered = (
+            self.send_probability >= 1.0
+            or self._rng.random() < self.send_probability
+        )
+        self.statistics.record(delivered)
+        return delivered
+
+
+@dataclass(frozen=True)
+class EmbeddedOptions:
+    """Tuning knobs of the embedded message-passing run."""
+
+    max_rounds: int = 50
+    tolerance: float = 1e-4
+    record_history: bool = True
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise FeedbackError("max_rounds must be >= 1")
+        if self.tolerance <= 0:
+            raise FeedbackError("tolerance must be positive")
+
+
+@dataclass
+class EmbeddedResult:
+    """Outcome of an embedded message-passing run."""
+
+    posteriors: Dict[str, float]
+    iterations: int
+    converged: bool
+    final_change: float
+    history: List[Dict[str, float]] = field(default_factory=list)
+    messages_attempted: int = 0
+    messages_delivered: int = 0
+
+    def probability_correct(self, mapping_name: str) -> float:
+        """Posterior P(mapping correct) for the run's attribute."""
+        return self.posteriors[mapping_name]
+
+    def history_of(self, mapping_name: str) -> List[float]:
+        """Per-round posterior trajectory of one mapping."""
+        return [snapshot[mapping_name] for snapshot in self.history]
+
+
+class EmbeddedMessagePassing:
+    """Decentralised sum–product over per-peer local factor graphs.
+
+    Parameters
+    ----------
+    feedbacks:
+        Informative feedback evidence (all for the same attribute).
+    priors:
+        Prior beliefs (store, dict by mapping name, single float, or None
+        for the 0.5 default).
+    delta:
+        Error-compensation probability Δ used in all feedback factors.
+    transport:
+        Unreliable message transport; defaults to a perfectly reliable one.
+    options:
+        Iteration control.
+    owners:
+        Optional explicit mapping→peer ownership (defaults to each mapping's
+        source peer).
+    """
+
+    def __init__(
+        self,
+        feedbacks: Iterable[Feedback],
+        priors: PriorBeliefStore | TMapping[str, float] | float | None = None,
+        delta: float = 0.1,
+        transport: Optional[MessageTransport] = None,
+        options: Optional[EmbeddedOptions] = None,
+        owners: Optional[TMapping[str, str]] = None,
+    ) -> None:
+        self.options = options or EmbeddedOptions()
+        self.transport = transport or MessageTransport()
+        self.delta = delta
+        self._feedbacks: List[Feedback] = [f for f in feedbacks if f.is_informative]
+        if not self._feedbacks:
+            raise FeedbackError("embedded message passing needs informative feedback")
+        self.attribute = self._feedbacks[0].attribute
+        self.local_graphs: Dict[str, LocalFactorGraph] = build_local_graphs(
+            self._feedbacks, attribute=self.attribute, owners=owners
+        )
+        self._owners: Dict[str, str] = {}
+        for peer, fragment in self.local_graphs.items():
+            for mapping_name in fragment.owned_mappings:
+                self._owners[mapping_name] = peer
+
+        # Priors, as plain vectors [P(correct), P(incorrect)].
+        self._prior_vectors: Dict[str, np.ndarray] = {}
+        for mapping_name in self._owners:
+            prior = self._resolve_prior(priors, mapping_name)
+            self._prior_vectors[mapping_name] = np.clip(
+                np.array([prior, 1.0 - prior]), 1e-9, 1.0
+            )
+
+        # One factor object per feedback (shared by all replicas; the factor
+        # table is identical everywhere so sharing is purely an optimisation).
+        self._factors: Dict[str, Factor] = {}
+        self._feedback_by_id: Dict[str, Feedback] = {}
+        for feedback in self._feedbacks:
+            variables = [
+                BinaryVariable(variable_name_for(m, self.attribute))
+                for m in feedback.mapping_names
+            ]
+            self._factors[feedback.identifier] = feedback_factor(
+                feedback, delta, variables
+            )
+            self._feedback_by_id[feedback.identifier] = feedback
+
+        # Message state.
+        #   factor→variable messages held by the owner of the variable:
+        #     _f2v[mapping_name][feedback_id]
+        #   variable→factor messages computed by the owner each round:
+        #     _v2f[mapping_name][feedback_id]
+        #   remote messages received by a peer for a (feedback, remote mapping):
+        #     _received[peer][(feedback_id, mapping_name)]
+        self._f2v: Dict[str, Dict[str, np.ndarray]] = {}
+        self._v2f: Dict[str, Dict[str, np.ndarray]] = {}
+        for mapping_name, owner in self._owners.items():
+            fragment = self.local_graphs[owner]
+            feedback_ids = [
+                f.identifier for f in fragment.feedbacks_for(mapping_name)
+            ]
+            self._f2v[mapping_name] = {fid: unit_message(2) for fid in feedback_ids}
+            self._v2f[mapping_name] = {fid: unit_message(2) for fid in feedback_ids}
+        self._received: Dict[str, Dict[Tuple[str, str], np.ndarray]] = {}
+        for peer, fragment in self.local_graphs.items():
+            incoming: Dict[Tuple[str, str], np.ndarray] = {}
+            for feedback in fragment.feedbacks:
+                for mapping_name in feedback.mapping_names:
+                    if self._owners.get(mapping_name) == peer:
+                        continue
+                    incoming[(feedback.identifier, mapping_name)] = unit_message(2)
+            self._received[peer] = incoming
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_prior(
+        priors: PriorBeliefStore | TMapping[str, float] | float | None,
+        mapping_name: str,
+    ) -> float:
+        if priors is None:
+            return 0.5
+        if isinstance(priors, PriorBeliefStore):
+            # attribute is bound later; the store is queried lazily instead
+            raise FeedbackError(
+                "pass PriorBeliefStore priors via priors_for_attribute()"
+            )
+        if isinstance(priors, (int, float)):
+            return float(priors)
+        return float(priors.get(mapping_name, 0.5))
+
+    @classmethod
+    def from_prior_store(
+        cls,
+        feedbacks: Iterable[Feedback],
+        store: PriorBeliefStore,
+        delta: float = 0.1,
+        **kwargs,
+    ) -> "EmbeddedMessagePassing":
+        """Build an engine whose priors come from a :class:`PriorBeliefStore`."""
+        feedback_list = [f for f in feedbacks if f.is_informative]
+        if not feedback_list:
+            raise FeedbackError("embedded message passing needs informative feedback")
+        attribute = feedback_list[0].attribute
+        mapping_names = {m for f in feedback_list for m in f.mapping_names}
+        priors = {m: store.prior(m, attribute) for m in mapping_names}
+        return cls(feedback_list, priors=priors, delta=delta, **kwargs)
+
+    @property
+    def mapping_names(self) -> Tuple[str, ...]:
+        """All mappings with a correctness variable in the model."""
+        return tuple(self._owners)
+
+    @property
+    def peer_names(self) -> Tuple[str, ...]:
+        return tuple(self.local_graphs)
+
+    def owner_of(self, mapping_name: str) -> str:
+        return self._owners[mapping_name]
+
+    # -- the three phases of a round ----------------------------------------------------
+
+    def _compute_variable_messages(self, mapping_names: Optional[set] = None) -> None:
+        """Phase 1: owners recompute µ_{v→F} for their mapping variables."""
+        for mapping_name, per_feedback in self._v2f.items():
+            if mapping_names is not None and mapping_name not in mapping_names:
+                continue
+            prior = self._prior_vectors[mapping_name]
+            for feedback_id in per_feedback:
+                message = prior.copy()
+                for other_id, incoming in self._f2v[mapping_name].items():
+                    if other_id == feedback_id:
+                        continue
+                    message = message * incoming
+                per_feedback[feedback_id] = normalize(message)
+
+    def _exchange_messages(self, mapping_names: Optional[set] = None) -> None:
+        """Phase 2: send each µ_{v→F} to the other peers replicating F."""
+        for feedback in self._feedbacks:
+            for mapping_name in feedback.mapping_names:
+                if mapping_names is not None and mapping_name not in mapping_names:
+                    continue
+                sender = self._owners[mapping_name]
+                message = self._v2f[mapping_name][feedback.identifier]
+                for other_mapping in feedback.mapping_names:
+                    recipient = self._owners[other_mapping]
+                    if recipient == sender:
+                        continue
+                    if not self.transport.try_send():
+                        continue
+                    self._received[recipient][(feedback.identifier, mapping_name)] = (
+                        message.copy()
+                    )
+
+    def _compute_factor_messages(self) -> None:
+        """Phase 3: every replica recomputes µ_{F→v} for its owned variables."""
+        for mapping_name, per_feedback in self._f2v.items():
+            owner = self._owners[mapping_name]
+            for feedback_id in per_feedback:
+                factor = self._factors[feedback_id]
+                feedback = self._feedback_by_id[feedback_id]
+                incoming: Dict[str, np.ndarray] = {}
+                for other_mapping in feedback.mapping_names:
+                    if other_mapping == mapping_name:
+                        continue
+                    other_variable = variable_name_for(other_mapping, self.attribute)
+                    if self._owners[other_mapping] == owner:
+                        incoming[other_variable] = self._v2f[other_mapping][feedback_id]
+                    else:
+                        incoming[other_variable] = self._received[owner][
+                            (feedback_id, other_mapping)
+                        ]
+                target_variable = variable_name_for(mapping_name, self.attribute)
+                per_feedback[feedback_id] = normalize(
+                    factor.message_to(target_variable, incoming)
+                )
+
+    # -- public API ------------------------------------------------------------------------
+
+    def posteriors(self) -> Dict[str, float]:
+        """Current posterior P(correct) of every mapping variable."""
+        result: Dict[str, float] = {}
+        for mapping_name in self._owners:
+            belief = self._prior_vectors[mapping_name].copy()
+            for incoming in self._f2v[mapping_name].values():
+                belief = belief * incoming
+            belief = normalize(belief)
+            result[mapping_name] = float(belief[0])
+        return result
+
+    def run_round(self, mapping_names: Optional[Iterable[str]] = None) -> float:
+        """Run one full round; return the largest posterior change.
+
+        ``mapping_names`` restricts phases 1–2 to the given mappings — the
+        primitive the lazy schedule uses to piggyback on query traffic.
+        """
+        selection = set(mapping_names) if mapping_names is not None else None
+        before = self.posteriors()
+        self._compute_variable_messages(selection)
+        self._exchange_messages(selection)
+        self._compute_factor_messages()
+        after = self.posteriors()
+        return max(
+            abs(after[name] - before[name]) for name in after
+        ) if after else 0.0
+
+    def run(self) -> EmbeddedResult:
+        """Iterate rounds until convergence or ``max_rounds``.
+
+        Under message loss a single quiet round may simply mean the
+        informative messages were dropped, so convergence requires the
+        posterior change to stay below tolerance for a number of consecutive
+        rounds inversely proportional to the transport's send probability.
+        """
+        history: List[Dict[str, float]] = []
+        converged = False
+        change = float("inf")
+        rounds = 0
+        send_probability = self.transport.send_probability
+        if send_probability >= 1.0:
+            required_quiet_rounds = 1
+        else:
+            required_quiet_rounds = max(2, int(round(2.0 / send_probability)))
+        quiet_rounds = 0
+        for rounds in range(1, self.options.max_rounds + 1):
+            change = self.run_round()
+            if self.options.record_history:
+                history.append(self.posteriors())
+            quiet_rounds = quiet_rounds + 1 if change < self.options.tolerance else 0
+            if quiet_rounds >= required_quiet_rounds:
+                converged = True
+                break
+        if not converged and self.options.strict:
+            raise ConvergenceError(
+                f"embedded message passing did not converge within "
+                f"{self.options.max_rounds} rounds (last change {change:.3g})"
+            )
+        stats = self.transport.statistics
+        return EmbeddedResult(
+            posteriors=self.posteriors(),
+            iterations=rounds,
+            converged=converged,
+            final_change=change,
+            history=history,
+            messages_attempted=stats.attempted,
+            messages_delivered=stats.delivered,
+        )

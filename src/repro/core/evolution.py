@@ -1,0 +1,181 @@
+"""Evolving mapping networks: re-assessment under churn (§4.4).
+
+The paper stresses that a PDMS never stands still: mappings are created,
+modified and deleted all the time, and it is precisely this evolution that
+feeds the EM-style prior updates — "peers get new posterior probabilities on
+the correctness of the mappings as long as the network of mappings continues
+to evolve".  This module provides a small driver for that lifecycle:
+
+* :class:`MappingEvent` describes one change of the mapping network
+  (addition, removal, or the corruption/repair of a single correspondence);
+* :class:`EvolvingPDMS` applies events to a network, re-runs the quality
+  assessment for the affected attributes after every change, and folds the
+  resulting posteriors into the shared :class:`PriorBeliefStore` — so that
+  knowledge accumulated about a mapping survives later rounds, exactly as
+  §4.4 prescribes.
+
+The class is deliberately synchronous and in-process (one event at a time);
+it models the *information* flow of an evolving PDMS, not its physical
+concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import PDMSError
+from ..mapping.correspondence import Correspondence
+from ..mapping.mapping import Mapping
+from ..pdms.network import PDMSNetwork
+from .beliefs import PriorBeliefStore
+from .quality import MappingQualityAssessor
+
+__all__ = ["MappingEventKind", "MappingEvent", "AssessmentRound", "EvolvingPDMS"]
+
+
+class MappingEventKind(str, Enum):
+    """Kind of change applied to the mapping network."""
+
+    ADD_MAPPING = "add-mapping"
+    REMOVE_MAPPING = "remove-mapping"
+    CORRUPT_CORRESPONDENCE = "corrupt-correspondence"
+    REPAIR_CORRESPONDENCE = "repair-correspondence"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class MappingEvent:
+    """One change of the mapping network.
+
+    Depending on ``kind``:
+
+    * ``ADD_MAPPING`` — ``mapping`` is registered in the network;
+    * ``REMOVE_MAPPING`` — the mapping called ``mapping_name`` is removed;
+    * ``CORRUPT_CORRESPONDENCE`` — the correspondence of ``mapping_name``
+      for ``attribute`` is redirected to ``new_target`` (ground-truth label
+      becomes incorrect);
+    * ``REPAIR_CORRESPONDENCE`` — the correspondence of ``mapping_name``
+      for ``attribute`` is redirected to ``new_target`` (label becomes
+      correct).
+    """
+
+    kind: MappingEventKind
+    mapping: Optional[Mapping] = None
+    mapping_name: str = ""
+    attribute: str = ""
+    new_target: str = ""
+
+
+@dataclass
+class AssessmentRound:
+    """What one event did to the beliefs."""
+
+    event: MappingEvent
+    assessed_attributes: Tuple[str, ...]
+    posteriors: Dict[Tuple[str, str], float]
+    updated_priors: Dict[Tuple[str, str], float]
+
+
+class EvolvingPDMS:
+    """Applies mapping churn and keeps beliefs up to date across rounds.
+
+    Parameters
+    ----------
+    network:
+        The live network; events mutate it in place.
+    priors:
+        Shared prior store; created fresh (maximum entropy) when omitted.
+    assessor_kwargs:
+        Extra keyword arguments forwarded to every
+        :class:`~repro.core.quality.MappingQualityAssessor` built after an
+        event (``ttl``, ``delta``, ``include_parallel_paths``, ...).
+    """
+
+    def __init__(
+        self,
+        network: PDMSNetwork,
+        priors: Optional[PriorBeliefStore] = None,
+        **assessor_kwargs,
+    ) -> None:
+        self.network = network
+        self.priors = priors if priors is not None else PriorBeliefStore()
+        self.assessor_kwargs = assessor_kwargs
+        self.history: List[AssessmentRound] = []
+
+    # -- event application -------------------------------------------------------
+
+    def _apply(self, event: MappingEvent) -> Tuple[str, ...]:
+        """Mutate the network; return the attributes whose evidence changed."""
+        if event.kind is MappingEventKind.ADD_MAPPING:
+            if event.mapping is None:
+                raise PDMSError("ADD_MAPPING events need a mapping")
+            self.network.add_mapping(event.mapping, bidirectional=False)
+            return event.mapping.source_attributes
+
+        if event.kind is MappingEventKind.REMOVE_MAPPING:
+            mapping = self.network.mapping(event.mapping_name)
+            # Remove from the global index and from the owning peer.
+            del self.network._mappings[event.mapping_name]
+            owner = self.network.peer(mapping.source)
+            owner._outgoing.pop(event.mapping_name, None)
+            return mapping.source_attributes
+
+        if event.kind in (
+            MappingEventKind.CORRUPT_CORRESPONDENCE,
+            MappingEventKind.REPAIR_CORRESPONDENCE,
+        ):
+            if not event.attribute or not event.new_target:
+                raise PDMSError(
+                    f"{event.kind.value} events need an attribute and a new target"
+                )
+            mapping = self.network.mapping(event.mapping_name)
+            existing = mapping.correspondence_for(event.attribute)
+            is_correct = event.kind is MappingEventKind.REPAIR_CORRESPONDENCE
+            if existing is None:
+                replacement = Correspondence(
+                    source_attribute=event.attribute,
+                    target_attribute=event.new_target,
+                    is_correct=is_correct,
+                    provenance="evolution",
+                )
+            else:
+                replacement = existing.with_target(event.new_target, is_correct=is_correct)
+            mapping._by_source[event.attribute] = replacement
+            return (event.attribute,)
+
+        raise PDMSError(f"unknown event kind {event.kind!r}")  # pragma: no cover
+
+    # -- public API ----------------------------------------------------------------
+
+    def apply_event(self, event: MappingEvent) -> AssessmentRound:
+        """Apply one event, re-assess the affected attributes, update priors."""
+        affected = self._apply(event)
+        assessor = MappingQualityAssessor(
+            self.network, priors=self.priors, **self.assessor_kwargs
+        )
+        posteriors: Dict[Tuple[str, str], float] = {}
+        for attribute in affected:
+            assessment = assessor.assess_attribute(attribute)
+            for mapping_name, posterior in assessment.posteriors.items():
+                posteriors[(mapping_name, attribute)] = posterior
+        updated = assessor.update_priors(affected)
+        round_record = AssessmentRound(
+            event=event,
+            assessed_attributes=tuple(affected),
+            posteriors=posteriors,
+            updated_priors=updated,
+        )
+        self.history.append(round_record)
+        return round_record
+
+    def apply_events(self, events: Iterable[MappingEvent]) -> List[AssessmentRound]:
+        """Apply a sequence of events, one assessment round each."""
+        return [self.apply_event(event) for event in events]
+
+    def current_belief(self, mapping_name: str, attribute: str) -> float:
+        """The prior the peers currently hold for a (mapping, attribute) pair."""
+        return self.priors.prior(mapping_name, attribute)

@@ -1,0 +1,206 @@
+"""Per-peer local factor graphs.
+
+The paper (§4.1, Figure 6) shows that the global PDMS factor graph can be
+split into per-peer fragments: a peer stores, for each of its *outgoing*
+mappings, the mapping variable, its prior factor, and one replica of every
+feedback factor involving that mapping.  The other mapping variables of
+those feedback factors live at other peers ("virtual peers" in the figure);
+the peer only keeps the last message it received from them.
+
+This module derives the fragments from network evidence; the actual
+decentralised message exchange is implemented in
+:mod:`repro.core.embedded`, which consumes these fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
+
+from ..exceptions import FeedbackError, PDMSError
+from ..factorgraph.factors import prior_factor
+from ..factorgraph.graph import FactorGraph
+from ..factorgraph.variables import BinaryVariable
+from ..pdms.network import PDMSNetwork
+from .beliefs import PriorBeliefStore
+from .feedback import Feedback, feedback_factor
+from .pdms_factor_graph import variable_name_for
+
+__all__ = ["LocalFactorGraph", "build_local_graphs", "mapping_owner"]
+
+
+def mapping_owner(mapping_name: str) -> str:
+    """Peer owning a mapping: the peer the mapping departs from.
+
+    Mapping names follow the ``source->target[#label]`` convention of
+    :class:`repro.mapping.mapping.MappingIdentifier`.
+    """
+    if "->" not in mapping_name:
+        raise PDMSError(f"malformed mapping name {mapping_name!r}")
+    return mapping_name.split("->", 1)[0]
+
+
+@dataclass
+class LocalFactorGraph:
+    """The fragment of the global factor graph stored at one peer.
+
+    Attributes
+    ----------
+    peer_name:
+        The peer owning this fragment.
+    attribute:
+        Attribute the fragment reasons about (fine granularity).
+    owned_mappings:
+        Names of this peer's outgoing mappings that appear in at least one
+        informative feedback.
+    feedbacks:
+        The informative feedbacks involving at least one owned mapping; the
+        peer holds a replica of each corresponding feedback factor.
+    remote_participants:
+        For every feedback identifier, the mapping names that belong to
+        *other* peers, with their owning peer — the peers this fragment
+        exchanges remote messages with.
+    """
+
+    peer_name: str
+    attribute: str
+    owned_mappings: Tuple[str, ...]
+    feedbacks: Tuple[Feedback, ...]
+    remote_participants: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    @property
+    def remote_peers(self) -> Tuple[str, ...]:
+        """All peers this fragment needs to exchange messages with."""
+        peers: Dict[str, None] = {}
+        for participants in self.remote_participants.values():
+            for owner in participants.values():
+                peers.setdefault(owner, None)
+        return tuple(peers)
+
+    def feedbacks_for(self, mapping_name: str) -> Tuple[Feedback, ...]:
+        """Feedbacks involving one of the peer's owned mappings."""
+        return tuple(
+            f for f in self.feedbacks if mapping_name in f.mapping_names
+        )
+
+    def to_factor_graph(
+        self,
+        priors: PriorBeliefStore | TMapping[str, float] | float | None = None,
+        delta: float = 0.1,
+    ) -> FactorGraph:
+        """Materialise the fragment as a standalone :class:`FactorGraph`.
+
+        Remote mapping variables are included (with uninformative priors)
+        because the factor replicas span them; this materialised view is
+        what Figure 6 depicts and is mainly useful for inspection, testing
+        and documentation — the embedded engine works on the fragment
+        directly.
+        """
+        graph = FactorGraph(name=f"local({self.peer_name})@{self.attribute}")
+        variables: Dict[str, BinaryVariable] = {}
+
+        def prior_for(mapping_name: str) -> float:
+            if priors is None:
+                return 0.5
+            if isinstance(priors, PriorBeliefStore):
+                return priors.prior(mapping_name, self.attribute)
+            if isinstance(priors, (int, float)):
+                return float(priors)
+            return float(priors.get(mapping_name, 0.5))
+
+        for feedback in self.feedbacks:
+            for mapping_name in feedback.mapping_names:
+                if mapping_name in variables:
+                    continue
+                variable = BinaryVariable(variable_name_for(mapping_name, self.attribute))
+                variables[mapping_name] = variable
+                graph.add_variable(variable)
+                if mapping_name in self.owned_mappings:
+                    graph.add_factor(prior_factor(variable, prior_for(mapping_name)))
+        for feedback in self.feedbacks:
+            graph.add_factor(
+                feedback_factor(
+                    feedback, delta, [variables[m] for m in feedback.mapping_names]
+                )
+            )
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LocalFactorGraph(peer={self.peer_name!r}, attribute={self.attribute!r}, "
+            f"owned={len(self.owned_mappings)}, feedbacks={len(self.feedbacks)})"
+        )
+
+
+def build_local_graphs(
+    feedbacks: Iterable[Feedback],
+    attribute: Optional[str] = None,
+    owners: Optional[TMapping[str, str]] = None,
+) -> Dict[str, LocalFactorGraph]:
+    """Split feedback evidence into per-peer local factor graph fragments.
+
+    Parameters
+    ----------
+    feedbacks:
+        Informative feedbacks (neutral ones are skipped automatically).
+    attribute:
+        Attribute of the fragments; inferred when omitted.
+    owners:
+        Optional explicit ``{mapping name: peer name}`` ownership map; by
+        default the owner is the mapping's source peer.
+
+    Returns
+    -------
+    dict
+        ``{peer name: LocalFactorGraph}`` for every peer owning at least one
+        mapping with evidence.
+    """
+    informative = [f for f in feedbacks if f.is_informative]
+    if not informative:
+        raise FeedbackError("no informative feedback to build local graphs from")
+    attributes = {f.attribute for f in informative}
+    if attribute is None:
+        if len(attributes) != 1:
+            raise FeedbackError(
+                f"feedbacks concern several attributes {sorted(attributes)}; "
+                "build local graphs per attribute"
+            )
+        attribute = next(iter(attributes))
+
+    def owner_of(mapping_name: str) -> str:
+        if owners is not None and mapping_name in owners:
+            return owners[mapping_name]
+        return mapping_owner(mapping_name)
+
+    per_peer_feedbacks: Dict[str, List[Feedback]] = {}
+    per_peer_owned: Dict[str, Dict[str, None]] = {}
+    for feedback in informative:
+        involved_owners = {owner_of(m) for m in feedback.mapping_names}
+        for peer in involved_owners:
+            owned_here = [m for m in feedback.mapping_names if owner_of(m) == peer]
+            if not owned_here:
+                continue
+            per_peer_feedbacks.setdefault(peer, [])
+            if feedback not in per_peer_feedbacks[peer]:
+                per_peer_feedbacks[peer].append(feedback)
+            per_peer_owned.setdefault(peer, {})
+            for mapping_name in owned_here:
+                per_peer_owned[peer].setdefault(mapping_name, None)
+
+    fragments: Dict[str, LocalFactorGraph] = {}
+    for peer, peer_feedbacks in per_peer_feedbacks.items():
+        remote: Dict[str, Dict[str, str]] = {}
+        for feedback in peer_feedbacks:
+            remote[feedback.identifier] = {
+                mapping_name: owner_of(mapping_name)
+                for mapping_name in feedback.mapping_names
+                if owner_of(mapping_name) != peer
+            }
+        fragments[peer] = LocalFactorGraph(
+            peer_name=peer,
+            attribute=attribute,
+            owned_mappings=tuple(per_peer_owned[peer]),
+            feedbacks=tuple(peer_feedbacks),
+            remote_participants=remote,
+        )
+    return fragments

@@ -1,0 +1,293 @@
+"""Mapping quality assessment and θ-based routing decisions.
+
+The :class:`MappingQualityAssessor` is the user-facing entry point of the
+core contribution.  Given a PDMS network it
+
+1. gathers cycle / parallel-path evidence for the attributes of interest
+   (:mod:`repro.core.analysis`),
+2. runs the decentralised embedded message passing per attribute
+   (:mod:`repro.core.embedded`),
+3. exposes the posterior correctness probabilities, both programmatically
+   and as a quality oracle pluggable into the
+   :class:`~repro.pdms.routing.QueryRouter`, and
+4. optionally folds the posteriors back into the peers' prior beliefs
+   (EM update, §4.4).
+
+Mappings whose source schema declares an attribute but that provide no
+correspondence for it get probability zero for that attribute (the ⊥ rule
+of §3.2.1); mappings with no evidence at all fall back to their prior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
+
+from ..exceptions import ReproError
+from ..mapping.mapping import Mapping
+from ..pdms.network import PDMSNetwork
+from ..pdms.routing import QueryRouter, RoutingPolicy
+from .analysis import NetworkEvidence, analyze_network
+from .beliefs import PriorBeliefStore
+from .embedded import EmbeddedMessagePassing, EmbeddedOptions, EmbeddedResult, MessageTransport
+from .feedback import compensation_probability
+
+__all__ = ["AttributeAssessment", "MappingQualityAssessor"]
+
+
+@dataclass
+class AttributeAssessment:
+    """Inference outcome for a single attribute."""
+
+    attribute: str
+    evidence: NetworkEvidence
+    result: Optional[EmbeddedResult]
+    posteriors: Dict[str, float]
+    unmappable: Tuple[str, ...]
+
+    @property
+    def converged(self) -> bool:
+        return self.result.converged if self.result is not None else True
+
+    @property
+    def iterations(self) -> int:
+        return self.result.iterations if self.result is not None else 0
+
+
+class MappingQualityAssessor:
+    """Derives P(mapping correct) per attribute and answers θ decisions.
+
+    Parameters
+    ----------
+    network:
+        The PDMS under assessment.
+    priors:
+        Prior belief store shared with the peers; created empty (all priors
+        at the maximum-entropy 0.5) when omitted.
+    delta:
+        Error-compensation probability Δ.  When ``None`` it is derived per
+        attribute count of the network's schemas via
+        :func:`~repro.core.feedback.compensation_probability`.
+    ttl:
+        Probe TTL used when gathering cycles and parallel paths.
+    send_probability / seed:
+        Reliability of the simulated transport used by the embedded runs.
+    options:
+        Iteration control for the embedded runs.
+    """
+
+    def __init__(
+        self,
+        network: PDMSNetwork,
+        priors: Optional[PriorBeliefStore] = None,
+        delta: Optional[float] = 0.1,
+        ttl: int = 6,
+        send_probability: float = 1.0,
+        seed: Optional[int] = None,
+        options: Optional[EmbeddedOptions] = None,
+        include_parallel_paths: Optional[bool] = None,
+    ) -> None:
+        self.network = network
+        # Note: an empty PriorBeliefStore is falsy (it defines __len__), so
+        # an explicit None check is required here.
+        self.priors = priors if priors is not None else PriorBeliefStore()
+        self.delta = delta
+        self.ttl = ttl
+        self.send_probability = send_probability
+        self.seed = seed
+        self.options = options or EmbeddedOptions()
+        # Whether parallel-path feedback is gathered in addition to cycles.
+        # ``None`` defaults to the network's directedness (§3.3).  On very
+        # dense networks the number of parallel-path structures explodes and
+        # the loopy approximation degrades — the paper's advice (§5.1.2) is
+        # to bound the evidence considered; passing ``False`` here keeps the
+        # cycle evidence only.
+        self.include_parallel_paths = include_parallel_paths
+        self._assessments: Dict[str, AttributeAssessment] = {}
+
+    # -- inference --------------------------------------------------------------------------
+
+    def _delta_for(self, attribute: str) -> float:
+        if self.delta is not None:
+            return self.delta
+        counts = [
+            len(peer.schema)
+            for peer in self.network.peers
+            if peer.schema.has_attribute(attribute)
+        ]
+        average = sum(counts) / len(counts) if counts else 10
+        return compensation_probability(max(int(round(average)), 2))
+
+    def assess_attribute(self, attribute: str) -> AttributeAssessment:
+        """Run the full pipeline (probe → factor graph → embedded BP) for one
+        attribute and cache the outcome."""
+        evidence = analyze_network(
+            self.network,
+            attribute,
+            ttl=self.ttl,
+            include_parallel_paths=self.include_parallel_paths,
+        )
+        informative = evidence.informative_feedbacks
+        posteriors: Dict[str, float] = {}
+        result: Optional[EmbeddedResult] = None
+        if informative:
+            mapping_names = {m for f in informative for m in f.mapping_names}
+            prior_map = {m: self.priors.prior(m, attribute) for m in mapping_names}
+            engine = EmbeddedMessagePassing(
+                informative,
+                priors=prior_map,
+                delta=self._delta_for(attribute),
+                transport=MessageTransport(self.send_probability, seed=self.seed),
+                options=self.options,
+            )
+            result = engine.run()
+            posteriors = dict(result.posteriors)
+        assessment = AttributeAssessment(
+            attribute=attribute,
+            evidence=evidence,
+            result=result,
+            posteriors=posteriors,
+            unmappable=evidence.unmappable,
+        )
+        self._assessments[attribute] = assessment
+        return assessment
+
+    def assess_local(self, origin: str, attribute: str) -> Dict[str, float]:
+        """Posteriors for ``origin``'s own outgoing mappings, from its local view.
+
+        This is the fully decentralised, per-peer decision of §4.5: only the
+        cycles and parallel paths discovered by probing from ``origin`` are
+        used, and only the posteriors of the origin's *own* outgoing mappings
+        are returned.  Use this (rather than :meth:`assess_attribute`) when
+        peers use heterogeneous attribute names, e.g. the EON ontology
+        network — the attribute is interpreted in the origin's schema.
+        """
+        from .analysis import analyze_neighborhood
+
+        local_evidence = analyze_neighborhood(
+            self.network,
+            origin,
+            attribute,
+            ttl=self.ttl,
+            include_parallel_paths=self.include_parallel_paths,
+        )
+        informative = local_evidence.informative_feedbacks
+        own_mappings = {m.name for m in self.network.peer(origin).outgoing_mappings}
+        if not informative:
+            return {
+                name: self.priors.prior(name, attribute)
+                for name in own_mappings
+                if self.network.mapping(name).maps_attribute(attribute)
+            }
+        mapping_names = {m for f in informative for m in f.mapping_names}
+        prior_map = {m: self.priors.prior(m, attribute) for m in mapping_names}
+        engine = EmbeddedMessagePassing(
+            informative,
+            priors=prior_map,
+            delta=self._delta_for(attribute),
+            transport=MessageTransport(self.send_probability, seed=self.seed),
+            options=self.options,
+        )
+        result = engine.run()
+        return {
+            name: value
+            for name, value in result.posteriors.items()
+            if name in own_mappings
+        }
+
+    def assess_mapping(self, mapping_name: str, attributes: Optional[Iterable[str]] = None) -> float:
+        """Coarse-granularity quality of a whole mapping (§4.1).
+
+        The paper's coarse mode keeps a single correctness value per mapping
+        instead of one per attribute.  We derive it from the fine-grained
+        posteriors: the coarse value is the *mean* posterior over the
+        attributes the mapping actually maps (attributes without evidence
+        contribute their prior).  A mapping that is wrong for one attribute
+        but right for ten others therefore degrades gracefully instead of
+        being written off entirely; use :meth:`probability` directly when a
+        per-attribute decision is needed.
+        """
+        mapping = self.network.mapping(mapping_name)
+        targets = list(attributes) if attributes is not None else list(mapping.source_attributes)
+        if not targets:
+            return self.priors.prior(mapping_name, "*")
+        values = [self.probability(mapping, attribute) for attribute in targets]
+        return sum(values) / len(values)
+
+    def assess_attributes(self, attributes: Iterable[str]) -> Dict[str, AttributeAssessment]:
+        """Assess several attributes (fine granularity, one run per attribute)."""
+        return {attribute: self.assess_attribute(attribute) for attribute in attributes}
+
+    def assess_all_attributes(self) -> Dict[str, AttributeAssessment]:
+        """Assess every attribute appearing in any peer schema."""
+        return self.assess_attributes(self.network.attribute_universe())
+
+    def assessment(self, attribute: str) -> AttributeAssessment:
+        """Cached assessment for ``attribute`` (computing it if needed)."""
+        if attribute not in self._assessments:
+            return self.assess_attribute(attribute)
+        return self._assessments[attribute]
+
+    # -- queries -----------------------------------------------------------------------------
+
+    def probability(self, mapping: Mapping | str, attribute: str) -> float:
+        """P(attribute preserved by mapping) — the router's quality measure.
+
+        Resolution order: ⊥ rule (no correspondence → 0), posterior from the
+        embedded run, otherwise the prior belief.
+        """
+        mapping_name = mapping if isinstance(mapping, str) else mapping.name
+        assessment = self.assessment(attribute)
+        if mapping_name in assessment.unmappable:
+            return 0.0
+        if not isinstance(mapping, str) and not mapping.maps_attribute(attribute):
+            return 0.0
+        if mapping_name in assessment.posteriors:
+            return assessment.posteriors[mapping_name]
+        return self.priors.prior(mapping_name, attribute)
+
+    def is_erroneous(self, mapping: Mapping | str, attribute: str, theta: float = 0.5) -> bool:
+        """Decision: flag the mapping as erroneous for ``attribute`` at θ."""
+        if not 0.0 <= theta <= 1.0:
+            raise ReproError(f"theta must be in [0, 1], got {theta}")
+        return self.probability(mapping, attribute) <= theta
+
+    def flagged_mappings(self, attribute: str, theta: float = 0.5) -> Tuple[str, ...]:
+        """Mappings flagged as erroneous for ``attribute`` at threshold θ."""
+        assessment = self.assessment(attribute)
+        flagged = [
+            name
+            for name, posterior in assessment.posteriors.items()
+            if posterior <= theta
+        ]
+        flagged.extend(n for n in assessment.unmappable if n not in flagged)
+        return tuple(sorted(flagged))
+
+    # -- integration -----------------------------------------------------------------------------
+
+    def as_oracle(self):
+        """Quality oracle compatible with :class:`~repro.pdms.routing.QueryRouter`."""
+
+        def oracle(mapping: Mapping, attribute: str) -> float:
+            return self.probability(mapping, attribute)
+
+        return oracle
+
+    def router(self, policy: Optional[RoutingPolicy] = None) -> QueryRouter:
+        """A query router wired to this assessor's quality oracle."""
+        return QueryRouter(self.network, policy=policy, quality_oracle=self.as_oracle())
+
+    def update_priors(self, attributes: Optional[Iterable[str]] = None) -> Dict[Tuple[str, str], float]:
+        """Fold the cached posteriors into the prior store (EM step, §4.4).
+
+        Returns the updated priors keyed by (mapping, attribute).
+        """
+        updated: Dict[Tuple[str, str], float] = {}
+        targets = list(attributes) if attributes is not None else list(self._assessments)
+        for attribute in targets:
+            assessment = self.assessment(attribute)
+            for mapping_name, posterior in assessment.posteriors.items():
+                updated[(mapping_name, attribute)] = self.priors.record_posterior(
+                    mapping_name, attribute, posterior
+                )
+        return updated

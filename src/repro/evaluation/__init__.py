@@ -1,0 +1,56 @@
+"""Evaluation harness: metrics, baselines, per-figure experiment runners,
+convergence diagnostics and plain-text reporting."""
+
+from .metrics import ConfusionCounts, DetectionMetrics, precision_curve, score_detection
+from .baselines import chatty_web_baseline, random_guess_baseline
+from .convergence import ConvergenceStats, iterations_to_converge, trajectory_stats
+from .reporting import format_comparison, format_series, format_table
+from .experiments import (
+    BaselineComparisonResult,
+    ConvergenceResult,
+    CycleLengthResult,
+    FaultToleranceResult,
+    IntroExampleResult,
+    RealWorldResult,
+    RelativeErrorResult,
+    ScheduleComparisonResult,
+    run_baseline_comparison,
+    run_convergence,
+    run_cycle_length,
+    run_fault_tolerance,
+    run_intro_example,
+    run_real_world,
+    run_relative_error,
+    run_schedule_comparison,
+)
+
+__all__ = [
+    "ConfusionCounts",
+    "DetectionMetrics",
+    "precision_curve",
+    "score_detection",
+    "chatty_web_baseline",
+    "random_guess_baseline",
+    "ConvergenceStats",
+    "iterations_to_converge",
+    "trajectory_stats",
+    "format_comparison",
+    "format_series",
+    "format_table",
+    "BaselineComparisonResult",
+    "ConvergenceResult",
+    "CycleLengthResult",
+    "FaultToleranceResult",
+    "IntroExampleResult",
+    "RealWorldResult",
+    "RelativeErrorResult",
+    "ScheduleComparisonResult",
+    "run_baseline_comparison",
+    "run_convergence",
+    "run_cycle_length",
+    "run_fault_tolerance",
+    "run_intro_example",
+    "run_real_world",
+    "run_relative_error",
+    "run_schedule_comparison",
+]

@@ -1,0 +1,65 @@
+"""Convergence diagnostics for iterative message passing runs.
+
+Small helpers shared by the experiments, benchmarks and tests to answer the
+question "did it converge, how fast, and how far is it from the reference?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
+
+from ..exceptions import EvaluationError
+
+__all__ = ["ConvergenceStats", "iterations_to_converge", "trajectory_stats"]
+
+
+@dataclass(frozen=True)
+class ConvergenceStats:
+    """Summary of one posterior trajectory."""
+
+    iterations: int
+    final_value: float
+    largest_step: float
+    monotonic: bool
+    settled_after: int
+
+
+def iterations_to_converge(
+    trajectory: Sequence[float], tolerance: float = 1e-3
+) -> int:
+    """First iteration after which the value never moves more than ``tolerance``.
+
+    Returns ``len(trajectory)`` when the trajectory never settles.
+    """
+    if not trajectory:
+        raise EvaluationError("empty trajectory")
+    if tolerance <= 0:
+        raise EvaluationError("tolerance must be positive")
+    for start in range(len(trajectory)):
+        settled = True
+        for i in range(start + 1, len(trajectory)):
+            if abs(trajectory[i] - trajectory[i - 1]) > tolerance:
+                settled = False
+                break
+        if settled:
+            return start + 1
+    return len(trajectory)
+
+
+def trajectory_stats(trajectory: Sequence[float], tolerance: float = 1e-3) -> ConvergenceStats:
+    """Compute convergence statistics of one posterior trajectory."""
+    if not trajectory:
+        raise EvaluationError("empty trajectory")
+    steps = [
+        abs(second - first) for first, second in zip(trajectory, trajectory[1:])
+    ]
+    increasing = all(b >= a - 1e-12 for a, b in zip(trajectory, trajectory[1:]))
+    decreasing = all(b <= a + 1e-12 for a, b in zip(trajectory, trajectory[1:]))
+    return ConvergenceStats(
+        iterations=len(trajectory),
+        final_value=float(trajectory[-1]),
+        largest_step=max(steps) if steps else 0.0,
+        monotonic=increasing or decreasing,
+        settled_after=iterations_to_converge(trajectory, tolerance=tolerance),
+    )

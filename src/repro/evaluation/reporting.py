@@ -1,0 +1,69 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benchmarks print the same rows / series the paper's figures show, next
+to the paper's reference values, so a reader can eyeball whether the shape
+of each result holds.  These helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_series", "format_comparison"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a simple fixed-width text table."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Sequence[Tuple[object, object]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one (x, y) series as a two-column table."""
+    return format_table(
+        (x_label, y_label),
+        [(x, y) for x, y in points],
+        title=name,
+    )
+
+
+def format_comparison(
+    title: str,
+    paper_value: object,
+    measured_value: object,
+    note: str = "",
+) -> str:
+    """One-line "paper vs measured" comparison."""
+    suffix = f"  ({note})" if note else ""
+    return f"{title}: paper={_render(paper_value)}  measured={_render(measured_value)}{suffix}"
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,209 @@
+"""Dense table factors over discrete variables.
+
+A factor is a non-negative function over the joint domain of a small set of
+discrete variables.  PDMS factor graphs contain two kinds of factors
+(paper §3.2–3.3):
+
+* *prior factors* — unary factors holding the peer's prior belief that a
+  mapping is correct, and
+* *feedback factors* — factors connecting all mapping variables of a cycle
+  or a pair of parallel paths, parameterised by the observed feedback and
+  the error-compensation probability Δ.
+
+The feedback CPT builders live in :mod:`repro.core.feedback`; this module
+only provides the generic table machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import FactorShapeError, VariableDomainError
+from .variables import CORRECT, INCORRECT, DiscreteVariable
+
+__all__ = ["Factor", "prior_factor", "uniform_factor", "observation_factor"]
+
+
+class Factor:
+    """A dense, non-negative table over an ordered tuple of variables.
+
+    Parameters
+    ----------
+    name:
+        Unique factor name inside a graph.
+    variables:
+        Ordered variables the factor spans; the table's axes follow this
+        order.
+    table:
+        ``numpy`` array of shape ``tuple(v.cardinality for v in variables)``.
+        Values must be non-negative and not all zero.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        variables: Sequence[DiscreteVariable],
+        table: np.ndarray,
+    ) -> None:
+        if not name:
+            raise FactorShapeError("factor name must be non-empty")
+        variables = tuple(variables)
+        if len({v.name for v in variables}) != len(variables):
+            raise FactorShapeError(
+                f"factor {name!r} references a variable twice: "
+                f"{[v.name for v in variables]}"
+            )
+        table = np.asarray(table, dtype=float)
+        expected_shape = tuple(v.cardinality for v in variables)
+        if table.shape != expected_shape:
+            raise FactorShapeError(
+                f"factor {name!r}: table shape {table.shape} does not match "
+                f"variable cardinalities {expected_shape}"
+            )
+        if np.any(table < 0):
+            raise FactorShapeError(f"factor {name!r} has negative entries")
+        if not np.any(table > 0):
+            raise FactorShapeError(f"factor {name!r} is identically zero")
+        self.name = name
+        self.variables: Tuple[DiscreteVariable, ...] = variables
+        self.table = table
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        """Names of the variables the factor spans, in axis order."""
+        return tuple(v.name for v in self.variables)
+
+    @property
+    def arity(self) -> int:
+        """Number of variables the factor spans."""
+        return len(self.variables)
+
+    def axis_of(self, variable_name: str) -> int:
+        """Return the table axis corresponding to ``variable_name``."""
+        for axis, variable in enumerate(self.variables):
+            if variable.name == variable_name:
+                return axis
+        raise VariableDomainError(
+            f"factor {self.name!r} does not span variable {variable_name!r}"
+        )
+
+    def value(self, assignment: Mapping[str, str]) -> float:
+        """Evaluate the factor at a joint assignment given by state labels."""
+        index = []
+        for variable in self.variables:
+            if variable.name not in assignment:
+                raise VariableDomainError(
+                    f"assignment is missing variable {variable.name!r} "
+                    f"required by factor {self.name!r}"
+                )
+            index.append(variable.index_of(assignment[variable.name]))
+        return float(self.table[tuple(index)])
+
+    def assignments(self) -> Iterable[Dict[str, str]]:
+        """Iterate over every joint assignment of the factor's variables."""
+        domains = [variable.domain for variable in self.variables]
+        for states in itertools.product(*domains):
+            yield {
+                variable.name: state
+                for variable, state in zip(self.variables, states)
+            }
+
+    # -- message-passing primitives ----------------------------------------
+
+    def message_to(
+        self, variable_name: str, incoming: Mapping[str, np.ndarray]
+    ) -> np.ndarray:
+        """Compute the sum–product message from this factor to a variable.
+
+        ``incoming`` maps each *other* neighbouring variable name to the
+        variable→factor message (a vector over that variable's domain).
+        Missing entries are treated as unit (uninformative) messages, which
+        is exactly the initialisation the paper prescribes for the embedded
+        decentralised schedule (§4.3).
+        """
+        target_axis = self.axis_of(variable_name)
+        result = self.table.copy()
+        for axis, variable in enumerate(self.variables):
+            if axis == target_axis:
+                continue
+            message = incoming.get(variable.name)
+            if message is None:
+                continue
+            message = np.asarray(message, dtype=float)
+            if message.shape != (variable.cardinality,):
+                raise FactorShapeError(
+                    f"message for variable {variable.name!r} has shape "
+                    f"{message.shape}, expected ({variable.cardinality},)"
+                )
+            shape = [1] * result.ndim
+            shape[axis] = variable.cardinality
+            result = result * message.reshape(shape)
+        axes_to_sum = tuple(
+            axis for axis in range(result.ndim) if axis != target_axis
+        )
+        if axes_to_sum:
+            result = result.sum(axis=axes_to_sum)
+        return np.asarray(result, dtype=float)
+
+    # -- misc ----------------------------------------------------------------
+
+    def normalized(self) -> "Factor":
+        """Return a copy whose table sums to one (useful for display)."""
+        return Factor(self.name, self.variables, self.table / self.table.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Factor({self.name!r}, variables={self.variable_names})"
+
+
+def prior_factor(
+    variable: DiscreteVariable, probability_correct: float, name: str | None = None
+) -> Factor:
+    """Build the unary prior factor for a mapping-correctness variable.
+
+    ``probability_correct`` is the peer's prior belief that the mapping is
+    correct; the paper seeds it at 0.5 when nothing is known (maximum
+    entropy, §4.4) and lets domain experts pin it at 1.0 for validated
+    mappings.
+    """
+    if not 0.0 <= probability_correct <= 1.0:
+        raise FactorShapeError(
+            f"prior probability must be in [0, 1], got {probability_correct}"
+        )
+    if variable.domain != (CORRECT, INCORRECT):
+        raise FactorShapeError(
+            f"prior_factor expects a binary correctness variable, got domain "
+            f"{variable.domain!r}"
+        )
+    table = np.array([probability_correct, 1.0 - probability_correct])
+    # A hard 0/1 prior would annihilate all other evidence and can produce
+    # all-zero products in degenerate graphs; nudge it by a tiny epsilon.
+    epsilon = 1e-9
+    table = np.clip(table, epsilon, 1.0)
+    return Factor(name or f"prior({variable.name})", (variable,), table)
+
+
+def uniform_factor(variable: DiscreteVariable, name: str | None = None) -> Factor:
+    """Build a unary factor that carries no information about ``variable``."""
+    table = np.ones(variable.cardinality)
+    return Factor(name or f"uniform({variable.name})", (variable,), table)
+
+
+def observation_factor(
+    variable: DiscreteVariable, state: str, name: str | None = None, strength: float = 1.0
+) -> Factor:
+    """Build a unary factor (softly) clamping ``variable`` to ``state``.
+
+    ``strength`` is the probability mass put on the observed state; 1.0
+    clamps hard (up to a numerical epsilon).
+    """
+    if not 0.0 < strength <= 1.0:
+        raise FactorShapeError(f"strength must be in (0, 1], got {strength}")
+    table = np.full(variable.cardinality, (1.0 - strength) / max(variable.cardinality - 1, 1))
+    table[variable.index_of(state)] = strength
+    table = np.clip(table, 1e-9, 1.0)
+    return Factor(name or f"obs({variable.name}={state})", (variable,), table)

@@ -1,0 +1,45 @@
+"""PDMS substrate: peers, mapping networks, queries, reformulation, routing
+and neighbourhood probing."""
+
+from .peer import Peer
+from .network import PDMSNetwork
+from .query import Operation, OperationKind, Query, substring_predicate
+from .reformulation import ReformulationResult, reformulate, reformulate_through_chain
+from .routing import QueryRouter, RoutingPolicy, execute_locally
+from .trace import HopRecord, PeerAnswer, QueryTrace
+from .probing import (
+    MappingCycle,
+    ParallelPaths,
+    ProbeResult,
+    find_all_cycles,
+    find_all_parallel_paths,
+    find_cycles_through,
+    find_parallel_paths_from,
+    probe_neighborhood,
+)
+
+__all__ = [
+    "Peer",
+    "PDMSNetwork",
+    "Operation",
+    "OperationKind",
+    "Query",
+    "substring_predicate",
+    "ReformulationResult",
+    "reformulate",
+    "reformulate_through_chain",
+    "QueryRouter",
+    "RoutingPolicy",
+    "execute_locally",
+    "HopRecord",
+    "PeerAnswer",
+    "QueryTrace",
+    "MappingCycle",
+    "ParallelPaths",
+    "ProbeResult",
+    "find_all_cycles",
+    "find_all_parallel_paths",
+    "find_cycles_through",
+    "find_parallel_paths_from",
+    "probe_neighborhood",
+]

@@ -1,0 +1,243 @@
+"""Cycle and parallel-path discovery by TTL-bounded probing.
+
+Peers discover the structures that generate feedback — mapping cycles and
+parallel mapping paths — "either by proactively flooding their neighbourhood
+with probe messages with a certain Time-To-Live (TTL) or by examining the
+trace of routed queries" (§3.2.1).  This module implements the probing view:
+starting from a peer, it enumerates the simple directed cycles through that
+peer's outgoing mappings and the pairs of edge-disjoint parallel paths
+departing from it, both bounded by a TTL (maximum number of mapping hops).
+
+The returned structures are lists of :class:`~repro.mapping.mapping.Mapping`
+objects in traversal order, ready to be fed to the feedback analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import PDMSError
+from ..mapping.mapping import Mapping
+from .network import PDMSNetwork
+
+__all__ = [
+    "MappingCycle",
+    "ParallelPaths",
+    "find_cycles_through",
+    "find_parallel_paths_from",
+    "find_all_cycles",
+    "find_all_parallel_paths",
+    "probe_neighborhood",
+    "ProbeResult",
+]
+
+
+@dataclass(frozen=True)
+class MappingCycle:
+    """A directed cycle of mappings starting and ending at ``origin``."""
+
+    origin: str
+    mappings: Tuple[Mapping, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.mappings)
+
+    @property
+    def mapping_names(self) -> Tuple[str, ...]:
+        return tuple(m.name for m in self.mappings)
+
+    def canonical_key(self) -> Tuple[str, ...]:
+        """Rotation-invariant key identifying the cycle regardless of the
+        peer that discovered it."""
+        names = list(self.mapping_names)
+        rotations = [tuple(names[i:] + names[:i]) for i in range(len(names))]
+        return min(rotations)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " -> ".join(self.mapping_names)
+
+
+@dataclass(frozen=True)
+class ParallelPaths:
+    """Two edge-disjoint directed mapping paths sharing source and target."""
+
+    source: str
+    target: str
+    first: Tuple[Mapping, ...]
+    second: Tuple[Mapping, ...]
+
+    @property
+    def mappings(self) -> Tuple[Mapping, ...]:
+        """All mappings involved, first path then second path."""
+        return self.first + self.second
+
+    @property
+    def mapping_names(self) -> Tuple[str, ...]:
+        return tuple(m.name for m in self.mappings)
+
+    def canonical_key(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """Order-invariant key identifying the pair of paths."""
+        a = tuple(m.name for m in self.first)
+        b = tuple(m.name for m in self.second)
+        return (a, b) if a <= b else (b, a)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        first = " -> ".join(m.name for m in self.first)
+        second = " -> ".join(m.name for m in self.second)
+        return f"{first} || {second}"
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Everything a peer learns from probing its neighbourhood."""
+
+    origin: str
+    ttl: int
+    cycles: Tuple[MappingCycle, ...]
+    parallel_paths: Tuple[ParallelPaths, ...]
+
+    @property
+    def structure_count(self) -> int:
+        return len(self.cycles) + len(self.parallel_paths)
+
+
+def _paths_from(
+    network: PDMSNetwork,
+    start: str,
+    max_hops: int,
+) -> Iterable[Tuple[Mapping, ...]]:
+    """Enumerate simple directed mapping paths (no repeated peer) from
+    ``start`` with at most ``max_hops`` mappings."""
+
+    def extend(path: Tuple[Mapping, ...], visited: Tuple[str, ...]):
+        if len(path) >= max_hops:
+            return
+        current = path[-1].target if path else start
+        for mapping in network.peer(current).outgoing_mappings:
+            if mapping.target in visited:
+                continue
+            new_path = path + (mapping,)
+            yield new_path
+            yield from extend(new_path, visited + (mapping.target,))
+
+    yield from extend((), (start,))
+
+
+def find_cycles_through(
+    network: PDMSNetwork, origin: str, ttl: int = 6
+) -> Tuple[MappingCycle, ...]:
+    """Simple directed mapping cycles through ``origin`` of length ≤ ``ttl``.
+
+    A cycle is reported once, oriented to start at ``origin`` with one of
+    the peer's outgoing mappings.
+    """
+    if ttl < 2:
+        return ()
+    cycles: List[MappingCycle] = []
+    seen: set[Tuple[str, ...]] = set()
+
+    def walk(path: Tuple[Mapping, ...], visited: Tuple[str, ...]) -> None:
+        current = path[-1].target
+        if len(path) >= 2:
+            # Close the cycle if an outgoing mapping returns to the origin.
+            pass
+        for mapping in network.peer(current).outgoing_mappings:
+            if mapping.target == origin and len(path) + 1 >= 2:
+                cycle = MappingCycle(origin=origin, mappings=path + (mapping,))
+                key = cycle.canonical_key()
+                if key not in seen:
+                    seen.add(key)
+                    cycles.append(cycle)
+                continue
+            if mapping.target in visited:
+                continue
+            if len(path) + 1 >= ttl:
+                continue
+            walk(path + (mapping,), visited + (mapping.target,))
+
+    for first in network.peer(origin).outgoing_mappings:
+        if first.target == origin:
+            continue
+        walk((first,), (origin, first.target))
+    return tuple(cycles)
+
+
+def find_parallel_paths_from(
+    network: PDMSNetwork, origin: str, ttl: int = 6
+) -> Tuple[ParallelPaths, ...]:
+    """Pairs of edge-disjoint directed paths from ``origin`` to a common
+    destination, each of length ≤ ``ttl``.
+
+    Mirrors the paper's f⇒ feedback structures (§3.3).  Pairs whose two
+    branches share a mapping are skipped (they would not provide independent
+    evidence about the shared mapping anyway), as are trivial pairs whose
+    branches are identical.
+    """
+    paths_by_destination: Dict[str, List[Tuple[Mapping, ...]]] = {}
+    for path in _paths_from(network, origin, max_hops=ttl):
+        destination = path[-1].target
+        if destination == origin:
+            continue
+        paths_by_destination.setdefault(destination, []).append(path)
+
+    results: List[ParallelPaths] = []
+    seen: set[Tuple[Tuple[str, ...], Tuple[str, ...]]] = set()
+    for destination, paths in paths_by_destination.items():
+        for i in range(len(paths)):
+            for j in range(i + 1, len(paths)):
+                first, second = paths[i], paths[j]
+                first_names = {m.name for m in first}
+                second_names = {m.name for m in second}
+                if first_names & second_names:
+                    continue
+                pair = ParallelPaths(
+                    source=origin, target=destination, first=first, second=second
+                )
+                key = pair.canonical_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                results.append(pair)
+    return tuple(results)
+
+
+def probe_neighborhood(network: PDMSNetwork, origin: str, ttl: int = 6) -> ProbeResult:
+    """Run a full probe from ``origin``: cycles and parallel paths within TTL."""
+    if not network.has_peer(origin):
+        raise PDMSError(f"unknown peer {origin!r}")
+    return ProbeResult(
+        origin=origin,
+        ttl=ttl,
+        cycles=find_cycles_through(network, origin, ttl=ttl),
+        parallel_paths=find_parallel_paths_from(network, origin, ttl=ttl),
+    )
+
+
+def find_all_cycles(network: PDMSNetwork, ttl: int = 6) -> Tuple[MappingCycle, ...]:
+    """All distinct mapping cycles in the network (deduplicated across peers)."""
+    seen: set[Tuple[str, ...]] = set()
+    cycles: List[MappingCycle] = []
+    for peer in network.peers:
+        for cycle in find_cycles_through(network, peer.name, ttl=ttl):
+            key = cycle.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            cycles.append(cycle)
+    return tuple(cycles)
+
+
+def find_all_parallel_paths(network: PDMSNetwork, ttl: int = 6) -> Tuple[ParallelPaths, ...]:
+    """All distinct pairs of parallel paths in the network."""
+    seen: set[Tuple[Tuple[str, ...], Tuple[str, ...]]] = set()
+    pairs: List[ParallelPaths] = []
+    for peer in network.peers:
+        for pair in find_parallel_paths_from(network, peer.name, ttl=ttl):
+            key = pair.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            pairs.append(pair)
+    return tuple(pairs)

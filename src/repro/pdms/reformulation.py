@@ -1,0 +1,109 @@
+"""Query reformulation through schema mappings.
+
+When a peer forwards a query over a mapping, every operation's attribute is
+rewritten to its image under the mapping (the XQuery ``T12`` transformation
+of the paper's Figure 2 collapses, for our purposes, to this renaming).
+Operations whose attribute has no image are dropped; the result records
+which attributes were preserved, translated or lost so that the router and
+the feedback analysis can reason about them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import QueryError
+from ..mapping.mapping import Mapping
+from .query import Operation, Query
+
+__all__ = ["ReformulationResult", "reformulate", "reformulate_through_chain"]
+
+
+@dataclass(frozen=True)
+class ReformulationResult:
+    """Outcome of pushing a query through one mapping.
+
+    Attributes
+    ----------
+    query:
+        The reformulated query expressed against the target schema, or
+        ``None`` when no operation survived the mapping.
+    translated:
+        ``{original attribute: target attribute}`` for attributes that
+        survived.
+    lost:
+        Attributes of the original query the mapping could not translate
+        (the ⊥ case).
+    """
+
+    query: Optional[Query]
+    translated: Dict[str, str]
+    lost: Tuple[str, ...]
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every attribute of the original query was translated."""
+        return not self.lost
+
+
+def reformulate(query: Query, mapping: Mapping) -> ReformulationResult:
+    """Reformulate ``query`` through ``mapping``.
+
+    The query must be expressed against the mapping's source schema.
+    """
+    if query.schema_name != mapping.source:
+        raise QueryError(
+            f"query is against schema {query.schema_name!r} but mapping "
+            f"{mapping.name} departs from {mapping.source!r}"
+        )
+    translated: Dict[str, str] = {}
+    lost: List[str] = []
+    new_operations: List[Operation] = []
+    for operation in query.operations:
+        image = mapping.apply(operation.attribute)
+        if image is None:
+            if operation.attribute not in lost:
+                lost.append(operation.attribute)
+            continue
+        translated[operation.attribute] = image
+        new_operations.append(operation.renamed(image))
+    if not new_operations:
+        return ReformulationResult(query=None, translated=translated, lost=tuple(lost))
+    reformulated = query.with_operations(new_operations, schema_name=mapping.target)
+    return ReformulationResult(
+        query=reformulated, translated=translated, lost=tuple(lost)
+    )
+
+
+def reformulate_through_chain(
+    query: Query, mappings: Sequence[Mapping]
+) -> ReformulationResult:
+    """Reformulate ``query`` through a chain of mappings.
+
+    Used to compute the transitive closure ``q' = m_{n-1}(...(m_0(q)))`` the
+    paper compares against the original query when analysing cycles.
+    ``translated`` maps original attributes to their final images; ``lost``
+    collects original attributes dropped anywhere along the chain.
+    """
+    if not mappings:
+        raise QueryError("cannot reformulate through an empty mapping chain")
+    current = query
+    overall: Dict[str, str] = {attribute: attribute for attribute in query.attributes}
+    lost: List[str] = []
+    for mapping in mappings:
+        result = reformulate(current, mapping)
+        # Track loss in terms of the *original* attribute names.
+        surviving: Dict[str, str] = {}
+        for original, intermediate in overall.items():
+            if original in [l for l in lost]:
+                continue
+            if intermediate in result.translated:
+                surviving[original] = result.translated[intermediate]
+            else:
+                lost.append(original)
+        overall = surviving
+        if result.query is None:
+            return ReformulationResult(query=None, translated=overall, lost=tuple(lost))
+        current = result.query
+    return ReformulationResult(query=current, translated=overall, lost=tuple(lost))

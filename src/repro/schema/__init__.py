@@ -1,0 +1,17 @@
+"""Schema substrate: attributes, schemas, instance data and the registry."""
+
+from .attribute import Attribute, AttributeType, tokenize_identifier
+from .schema import DataModel, Schema
+from .instances import InstanceStore, Record
+from .registry import SchemaRegistry
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "tokenize_identifier",
+    "DataModel",
+    "Schema",
+    "InstanceStore",
+    "Record",
+    "SchemaRegistry",
+]

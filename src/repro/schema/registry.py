@@ -1,0 +1,62 @@
+"""Schema registry — a named collection of schemas.
+
+The registry is a convenience used by the generators, the alignment
+substrate and the PDMS builder: it guarantees unique schema names and offers
+bulk lookups.  It is *not* a central semantic component in the PDMS sense —
+it merely plays the role of the experimenter's workbench holding the
+scenario under study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..exceptions import SchemaError
+from .schema import Schema
+
+__all__ = ["SchemaRegistry"]
+
+
+class SchemaRegistry:
+    """A mapping from schema names to :class:`~repro.schema.schema.Schema`."""
+
+    def __init__(self, schemas: Iterable[Schema] = ()) -> None:
+        self._schemas: Dict[str, Schema] = {}
+        for schema in schemas:
+            self.register(schema)
+
+    def register(self, schema: Schema) -> Schema:
+        """Register ``schema``; names must be unique."""
+        if schema.name in self._schemas:
+            raise SchemaError(f"schema {schema.name!r} is already registered")
+        self._schemas[schema.name] = schema
+        return schema
+
+    def get(self, name: str) -> Schema:
+        """Return the schema called ``name``."""
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise SchemaError(f"unknown schema {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name in self._schemas
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def __iter__(self) -> Iterator[Schema]:
+        return iter(self._schemas.values())
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._schemas)
+
+    def common_attributes(self, first: str, second: str) -> Tuple[str, ...]:
+        """Attribute names shared (by exact name) between two schemas."""
+        a = set(self.get(first).attribute_names)
+        b = set(self.get(second).attribute_names)
+        return tuple(sorted(a & b))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SchemaRegistry(schemas={len(self)})"

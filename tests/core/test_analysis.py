@@ -1,0 +1,80 @@
+"""Unit tests for network evidence gathering."""
+
+import pytest
+
+from repro.core.analysis import analyze_neighborhood, analyze_network
+from repro.core.feedback import FeedbackKind
+from repro.generators.paper import intro_example_network
+from repro.generators.topologies import chain_network, cycle_network
+from repro.mapping.corruption import drop_correspondences
+
+
+@pytest.fixture(scope="module")
+def intro_network():
+    return intro_example_network(with_records=False)
+
+
+class TestAnalyzeNetwork:
+    def test_intro_network_has_positive_and_negative_evidence(self, intro_network):
+        evidence = analyze_network(intro_network, "Creator", ttl=4)
+        assert evidence.positive_count > 0
+        assert evidence.negative_count > 0
+        assert evidence.attribute == "Creator"
+
+    def test_negative_evidence_involves_the_faulty_mapping(self, intro_network):
+        evidence = analyze_network(intro_network, "Creator", ttl=4)
+        for feedback in evidence.feedbacks:
+            if feedback.kind is FeedbackKind.NEGATIVE:
+                assert "p2->p4" in feedback.mapping_names
+
+    def test_correct_attribute_has_no_negative_evidence(self, intro_network):
+        evidence = analyze_network(intro_network, "Title", ttl=4)
+        assert evidence.negative_count == 0
+        assert evidence.positive_count > 0
+
+    def test_correct_cycle_network_all_positive(self):
+        network = cycle_network(4)
+        evidence = analyze_network(network, network.attribute_universe()[0], ttl=5)
+        assert evidence.negative_count == 0
+        assert evidence.positive_count == 1
+
+    def test_chain_network_has_no_evidence(self):
+        network = chain_network(4)
+        evidence = analyze_network(network, network.attribute_universe()[0], ttl=5)
+        assert evidence.feedbacks == ()
+
+    def test_unmappable_rule(self, intro_network):
+        reduced, _ = drop_correspondences(
+            intro_network.mapping("p3->p4"), ["Creator"]
+        )
+        # Swap in the reduced correspondence set (test-only surgery).
+        intro_network.mapping("p3->p4")._by_source.clear()
+        intro_network.mapping("p3->p4")._by_source.update(reduced._by_source)
+        evidence = analyze_network(intro_network, "Creator", ttl=4)
+        assert "p3->p4" in evidence.unmappable
+
+    def test_mappings_with_evidence(self, intro_network):
+        evidence = analyze_network(intro_network, "Title", ttl=4)
+        assert "p2->p3" in evidence.mappings_with_evidence()
+
+    def test_parallel_paths_only_for_directed_networks(self, intro_network):
+        with_parallel = analyze_network(
+            intro_network, "Title", ttl=4, include_parallel_paths=True
+        )
+        without_parallel = analyze_network(
+            intro_network, "Title", ttl=4, include_parallel_paths=False
+        )
+        assert len(with_parallel.feedbacks) > len(without_parallel.feedbacks)
+
+
+class TestAnalyzeNeighborhood:
+    def test_neighborhood_view_is_subset_of_global_view(self, intro_network):
+        local = analyze_neighborhood(intro_network, "p2", "Title", ttl=4)
+        global_view = analyze_network(intro_network, "Title", ttl=4)
+        assert len(local.feedbacks) <= len(global_view.feedbacks)
+        for cycle in local.cycles:
+            assert cycle.origin == "p2"
+
+    def test_neighborhood_detects_the_fault_from_p2(self, intro_network):
+        local = analyze_neighborhood(intro_network, "p2", "Creator", ttl=4)
+        assert local.negative_count > 0

@@ -1,0 +1,202 @@
+"""Unit tests for the embedded decentralised message passing."""
+
+import pytest
+
+from repro.core.embedded import (
+    EmbeddedMessagePassing,
+    EmbeddedOptions,
+    MessageTransport,
+)
+from repro.core.beliefs import PriorBeliefStore
+from repro.core.pdms_factor_graph import build_factor_graph, variable_name_for
+from repro.exceptions import ConvergenceError, FeedbackError
+from repro.factorgraph.sum_product import run_sum_product
+from repro.generators.paper import (
+    figure4_feedbacks,
+    intro_example_feedbacks,
+    single_cycle_feedback,
+)
+
+
+class TestConstruction:
+    def test_requires_informative_feedback(self):
+        from repro.core.feedback import Feedback, FeedbackKind, StructureKind
+
+        neutral = Feedback(
+            identifier="n",
+            kind=FeedbackKind.NEUTRAL,
+            structure=StructureKind.CYCLE,
+            mapping_names=("a->b", "b->a"),
+            attribute="X",
+        )
+        with pytest.raises(FeedbackError):
+            EmbeddedMessagePassing([neutral])
+
+    def test_mapping_and_peer_inventories(self):
+        engine = EmbeddedMessagePassing(intro_example_feedbacks(), priors=0.5)
+        assert set(engine.mapping_names) == {
+            "p1->p2",
+            "p2->p3",
+            "p3->p4",
+            "p4->p1",
+            "p2->p4",
+        }
+        assert set(engine.peer_names) == {"p1", "p2", "p3", "p4"}
+        assert engine.owner_of("p2->p4") == "p2"
+
+    def test_options_validation(self):
+        with pytest.raises(FeedbackError):
+            EmbeddedOptions(max_rounds=0)
+        with pytest.raises(FeedbackError):
+            EmbeddedOptions(tolerance=0)
+
+    def test_transport_validation(self):
+        with pytest.raises(FeedbackError):
+            MessageTransport(send_probability=0.0)
+
+    def test_prior_store_constructor(self):
+        store = PriorBeliefStore()
+        store.set_prior("p2->p4", "Creator", 0.2)
+        engine = EmbeddedMessagePassing.from_prior_store(
+            intro_example_feedbacks(), store
+        )
+        assert engine._prior_vectors["p2->p4"][0] == pytest.approx(0.2)
+        assert engine._prior_vectors["p2->p3"][0] == pytest.approx(0.5)
+
+
+class TestSection45:
+    def test_posteriors_flag_the_faulty_mapping(self):
+        engine = EmbeddedMessagePassing(intro_example_feedbacks(), priors=0.5, delta=0.1)
+        result = engine.run()
+        assert result.converged
+        assert result.posteriors["p2->p4"] < 0.5
+        assert result.posteriors["p2->p3"] > 0.5
+        # Paper: 0.59 / 0.3 (exact); the embedded loopy estimate lands close.
+        assert result.posteriors["p2->p3"] == pytest.approx(0.59, abs=0.06)
+        assert result.posteriors["p2->p4"] == pytest.approx(0.30, abs=0.06)
+
+    def test_converges_in_a_handful_of_iterations(self):
+        engine = EmbeddedMessagePassing(
+            intro_example_feedbacks(),
+            priors=0.5,
+            delta=0.1,
+            options=EmbeddedOptions(tolerance=1e-3),
+        )
+        result = engine.run()
+        assert result.converged
+        assert result.iterations <= 15
+
+
+class TestEquivalenceWithCentralisedBP:
+    def test_fixed_point_matches_centralised_sum_product(self):
+        """The decentralised scheme exchanges exactly the messages of loopy
+        BP on the global factor graph, so the fixed points must agree."""
+        feedbacks = figure4_feedbacks()
+        engine = EmbeddedMessagePassing(
+            feedbacks, priors=0.7, delta=0.1, options=EmbeddedOptions(max_rounds=100, tolerance=1e-8)
+        )
+        embedded = engine.run().posteriors
+        graph = build_factor_graph(feedbacks, priors=0.7, delta=0.1).graph
+        centralised = run_sum_product(graph, max_iterations=200, tolerance=1e-10)
+        for mapping_name, posterior in embedded.items():
+            reference = centralised.probability_correct(
+                variable_name_for(mapping_name, "Creator")
+            )
+            assert posterior == pytest.approx(reference, abs=1e-3)
+
+    def test_tree_case_is_exact_after_two_rounds(self):
+        """Single-cycle factor graphs are trees: two rounds give the exact
+        marginals (paper §4.3)."""
+        from repro.factorgraph.exact import exact_marginals
+
+        feedback = single_cycle_feedback(4)
+        engine = EmbeddedMessagePassing(
+            [feedback], priors=0.5, delta=0.1, options=EmbeddedOptions(max_rounds=2, tolerance=1e-12)
+        )
+        result = engine.run()
+        graph = build_factor_graph([feedback], priors=0.5, delta=0.1).graph
+        exact = exact_marginals(graph)
+        for mapping_name, posterior in result.posteriors.items():
+            assert posterior == pytest.approx(
+                float(exact[variable_name_for(mapping_name, "Creator")][0]), abs=1e-9
+            )
+
+
+class TestMessageLoss:
+    def test_lossy_run_reaches_same_posteriors(self):
+        reliable = EmbeddedMessagePassing(
+            figure4_feedbacks(), priors=0.8, delta=0.1,
+            options=EmbeddedOptions(max_rounds=200, tolerance=1e-8),
+        ).run()
+        lossy = EmbeddedMessagePassing(
+            figure4_feedbacks(),
+            priors=0.8,
+            delta=0.1,
+            transport=MessageTransport(0.3, seed=11),
+            options=EmbeddedOptions(max_rounds=2000, tolerance=1e-8),
+        ).run()
+        assert lossy.converged
+        for name in reliable.posteriors:
+            assert lossy.posteriors[name] == pytest.approx(
+                reliable.posteriors[name], abs=0.01
+            )
+
+    def test_lossy_run_takes_more_iterations(self):
+        reliable = EmbeddedMessagePassing(
+            figure4_feedbacks(), priors=0.8, delta=0.1,
+            options=EmbeddedOptions(max_rounds=500, tolerance=1e-6),
+        ).run()
+        lossy = EmbeddedMessagePassing(
+            figure4_feedbacks(), priors=0.8, delta=0.1,
+            transport=MessageTransport(0.2, seed=5),
+            options=EmbeddedOptions(max_rounds=2000, tolerance=1e-6),
+        ).run()
+        assert lossy.iterations > reliable.iterations
+
+    def test_transport_statistics_recorded(self):
+        engine = EmbeddedMessagePassing(
+            figure4_feedbacks(), priors=0.8, delta=0.1,
+            transport=MessageTransport(0.5, seed=1),
+            options=EmbeddedOptions(max_rounds=20),
+        )
+        engine.run()
+        stats = engine.transport.statistics
+        assert stats.attempted > 0
+        assert stats.delivered + stats.dropped == stats.attempted
+        assert 0.2 < stats.delivery_rate < 0.8
+
+
+class TestControls:
+    def test_strict_mode_raises_on_non_convergence(self):
+        engine = EmbeddedMessagePassing(
+            figure4_feedbacks(),
+            priors=0.7,
+            delta=0.1,
+            options=EmbeddedOptions(max_rounds=1, tolerance=1e-12, strict=True),
+        )
+        with pytest.raises(ConvergenceError):
+            engine.run()
+
+    def test_history_recording(self):
+        engine = EmbeddedMessagePassing(
+            intro_example_feedbacks(), priors=0.5, delta=0.1,
+            options=EmbeddedOptions(max_rounds=10, record_history=True),
+        )
+        result = engine.run()
+        assert len(result.history) == result.iterations
+        trajectory = result.history_of("p2->p4")
+        assert len(trajectory) == result.iterations
+        assert trajectory[-1] == pytest.approx(result.posteriors["p2->p4"])
+
+    def test_partial_round_only_updates_selected_mappings(self):
+        engine = EmbeddedMessagePassing(intro_example_feedbacks(), priors=0.5, delta=0.1)
+        # Messages only for p2's outgoing mappings, as the lazy schedule does.
+        change = engine.run_round(mapping_names=["p2->p3", "p2->p4"])
+        assert change > 0.0
+        posteriors = engine.posteriors()
+        assert 0.0 <= posteriors["p2->p4"] <= 1.0
+
+    def test_probability_correct_accessor(self):
+        engine = EmbeddedMessagePassing(intro_example_feedbacks(), priors=0.5, delta=0.1)
+        result = engine.run()
+        assert result.probability_correct("p2->p4") == result.posteriors["p2->p4"]

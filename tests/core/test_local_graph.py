@@ -1,0 +1,84 @@
+"""Unit tests for per-peer local factor graphs."""
+
+import pytest
+
+from repro.core.local_graph import build_local_graphs, mapping_owner
+from repro.exceptions import FeedbackError, PDMSError
+from repro.generators.paper import figure4_feedbacks, intro_example_feedbacks
+
+
+class TestMappingOwner:
+    def test_owner_is_source_peer(self):
+        assert mapping_owner("p2->p3") == "p2"
+        assert mapping_owner("ref101->fr221") == "ref101"
+
+    def test_malformed_name_rejected(self):
+        with pytest.raises(PDMSError):
+            mapping_owner("not-a-mapping")
+
+
+class TestBuildLocalGraphs:
+    def test_every_owner_gets_a_fragment(self):
+        fragments = build_local_graphs(intro_example_feedbacks())
+        # Owners of the mappings in the §4.5 feedbacks: p1, p2, p3, p4.
+        assert set(fragments) == {"p1", "p2", "p3", "p4"}
+
+    def test_owned_mappings_are_outgoing(self):
+        fragments = build_local_graphs(intro_example_feedbacks())
+        assert set(fragments["p2"].owned_mappings) == {"p2->p3", "p2->p4"}
+        assert set(fragments["p1"].owned_mappings) == {"p1->p2"}
+
+    def test_fragment_holds_feedbacks_involving_owned_mappings(self):
+        fragments = build_local_graphs(intro_example_feedbacks())
+        p3_feedback_ids = {f.identifier for f in fragments["p3"].feedbacks}
+        # p3 owns p3->p4 which appears in f1 and f3=>.
+        assert p3_feedback_ids == {"f1", "f3=>"}
+
+    def test_remote_participants_point_to_other_owners(self):
+        fragments = build_local_graphs(intro_example_feedbacks())
+        remote = fragments["p2"].remote_participants
+        assert remote["f1"] == {"p1->p2": "p1", "p3->p4": "p3", "p4->p1": "p4"}
+        assert "p2->p3" not in remote["f1"]
+
+    def test_remote_peers_listed(self):
+        fragments = build_local_graphs(intro_example_feedbacks())
+        assert set(fragments["p2"].remote_peers) == {"p1", "p3", "p4"}
+
+    def test_feedbacks_for_mapping(self):
+        fragments = build_local_graphs(intro_example_feedbacks())
+        ids = {f.identifier for f in fragments["p2"].feedbacks_for("p2->p4")}
+        assert ids == {"f2", "f3=>"}
+
+    def test_explicit_owner_override(self):
+        owners = {name: "hub" for f in figure4_feedbacks() for name in f.mapping_names}
+        fragments = build_local_graphs(figure4_feedbacks(), owners=owners)
+        assert set(fragments) == {"hub"}
+        assert len(fragments["hub"].owned_mappings) == 5
+        assert fragments["hub"].remote_peers == ()
+
+    def test_requires_informative_feedback(self):
+        from repro.core.feedback import Feedback, FeedbackKind, StructureKind
+
+        neutral = Feedback(
+            identifier="n",
+            kind=FeedbackKind.NEUTRAL,
+            structure=StructureKind.CYCLE,
+            mapping_names=("a->b", "b->a"),
+            attribute="X",
+        )
+        with pytest.raises(FeedbackError):
+            build_local_graphs([neutral])
+
+    def test_materialised_factor_graph_matches_figure6(self):
+        """Figure 6: p1's local graph for the directed example has its owned
+        variable (p1->p2 here, m12 in the paper), its prior, and the replicas
+        of the feedback factors involving it, spanning the remote variables."""
+        fragments = build_local_graphs(intro_example_feedbacks())
+        graph = fragments["p1"].to_factor_graph(priors=0.5, delta=0.1)
+        assert graph.has_variable("m[p1->p2]@Creator")
+        assert graph.has_factor("prior(m[p1->p2]@Creator)")
+        # Remote variables appear but carry no prior factor locally.
+        assert graph.has_variable("m[p2->p3]@Creator")
+        assert not graph.has_factor("prior(m[p2->p3]@Creator)")
+        assert graph.has_factor("feedback(f1)")
+        assert graph.has_factor("feedback(f2)")

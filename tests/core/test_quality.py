@@ -1,0 +1,110 @@
+"""Unit tests for the mapping quality assessor (the user-facing pipeline)."""
+
+import pytest
+
+from repro.core.beliefs import PriorBeliefStore
+from repro.core.quality import MappingQualityAssessor
+from repro.exceptions import ReproError
+from repro.generators.paper import intro_example_network
+from repro.pdms.query import Query, substring_predicate
+from repro.pdms.routing import RoutingPolicy
+
+
+@pytest.fixture(scope="module")
+def assessor():
+    network = intro_example_network(with_records=True)
+    assessor = MappingQualityAssessor(network, delta=0.1, ttl=4, seed=0)
+    assessor.assess_attribute("Creator")
+    return assessor
+
+
+class TestAssessment:
+    def test_faulty_mapping_gets_low_probability(self, assessor):
+        assert assessor.probability("p2->p4", "Creator") < 0.5
+        assert assessor.probability("p2->p3", "Creator") > 0.5
+
+    def test_is_erroneous_decision(self, assessor):
+        assert assessor.is_erroneous("p2->p4", "Creator", theta=0.5)
+        assert not assessor.is_erroneous("p2->p3", "Creator", theta=0.5)
+
+    def test_invalid_theta_rejected(self, assessor):
+        with pytest.raises(ReproError):
+            assessor.is_erroneous("p2->p4", "Creator", theta=1.5)
+
+    def test_flagged_mappings(self, assessor):
+        assert assessor.flagged_mappings("Creator", theta=0.5) == ("p2->p4",)
+
+    def test_assessment_is_cached(self, assessor):
+        first = assessor.assessment("Creator")
+        second = assessor.assessment("Creator")
+        assert first is second
+
+    def test_attribute_without_negative_evidence_all_above_threshold(self, assessor):
+        assessment = assessor.assess_attribute("Title")
+        assert all(value > 0.5 for value in assessment.posteriors.values())
+        assert assessor.flagged_mappings("Title", theta=0.5) == ()
+
+    def test_probability_accepts_mapping_objects(self, assessor):
+        mapping = assessor.network.mapping("p2->p4")
+        assert assessor.probability(mapping, "Creator") < 0.5
+
+    def test_probability_falls_back_to_prior_without_evidence(self):
+        from repro.mapping.mapping import Mapping
+        from repro.pdms.peer import Peer
+        from repro.schema.schema import Schema
+
+        network = intro_example_network(with_records=False)
+        # Add a dangling peer reachable only through one mapping: that
+        # mapping participates in no cycle or parallel path, so it has no
+        # evidence and must keep its prior.
+        network.add_peer(Peer("p5", Schema.from_names("p5", ["Creator", "Title"])))
+        network.add_mapping(
+            Mapping.from_pairs("p3", "p5", {"Creator": "Creator", "Title": "Title"}),
+            bidirectional=False,
+        )
+        priors = PriorBeliefStore(default_prior=0.8)
+        assessor = MappingQualityAssessor(network, priors=priors, delta=0.1, ttl=4)
+        assessor.assess_attribute("Creator")
+        assert assessor.probability("p3->p5", "Creator") == pytest.approx(0.8)
+
+    def test_assess_all_attributes_covers_schema_universe(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=3)
+        assessments = assessor.assess_attributes(["Creator", "Title"])
+        assert set(assessments) == {"Creator", "Title"}
+
+    def test_derived_delta_from_schema_size(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=None, ttl=3)
+        assert assessor._delta_for("Creator") == pytest.approx(0.1)
+
+
+class TestRoutingIntegration:
+    def test_router_blocks_faulty_mapping(self, assessor):
+        router = assessor.router(policy=RoutingPolicy(default_threshold=0.5))
+        query = Query.select_project(
+            "p2",
+            project=["Creator"],
+            where={"Subject": substring_predicate("river")},
+        )
+        trace = router.route(query)
+        assert "p2->p4" in {hop.mapping_name for hop in trace.blocked_hops}
+        assert set(trace.visited_peers) == {"p1", "p2", "p3", "p4"}
+
+    def test_oracle_signature(self, assessor):
+        oracle = assessor.as_oracle()
+        mapping = assessor.network.mapping("p2->p3")
+        assert 0.0 <= oracle(mapping, "Creator") <= 1.0
+
+
+class TestPriorUpdates:
+    def test_update_priors_folds_posteriors(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        assessor.assess_attribute("Creator")
+        updated = assessor.update_priors(["Creator"])
+        assert updated[("p2->p4", "Creator")] < 0.5
+        assert assessor.priors.prior("p2->p4", "Creator") < 0.5
+        # Updated priors feed the next assessment round.
+        second = assessor.assess_attribute("Creator")
+        assert second.posteriors["p2->p4"] < 0.5

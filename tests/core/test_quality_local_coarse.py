@@ -1,0 +1,58 @@
+"""Tests for the per-peer local assessment and the coarse-granularity mode."""
+
+import pytest
+
+from repro.core.quality import MappingQualityAssessor
+from repro.generators.paper import intro_example_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return intro_example_network(with_records=False)
+
+
+class TestAssessLocal:
+    def test_local_view_flags_p2s_faulty_mapping(self, network):
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        local = assessor.assess_local("p2", "Creator")
+        # Only p2's own outgoing mappings are returned.
+        assert set(local) <= {"p2->p1", "p2->p3", "p2->p4"}
+        assert local["p2->p4"] < 0.5
+        assert local["p2->p3"] > 0.5
+
+    def test_local_view_without_evidence_returns_priors(self, network):
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=1)
+        # TTL 1 discovers no cycle or parallel path at all.
+        local = assessor.assess_local("p2", "Creator")
+        assert local
+        assert all(value == pytest.approx(0.5) for value in local.values())
+
+    def test_local_view_respects_parallel_path_switch(self, network):
+        cycles_only = MappingQualityAssessor(
+            network, delta=0.1, ttl=4, include_parallel_paths=False
+        ).assess_local("p2", "Creator")
+        with_paths = MappingQualityAssessor(
+            network, delta=0.1, ttl=4, include_parallel_paths=True
+        ).assess_local("p2", "Creator")
+        # Both views agree on the verdict even if the exact numbers differ.
+        assert cycles_only["p2->p4"] < 0.5
+        assert with_paths["p2->p4"] < 0.5
+
+
+class TestCoarseGranularity:
+    def test_faulty_mapping_scores_below_clean_ones(self, network):
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        for attribute in ("Creator", "Title", "Subject"):
+            assessor.assess_attribute(attribute)
+        faulty = assessor.assess_mapping("p2->p4", attributes=("Creator", "Title", "Subject"))
+        clean = assessor.assess_mapping("p2->p3", attributes=("Creator", "Title", "Subject"))
+        assert faulty < clean
+        # The faulty mapping is only wrong for one of its eleven attributes,
+        # so its coarse score sits between "all wrong" and "all right".
+        assert 0.3 < faulty < 0.95
+        assert clean > 0.9
+
+    def test_defaults_to_all_mapped_attributes(self, network):
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=3)
+        value = assessor.assess_mapping("p2->p3")
+        assert 0.0 <= value <= 1.0

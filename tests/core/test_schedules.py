@@ -1,0 +1,101 @@
+"""Unit tests for the periodic and lazy message-passing schedules."""
+
+import pytest
+
+from repro.core.embedded import EmbeddedMessagePassing, EmbeddedOptions
+from repro.core.schedules import LazySchedule, PeriodicSchedule
+from repro.exceptions import ReproError
+from repro.generators.paper import intro_example_feedbacks, intro_example_network
+from repro.pdms.query import Query, substring_predicate
+from repro.pdms.routing import QueryRouter, RoutingPolicy
+
+
+def make_engine(**options):
+    return EmbeddedMessagePassing(
+        intro_example_feedbacks(),
+        priors=0.5,
+        delta=0.1,
+        options=EmbeddedOptions(max_rounds=200, **options),
+    )
+
+
+class TestPeriodicSchedule:
+    def test_runs_until_convergence(self):
+        schedule = PeriodicSchedule(make_engine(), tau=5.0)
+        report = schedule.run(periods=100, tolerance=1e-3)
+        assert report.converged
+        assert report.rounds < 100
+        assert report.elapsed_time == pytest.approx(report.rounds * 5.0)
+
+    def test_message_accounting(self):
+        engine = make_engine()
+        schedule = PeriodicSchedule(engine, tau=1.0)
+        report = schedule.run(periods=3, tolerance=1e-12, stop_on_convergence=False)
+        assert report.rounds == 3
+        assert report.messages_attempted > 0
+        assert report.messages_per_round == pytest.approx(report.messages_attempted / 3)
+
+    def test_estimated_messages_per_period(self):
+        engine = make_engine()
+        schedule = PeriodicSchedule(engine, tau=1.0)
+        # Paper bound: Σ_ci (l_ci − 1) over the structures through the peer.
+        # p2 participates in f1 (length 4 → 3 remote messages), f2 (3 → 2)
+        # and f3=> (3 mappings, 2 of them owned by p2 → 2 remote messages).
+        assert schedule.estimated_messages_per_period("p2") == 7
+        assert schedule.estimated_messages_per_period("unknown-peer") == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            PeriodicSchedule(make_engine(), tau=0.0)
+        with pytest.raises(ReproError):
+            PeriodicSchedule(make_engine(), tau=1.0).run(periods=0)
+
+    def test_posterior_history_recorded(self):
+        schedule = PeriodicSchedule(make_engine(), tau=1.0)
+        report = schedule.run(periods=5, tolerance=1e-12, stop_on_convergence=False)
+        assert len(report.posterior_history) == 5
+
+
+class TestLazySchedule:
+    def _traces(self, count=40, seed=3):
+        import random
+
+        network = intro_example_network(with_records=True)
+        router = QueryRouter(network, policy=RoutingPolicy(default_threshold=0.0))
+        rng = random.Random(seed)
+        traces = []
+        for _ in range(count):
+            origin = rng.choice(network.peer_names)
+            query = Query.select_project(
+                origin,
+                project=["Creator"],
+                where={"Subject": substring_predicate("river")},
+            )
+            traces.append(router.route(query, origin=origin))
+        return traces
+
+    def test_piggybacking_converges_to_the_same_posteriors(self):
+        reference = make_engine().run().posteriors
+        lazy_engine = make_engine()
+        schedule = LazySchedule(lazy_engine)
+        report = schedule.process_traces(self._traces(count=80), tolerance=1e-4)
+        assert report.rounds > 1
+        for name, value in lazy_engine.posteriors().items():
+            assert value == pytest.approx(reference[name], abs=0.05)
+
+    def test_only_traversed_mappings_trigger_messages(self):
+        lazy_engine = make_engine()
+        schedule = LazySchedule(lazy_engine)
+        trace = self._traces(count=1)[0]
+        schedule.process_trace(trace)
+        assert schedule.processed_queries == 1
+        assert schedule.piggybacked_mappings <= len(trace.used_mappings())
+
+    def test_trace_without_known_mappings_is_a_noop(self):
+        lazy_engine = make_engine()
+        schedule = LazySchedule(lazy_engine)
+        from repro.pdms.trace import QueryTrace
+
+        empty_trace = QueryTrace(query_id=1, origin="p2")
+        assert schedule.process_trace(empty_trace) == 0.0
+        assert schedule.piggybacked_mappings == 0

@@ -1,0 +1,127 @@
+"""Tests for the per-figure experiment runners (shapes of the paper's results).
+
+These are the slowest tests in the suite; they use reduced parameter grids
+compared to the benchmark harness but check the same qualitative claims.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import (
+    run_baseline_comparison,
+    run_convergence,
+    run_cycle_length,
+    run_fault_tolerance,
+    run_intro_example,
+    run_real_world,
+    run_relative_error,
+    run_schedule_comparison,
+)
+
+
+class TestIntroExample:
+    def test_reproduces_section_45(self):
+        result = run_intro_example()
+        assert result.converged
+        # Paper (exact): 0.59 / 0.30 — the embedded loopy estimates are close.
+        assert result.posteriors["p2->p3"] == pytest.approx(0.59, abs=0.06)
+        assert result.posteriors["p2->p4"] == pytest.approx(0.30, abs=0.06)
+        # Updated priors move towards 0.55 / 0.40.
+        assert result.updated_priors["p2->p3"] > 0.5
+        assert result.updated_priors["p2->p4"] < 0.5
+        # Routing: the faulty mapping is blocked and false positives vanish.
+        assert "p2->p4" in result.blocked_mappings
+        assert result.standard_false_positive_count >= 1
+        assert result.aware_false_positive_count == 0
+
+
+class TestConvergence:
+    def test_figure7_shape(self):
+        result = run_convergence()
+        assert result.converged
+        # "converges to approximate results in ten iterations usually"
+        assert result.iterations <= 15
+        # Correct mappings end high, the faulty one ends low.
+        assert result.final_posteriors["p2->p4"] < 0.3
+        assert result.final_posteriors["p2->p3"] > 0.7
+        # History has one entry per iteration for each mapping.
+        assert len(result.history["p2->p4"]) == result.iterations
+
+
+class TestRelativeError:
+    def test_figure9_shape(self):
+        result = run_relative_error(extra_peer_range=range(0, 4))
+        errors = dict(result.points)
+        # Error is largest for the shortest cycles and never reaches ~6%.
+        assert errors[4] == max(errors.values())
+        assert result.max_error < 0.065
+        assert errors[min(errors)] > errors[max(errors)]
+
+
+class TestCycleLength:
+    def test_figure10_shape(self):
+        result = run_cycle_length(lengths=(2, 5, 10, 20), deltas=(0.01, 0.1))
+        for delta, points in result.series.items():
+            values = dict(points)
+            assert values[2] > values[5] > values[10] - 1e-9
+            assert abs(values[20] - 0.5) < 0.02
+        # Smaller Δ keeps evidence informative for longer cycles.
+        assert dict(result.series[0.01])[10] > dict(result.series[0.1])[10]
+
+
+class TestFaultTolerance:
+    def test_figure11_shape(self):
+        result = run_fault_tolerance(
+            send_probabilities=(1.0, 0.5, 0.2), repetitions=3, max_rounds=400
+        )
+        iterations = {p: i for p, i, _ in result.points}
+        convergence = {p: c for p, _, c in result.points}
+        # Always converges, even with 80% of messages dropped...
+        assert all(c == 1.0 for c in convergence.values())
+        # ...but needs more iterations the more messages are lost.
+        assert iterations[0.2] > iterations[0.5] > iterations[1.0]
+
+
+class TestRealWorld:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_real_world(thetas=(0.2, 0.5, 0.8))
+
+    def test_figure12_scale(self, result):
+        assert 300 <= result.correspondence_count <= 500
+        assert 40 <= result.erroneous_count <= 120
+
+    def test_figure12_precision_shape(self, result):
+        # High precision at low θ; still high (but not better) at large θ.
+        # The exact ordering between nearby θ values is subject to
+        # small-sample noise, hence the tolerance.
+        assert result.precision_at(0.2) >= 0.8
+        assert result.precision_at(0.2) >= result.precision_at(0.8) - 0.1
+        # Far better than random guessing (error rate ~17%).
+        random_precision = result.erroneous_count / result.correspondence_count
+        assert result.precision_at(0.8) > random_precision * 2
+
+    def test_posteriors_cover_scored_pairs(self, result):
+        assert len(result.posteriors) > 0
+        for key in result.posteriors:
+            assert key in result.scenario.ground_truth
+
+
+class TestAblations:
+    def test_baseline_comparison(self):
+        result = run_baseline_comparison()
+        # Probabilistic scheme flags exactly the faulty mapping...
+        assert result.probabilistic_flagged == ("p2->p4",)
+        assert result.probabilistic.precision == 1.0
+        assert result.probabilistic.recall == 1.0
+        # ...while the Chatty-Web heuristic drags innocent mappings with it.
+        assert len(result.baseline_flagged) > 1
+        assert result.baseline.precision < result.probabilistic.precision
+
+    def test_schedule_comparison(self):
+        result = run_schedule_comparison(query_count=40)
+        assert result.periodic_rounds > 0
+        assert result.lazy_rounds > 0
+        assert result.periodic_messages > 0
+        # Both schedules identify the same faulty mapping.
+        assert result.periodic_posteriors["p2->p4"] < 0.5
+        assert result.lazy_posteriors["p2->p4"] < 0.5

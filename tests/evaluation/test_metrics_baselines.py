@@ -1,0 +1,142 @@
+"""Unit tests for detection metrics, baselines and reporting helpers."""
+
+import pytest
+
+from repro.evaluation.baselines import chatty_web_baseline, random_guess_baseline
+from repro.evaluation.metrics import (
+    ConfusionCounts,
+    DetectionMetrics,
+    precision_curve,
+    score_detection,
+)
+from repro.evaluation.reporting import format_comparison, format_series, format_table
+from repro.evaluation.convergence import iterations_to_converge, trajectory_stats
+from repro.exceptions import EvaluationError
+from repro.generators.paper import intro_example_feedbacks
+
+
+class TestConfusionCounts:
+    def test_derived_counts(self):
+        counts = ConfusionCounts(true_positives=3, false_positives=1, false_negatives=2, true_negatives=4)
+        assert counts.flagged == 4
+        assert counts.actual_errors == 5
+        assert counts.total == 10
+
+
+class TestDetectionMetrics:
+    def test_from_counts(self):
+        counts = ConfusionCounts(3, 1, 2, 4)
+        metrics = DetectionMetrics.from_counts(counts)
+        assert metrics.precision == pytest.approx(0.75)
+        assert metrics.recall == pytest.approx(0.6)
+        assert metrics.f1 == pytest.approx(2 * 0.75 * 0.6 / 1.35)
+
+    def test_zero_flagged_gives_zero_precision(self):
+        metrics = DetectionMetrics.from_counts(ConfusionCounts(0, 0, 3, 5))
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+
+class TestScoreDetection:
+    GROUND_TRUTH = {
+        ("a->b", "X"): False,
+        ("b->c", "X"): True,
+        ("c->d", "X"): True,
+        ("d->e", "X"): False,
+    }
+
+    def test_perfect_detector(self):
+        posteriors = {
+            ("a->b", "X"): 0.1,
+            ("b->c", "X"): 0.9,
+            ("c->d", "X"): 0.8,
+            ("d->e", "X"): 0.2,
+        }
+        metrics = score_detection(posteriors, self.GROUND_TRUTH, theta=0.5)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+
+    def test_over_eager_detector_loses_precision(self):
+        posteriors = {key: 0.1 for key in self.GROUND_TRUTH}
+        metrics = score_detection(posteriors, self.GROUND_TRUTH, theta=0.5)
+        assert metrics.precision == pytest.approx(0.5)
+        assert metrics.recall == 1.0
+
+    def test_missing_posterior_counts_as_not_flagged(self):
+        posteriors = {("a->b", "X"): 0.1}
+        metrics = score_detection(posteriors, self.GROUND_TRUTH, theta=0.5)
+        assert metrics.counts.false_negatives == 1
+        assert metrics.recall == pytest.approx(0.5)
+
+    def test_empty_ground_truth_rejected(self):
+        with pytest.raises(EvaluationError):
+            score_detection({}, {}, theta=0.5)
+
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(EvaluationError):
+            score_detection({}, self.GROUND_TRUTH, theta=1.5)
+
+    def test_precision_curve_covers_all_thetas(self):
+        posteriors = {key: 0.3 for key in self.GROUND_TRUTH}
+        curve = precision_curve(posteriors, self.GROUND_TRUTH, thetas=(0.1, 0.5, 0.9))
+        assert [theta for theta, _ in curve] == [0.1, 0.5, 0.9]
+
+
+class TestBaselines:
+    def test_chatty_web_disqualifies_every_mapping_in_negative_structures(self):
+        verdicts = chatty_web_baseline(intro_example_feedbacks())
+        assert verdicts[("p2->p4", "Creator")] == 0.0
+        # The paper's point: the heuristic also disqualifies innocent
+        # mappings that happen to sit on a negative cycle.
+        assert verdicts[("p1->p2", "Creator")] == 0.0
+        assert verdicts[("p2->p3", "Creator")] == 0.0
+
+    def test_random_guess_baseline_is_deterministic_per_seed(self):
+        keys = [("a->b", "X"), ("b->c", "X"), ("c->d", "X")]
+        assert random_guess_baseline(keys, seed=1) == random_guess_baseline(keys, seed=1)
+
+    def test_random_guess_flag_probability_extremes(self):
+        keys = [("a->b", "X"), ("b->c", "X")]
+        assert set(random_guess_baseline(keys, flag_probability=1.0).values()) == {0.0}
+        assert set(random_guess_baseline(keys, flag_probability=0.0).values()) == {1.0}
+
+
+class TestConvergenceHelpers:
+    def test_iterations_to_converge(self):
+        assert iterations_to_converge([0.5, 0.7, 0.8, 0.8001, 0.8001], tolerance=1e-2) == 3
+        assert iterations_to_converge([0.5], tolerance=1e-3) == 1
+
+    def test_never_settling_trajectory(self):
+        assert iterations_to_converge([0.1, 0.9, 0.1, 0.9], tolerance=1e-3) == 4
+
+    def test_empty_trajectory_rejected(self):
+        with pytest.raises(EvaluationError):
+            iterations_to_converge([])
+
+    def test_trajectory_stats(self):
+        stats = trajectory_stats([0.5, 0.6, 0.65, 0.66])
+        assert stats.iterations == 4
+        assert stats.final_value == pytest.approx(0.66)
+        assert stats.largest_step == pytest.approx(0.1)
+        assert stats.monotonic
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(("theta", "precision"), [(0.1, 1.0), (0.5, 0.9)], title="Fig 12")
+        lines = table.splitlines()
+        assert lines[0] == "Fig 12"
+        assert "theta" in lines[1]
+        assert "0.900" in table
+
+    def test_format_series(self):
+        series = format_series("convergence", [(1, 0.5)], x_label="iter", y_label="P")
+        assert "iter" in series
+        assert "0.500" in series
+
+    def test_format_comparison(self):
+        line = format_comparison("posterior", 0.59, 0.56, note="loopy estimate")
+        assert "paper=0.590" in line
+        assert "measured=0.560" in line
+        assert "loopy estimate" in line

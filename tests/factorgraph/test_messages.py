@@ -1,0 +1,62 @@
+"""Unit tests for repro.factorgraph.messages."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FactorGraphError
+from repro.factorgraph.messages import (
+    MessageStore,
+    message_distance,
+    normalize,
+    unit_message,
+)
+
+
+class TestNormalize:
+    def test_normalizes_to_unit_sum(self):
+        assert normalize(np.array([2.0, 6.0])) == pytest.approx([0.25, 0.75])
+
+    def test_zero_vector_becomes_uniform(self):
+        assert normalize(np.array([0.0, 0.0])) == pytest.approx([0.5, 0.5])
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(FactorGraphError):
+            normalize(np.array([-1.0, 2.0]))
+
+    def test_already_normalized_unchanged(self):
+        vector = np.array([0.3, 0.7])
+        assert normalize(vector) == pytest.approx(vector)
+
+
+class TestUnitMessage:
+    def test_uniform(self):
+        assert unit_message(2) == pytest.approx([0.5, 0.5])
+        assert unit_message(4) == pytest.approx([0.25] * 4)
+
+
+class TestMessageDistance:
+    def test_identical_messages_have_zero_distance(self):
+        a = np.array([0.4, 0.6])
+        assert message_distance(a, a) == 0.0
+
+    def test_distance_is_max_abs_difference(self):
+        assert message_distance(np.array([0.4, 0.6]), np.array([0.1, 0.9])) == pytest.approx(0.3)
+
+
+class TestMessageStore:
+    def test_initialized_with_unit_messages(self):
+        store = MessageStore.initialized([("f", "x", 2), ("f", "y", 2)])
+        assert store.factor_to_variable[("f", "x")] == pytest.approx([0.5, 0.5])
+        assert store.variable_to_factor[("f", "y")] == pytest.approx([0.5, 0.5])
+
+    def test_copy_is_independent(self):
+        store = MessageStore.initialized([("f", "x", 2)])
+        copy = store.copy()
+        store.factor_to_variable[("f", "x")][0] = 0.9
+        assert copy.factor_to_variable[("f", "x")][0] == pytest.approx(0.5)
+
+    def test_max_change_from(self):
+        store = MessageStore.initialized([("f", "x", 2)])
+        copy = store.copy()
+        store.factor_to_variable[("f", "x")] = np.array([0.9, 0.1])
+        assert store.max_change_from(copy) == pytest.approx(0.4)

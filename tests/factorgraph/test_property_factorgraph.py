@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the factor-graph engine.
+
+The invariants checked here are the ones the rest of the library leans on:
+messages stay normalised, sum–product on trees equals exact inference, and
+loopy BP fixed points are insensitive to damping.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.factorgraph.exact import exact_marginals
+from repro.factorgraph.factors import Factor, prior_factor
+from repro.factorgraph.graph import FactorGraph
+from repro.factorgraph.messages import normalize, unit_message
+from repro.factorgraph.sum_product import run_sum_product
+from repro.factorgraph.variables import BinaryVariable
+
+probabilities = st.floats(min_value=0.01, max_value=0.99)
+positive_entries = st.floats(min_value=0.01, max_value=10.0)
+
+
+@given(st.lists(positive_entries, min_size=2, max_size=6))
+def test_normalize_produces_a_distribution(entries):
+    vector = normalize(np.array(entries))
+    assert float(np.sum(vector)) == pytest.approx(1.0)
+    assert np.all(vector >= 0)
+
+
+@given(st.integers(min_value=2, max_value=8))
+def test_unit_message_is_uniform(cardinality):
+    message = unit_message(cardinality)
+    assert message == pytest.approx([1.0 / cardinality] * cardinality)
+
+
+@given(probabilities)
+@settings(max_examples=30, deadline=None)
+def test_single_variable_posterior_equals_prior(prior):
+    graph = FactorGraph()
+    x = graph.add_variable(BinaryVariable("x"))
+    graph.add_factor(prior_factor(x, prior))
+    result = run_sum_product(graph)
+    assert result.probability_correct("x") == pytest.approx(prior, abs=1e-6)
+
+
+@given(
+    st.lists(probabilities, min_size=2, max_size=5),
+    st.lists(positive_entries, min_size=4, max_size=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_chain_sum_product_matches_exact(priors, link_entries):
+    """On a tree (chain) factor graph, loopy BP must be exact."""
+    graph = FactorGraph()
+    variables = [
+        graph.add_variable(BinaryVariable(f"x{i}")) for i in range(len(priors))
+    ]
+    for variable, prior in zip(variables, priors):
+        graph.add_factor(prior_factor(variable, prior))
+    link = np.array(link_entries, dtype=float).reshape(2, 2)
+    for first, second in zip(variables, variables[1:]):
+        graph.add_factor(Factor(f"link({first.name},{second.name})", (first, second), link))
+    assert graph.is_tree()
+    result = run_sum_product(graph, max_iterations=50)
+    exact = exact_marginals(graph)
+    for name in exact:
+        assert result.marginals[name] == pytest.approx(exact[name], abs=1e-5)
+
+
+@given(
+    st.lists(probabilities, min_size=3, max_size=3),
+    probabilities,
+)
+@settings(max_examples=20, deadline=None)
+def test_loopy_fixed_point_independent_of_damping(priors, agreement):
+    """Damping changes the trajectory, not the fixed point."""
+    agree = np.array([[agreement, 1 - agreement], [1 - agreement, agreement]])
+    graph = FactorGraph()
+    variables = [graph.add_variable(BinaryVariable(f"x{i}")) for i in range(3)]
+    for variable, prior in zip(variables, priors):
+        graph.add_factor(prior_factor(variable, prior))
+    for i in range(3):
+        first, second = variables[i], variables[(i + 1) % 3]
+        graph.add_factor(Factor(f"pair{i}", (first, second), agree))
+    plain = run_sum_product(graph, max_iterations=500, tolerance=1e-9)
+    damped = run_sum_product(graph, max_iterations=500, tolerance=1e-9, damping=0.4)
+    if plain.converged and damped.converged:
+        for name in plain.marginals:
+            assert plain.marginals[name] == pytest.approx(damped.marginals[name], abs=1e-4)
+
+
+@given(st.lists(probabilities, min_size=2, max_size=4))
+@settings(max_examples=25, deadline=None)
+def test_marginals_are_distributions(priors):
+    graph = FactorGraph()
+    variables = [
+        graph.add_variable(BinaryVariable(f"x{i}")) for i in range(len(priors))
+    ]
+    for variable, prior in zip(variables, priors):
+        graph.add_factor(prior_factor(variable, prior))
+    result = run_sum_product(graph)
+    for marginal in result.marginals.values():
+        assert float(np.sum(marginal)) == pytest.approx(1.0)
+        assert np.all(marginal >= 0.0)

@@ -1,0 +1,149 @@
+"""Unit tests for the loopy sum–product engine."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, FactorGraphError
+from repro.factorgraph.exact import exact_marginals
+from repro.factorgraph.factors import Factor, prior_factor
+from repro.factorgraph.graph import FactorGraph
+from repro.factorgraph.sum_product import SumProduct, SumProductOptions, run_sum_product
+from repro.factorgraph.variables import BinaryVariable
+
+
+def single_variable_graph(prior=0.7):
+    graph = FactorGraph("single")
+    x = graph.add_variable(BinaryVariable("x"))
+    graph.add_factor(prior_factor(x, prior))
+    return graph
+
+
+def tree_graph():
+    """Prior on x1 plus a correlation factor linking x1 and x2."""
+    graph = FactorGraph("tree")
+    x1 = graph.add_variable(BinaryVariable("x1"))
+    x2 = graph.add_variable(BinaryVariable("x2"))
+    graph.add_factor(prior_factor(x1, 0.9))
+    # x2 strongly follows x1.
+    graph.add_factor(Factor("link", (x1, x2), np.array([[0.9, 0.1], [0.1, 0.9]])))
+    return graph
+
+
+def loopy_graph():
+    """Three variables pairwise linked — one loop."""
+    graph = FactorGraph("loop")
+    a = graph.add_variable(BinaryVariable("a"))
+    b = graph.add_variable(BinaryVariable("b"))
+    c = graph.add_variable(BinaryVariable("c"))
+    agree = np.array([[0.8, 0.2], [0.2, 0.8]])
+    graph.add_factor(prior_factor(a, 0.7))
+    graph.add_factor(Factor("ab", (a, b), agree))
+    graph.add_factor(Factor("bc", (b, c), agree))
+    graph.add_factor(Factor("ca", (c, a), agree))
+    return graph
+
+
+class TestOptionsValidation:
+    def test_bad_max_iterations(self):
+        with pytest.raises(FactorGraphError):
+            SumProductOptions(max_iterations=0)
+
+    def test_bad_damping(self):
+        with pytest.raises(FactorGraphError):
+            SumProductOptions(damping=1.0)
+
+    def test_bad_send_probability(self):
+        with pytest.raises(FactorGraphError):
+            SumProductOptions(send_probability=0.0)
+
+    def test_bad_tolerance(self):
+        with pytest.raises(FactorGraphError):
+            SumProductOptions(tolerance=0.0)
+
+
+class TestExactnessOnTrees:
+    def test_single_variable_marginal_equals_prior(self):
+        result = run_sum_product(single_variable_graph(0.7))
+        assert result.probability_correct("x") == pytest.approx(0.7, abs=1e-6)
+
+    def test_tree_matches_exact_inference(self):
+        graph = tree_graph()
+        result = run_sum_product(graph)
+        exact = exact_marginals(graph)
+        for name, marginal in exact.items():
+            assert result.marginals[name] == pytest.approx(marginal, abs=1e-6)
+
+    def test_tree_converges_quickly(self):
+        result = run_sum_product(tree_graph())
+        assert result.converged
+        assert result.iterations <= 5
+
+
+class TestLoopyBehaviour:
+    def test_loopy_graph_converges(self):
+        result = run_sum_product(loopy_graph(), max_iterations=200)
+        assert result.converged
+
+    def test_loopy_result_close_to_exact(self):
+        graph = loopy_graph()
+        result = run_sum_product(graph, max_iterations=200)
+        exact = exact_marginals(graph)
+        for name in exact:
+            assert abs(result.probability_correct(name) - float(exact[name][0])) < 0.1
+
+    def test_damping_reaches_same_fixed_point(self):
+        graph = loopy_graph()
+        plain = run_sum_product(graph, max_iterations=300)
+        damped = run_sum_product(graph, max_iterations=300, damping=0.5)
+        for name in plain.marginals:
+            assert plain.marginals[name] == pytest.approx(damped.marginals[name], abs=1e-3)
+
+    def test_strict_mode_raises_when_not_converged(self):
+        with pytest.raises(ConvergenceError):
+            run_sum_product(loopy_graph(), max_iterations=1, strict=True)
+
+
+class TestMessageLoss:
+    def test_lossy_run_still_converges_to_same_beliefs(self):
+        graph = loopy_graph()
+        reliable = run_sum_product(graph, max_iterations=300)
+        lossy = run_sum_product(
+            graph, max_iterations=2000, send_probability=0.5, seed=7
+        )
+        assert lossy.converged
+        for name in reliable.marginals:
+            assert lossy.marginals[name] == pytest.approx(
+                reliable.marginals[name], abs=5e-3
+            )
+
+    def test_lossy_run_needs_more_iterations(self):
+        graph = loopy_graph()
+        reliable = run_sum_product(graph, max_iterations=500, tolerance=1e-7)
+        lossy = run_sum_product(
+            graph, max_iterations=2000, tolerance=1e-7, send_probability=0.3, seed=3
+        )
+        assert lossy.iterations > reliable.iterations
+
+
+class TestResultAccessors:
+    def test_history_recorded_when_requested(self):
+        result = run_sum_product(loopy_graph(), max_iterations=20, record_history=True)
+        assert len(result.history) == result.iterations
+        trajectory = result.history_of("a")
+        assert len(trajectory) == result.iterations
+        assert all(0.0 <= value <= 1.0 for value in trajectory)
+
+    def test_history_empty_by_default(self):
+        result = run_sum_product(loopy_graph(), max_iterations=20)
+        assert result.history == []
+
+    def test_marginals_normalised(self):
+        result = run_sum_product(loopy_graph(), max_iterations=50)
+        for marginal in result.marginals.values():
+            assert float(np.sum(marginal)) == pytest.approx(1.0)
+
+    def test_isolated_variable_gets_uniform_belief(self):
+        graph = loopy_graph()
+        graph.add_variable(BinaryVariable("isolated"))
+        result = run_sum_product(graph, max_iterations=20)
+        assert result.marginals["isolated"] == pytest.approx([0.5, 0.5])

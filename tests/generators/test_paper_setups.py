@@ -1,0 +1,132 @@
+"""Unit tests for the paper's named experimental setups."""
+
+import pytest
+
+from repro.core.feedback import FeedbackKind, StructureKind
+from repro.generators.paper import (
+    INTRO_ATTRIBUTE,
+    INTRO_SCHEMA_CONCEPTS,
+    extended_cycle_feedbacks,
+    figure4_feedbacks,
+    intro_example_feedbacks,
+    intro_example_network,
+    single_cycle_feedback,
+)
+
+
+class TestIntroExampleNetwork:
+    def test_four_peers_six_mappings(self):
+        network = intro_example_network(with_records=False)
+        assert len(network) == 4
+        assert len(network.mappings) == 6
+
+    def test_schemas_have_eleven_attributes(self):
+        network = intro_example_network(with_records=False)
+        assert len(INTRO_SCHEMA_CONCEPTS) == 11
+        for peer in network.peers:
+            assert len(peer.schema) == 11
+
+    def test_only_p2_p4_is_faulty_for_creator(self):
+        network = intro_example_network(with_records=False)
+        for mapping in network.mappings:
+            if mapping.name == "p2->p4":
+                assert mapping.is_correct_for(INTRO_ATTRIBUTE) is False
+                assert mapping.apply(INTRO_ATTRIBUTE) == "CreatedOn"
+            else:
+                assert mapping.is_correct_for(INTRO_ATTRIBUTE) is True
+
+    def test_records_loaded_when_requested(self):
+        with_data = intro_example_network(with_records=True)
+        without_data = intro_example_network(with_records=False)
+        assert with_data.peer("p2").record_count > 0
+        assert without_data.peer("p2").record_count == 0
+
+
+class TestIntroExampleFeedbacks:
+    def test_three_feedbacks_of_section_45(self):
+        feedbacks = intro_example_feedbacks()
+        assert [f.identifier for f in feedbacks] == ["f1", "f2", "f3=>"]
+        assert [f.kind for f in feedbacks] == [
+            FeedbackKind.POSITIVE,
+            FeedbackKind.NEGATIVE,
+            FeedbackKind.NEGATIVE,
+        ]
+        assert feedbacks[2].structure is StructureKind.PARALLEL_PATHS
+
+    def test_feedbacks_consistent_with_materialised_network(self):
+        """The hand-specified feedback signs match what the actual network
+        round trips produce."""
+        from repro.mapping.composition import parallel_paths_outcome, round_trip_outcome
+
+        network = intro_example_network(with_records=False)
+        m = network.mapping
+        assert (
+            round_trip_outcome(
+                [m("p1->p2"), m("p2->p3"), m("p3->p4"), m("p4->p1")], "Creator"
+            )
+            == "positive"
+        )
+        assert (
+            round_trip_outcome([m("p1->p2"), m("p2->p4"), m("p4->p1")], "Creator")
+            == "negative"
+        )
+        assert (
+            parallel_paths_outcome(
+                [m("p2->p4")], [m("p2->p3"), m("p3->p4")], "Creator"
+            )
+            == "negative"
+        )
+
+
+class TestFigure4Feedbacks:
+    def test_default_signs(self):
+        feedbacks = figure4_feedbacks()
+        assert [f.kind for f in feedbacks] == [
+            FeedbackKind.POSITIVE,
+            FeedbackKind.NEGATIVE,
+            FeedbackKind.NEGATIVE,
+        ]
+        assert len(feedbacks[0].mapping_names) == 4
+        assert len(feedbacks[1].mapping_names) == 3
+        assert len(feedbacks[2].mapping_names) == 3
+
+    def test_custom_signs(self):
+        feedbacks = figure4_feedbacks(signs=("+", "+", "+"))
+        assert all(f.kind is FeedbackKind.POSITIVE for f in feedbacks)
+
+    def test_wrong_sign_count_rejected(self):
+        with pytest.raises(ValueError):
+            figure4_feedbacks(signs=("+",))
+
+
+class TestExtendedCycleFeedbacks:
+    def test_zero_extra_peers_matches_figure4(self):
+        base = figure4_feedbacks()
+        extended = extended_cycle_feedbacks(0)
+        assert [f.mapping_names for f in base] == [f.mapping_names for f in extended]
+
+    def test_extra_peers_lengthen_the_long_cycles(self):
+        extended = extended_cycle_feedbacks(2)
+        assert len(extended[0].mapping_names) == 6
+        assert len(extended[1].mapping_names) == 5
+        assert len(extended[2].mapping_names) == 3
+        assert "p1->x1" in extended[0].mapping_names
+        assert "x2->p2" in extended[0].mapping_names
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(ValueError):
+            extended_cycle_feedbacks(-1)
+
+
+class TestSingleCycleFeedback:
+    def test_mapping_names_form_a_cycle(self):
+        feedback = single_cycle_feedback(4)
+        assert feedback.mapping_names == ("p1->p2", "p2->p3", "p3->p4", "p4->p1")
+        assert feedback.kind is FeedbackKind.POSITIVE
+
+    def test_negative_kind(self):
+        assert single_cycle_feedback(3, kind="-").kind is FeedbackKind.NEGATIVE
+
+    def test_too_short_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            single_cycle_feedback(1)

@@ -1,0 +1,50 @@
+"""Unit tests for repro.mapping.correspondence."""
+
+import pytest
+
+from repro.exceptions import MappingError
+from repro.mapping.correspondence import Correspondence
+
+
+class TestCorrespondence:
+    def test_defaults(self):
+        c = Correspondence("Creator", "Author")
+        assert c.confidence == 1.0
+        assert c.is_correct is None
+        assert c.provenance == "manual"
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(MappingError):
+            Correspondence("", "Author")
+        with pytest.raises(MappingError):
+            Correspondence("Creator", "")
+
+    def test_confidence_range_enforced(self):
+        with pytest.raises(MappingError):
+            Correspondence("A", "B", confidence=1.5)
+        with pytest.raises(MappingError):
+            Correspondence("A", "B", confidence=-0.1)
+
+    def test_reversed_swaps_endpoints(self):
+        c = Correspondence("Creator", "Author", confidence=0.8, is_correct=True)
+        reversed_c = c.reversed()
+        assert reversed_c.source_attribute == "Author"
+        assert reversed_c.target_attribute == "Creator"
+        assert reversed_c.confidence == 0.8
+        assert reversed_c.is_correct is True
+
+    def test_with_target_changes_target_and_label(self):
+        c = Correspondence("Creator", "Author", is_correct=True)
+        wrong = c.with_target("CreatedOn", is_correct=False)
+        assert wrong.source_attribute == "Creator"
+        assert wrong.target_attribute == "CreatedOn"
+        assert wrong.is_correct is False
+        # original unchanged (frozen dataclass)
+        assert c.target_attribute == "Author"
+
+    def test_str(self):
+        assert str(Correspondence("A", "B")) == "A -> B"
+
+    def test_equality(self):
+        assert Correspondence("A", "B") == Correspondence("A", "B")
+        assert Correspondence("A", "B") != Correspondence("A", "C")

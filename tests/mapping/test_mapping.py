@@ -1,0 +1,99 @@
+"""Unit tests for repro.mapping.mapping."""
+
+import pytest
+
+from repro.exceptions import MappingError
+from repro.mapping.correspondence import Correspondence
+from repro.mapping.mapping import Mapping, MappingIdentifier
+
+
+@pytest.fixture
+def mapping():
+    return Mapping.from_pairs(
+        "p2", "p3", {"Creator": "Creator", "Title": "Name"}, is_correct=True
+    )
+
+
+class TestIdentity:
+    def test_name_format(self, mapping):
+        assert mapping.name == "p2->p3"
+        assert mapping.source == "p2"
+        assert mapping.target == "p3"
+
+    def test_label_in_name(self):
+        labelled = Mapping("p2", "p3", label="alt")
+        assert labelled.name == "p2->p3#alt"
+
+    def test_identifier_ordering(self):
+        assert MappingIdentifier("a", "b") < MappingIdentifier("b", "a")
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping("p1", "p1")
+
+    def test_empty_endpoints_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping("", "p2")
+
+
+class TestCorrespondences:
+    def test_apply_returns_target_attribute(self, mapping):
+        assert mapping.apply("Creator") == "Creator"
+        assert mapping.apply("Title") == "Name"
+
+    def test_apply_missing_returns_none(self, mapping):
+        assert mapping.apply("Subject") is None
+
+    def test_maps_attribute(self, mapping):
+        assert mapping.maps_attribute("Creator")
+        assert not mapping.maps_attribute("Subject")
+
+    def test_duplicate_source_attribute_rejected(self, mapping):
+        with pytest.raises(MappingError):
+            mapping.add(Correspondence("Creator", "Painter"))
+
+    def test_as_renaming(self, mapping):
+        assert mapping.as_renaming() == {"Creator": "Creator", "Title": "Name"}
+
+    def test_len_and_iter(self, mapping):
+        assert len(mapping) == 2
+        assert {c.source_attribute for c in mapping} == {"Creator", "Title"}
+
+    def test_correspondence_for(self, mapping):
+        assert mapping.correspondence_for("Title").target_attribute == "Name"
+        assert mapping.correspondence_for("Nope") is None
+
+    def test_source_attributes(self, mapping):
+        assert mapping.source_attributes == ("Creator", "Title")
+
+
+class TestGroundTruthHelpers:
+    def test_erroneous_attributes_empty_when_all_correct(self, mapping):
+        assert mapping.erroneous_attributes() == ()
+
+    def test_erroneous_attributes_lists_wrong_ones(self):
+        m = Mapping(
+            "a",
+            "b",
+            correspondences=[
+                Correspondence("X", "X", is_correct=True),
+                Correspondence("Y", "Z", is_correct=False),
+            ],
+        )
+        assert m.erroneous_attributes() == ("Y",)
+
+    def test_is_correct_for(self, mapping):
+        assert mapping.is_correct_for("Creator") is True
+        assert mapping.is_correct_for("Missing") is None
+
+
+class TestReversal:
+    def test_reversed_swaps_endpoints_and_correspondences(self, mapping):
+        reversed_mapping = mapping.reversed()
+        assert reversed_mapping.source == "p3"
+        assert reversed_mapping.target == "p2"
+        assert reversed_mapping.apply("Name") == "Title"
+
+    def test_from_pairs_accepts_tuples(self):
+        m = Mapping.from_pairs("a", "b", [("X", "Y")])
+        assert m.apply("X") == "Y"

@@ -1,0 +1,140 @@
+"""Unit tests for peers and the PDMS network container."""
+
+import pytest
+
+from repro.exceptions import PDMSError, UnknownPeerError
+from repro.mapping.mapping import Mapping
+from repro.pdms.network import PDMSNetwork
+from repro.pdms.peer import Peer
+from repro.schema.schema import Schema
+
+
+def schema(name):
+    return Schema(name, ["Creator", "Title"])
+
+
+@pytest.fixture
+def network():
+    net = PDMSNetwork("test", directed=True)
+    for name in ("p1", "p2", "p3"):
+        net.add_peer(Peer(name, schema(name)))
+    return net
+
+
+class TestPeer:
+    def test_requires_name(self):
+        with pytest.raises(PDMSError):
+            Peer("", schema("s"))
+
+    def test_outgoing_mapping_must_depart_from_peer(self):
+        peer = Peer("p1", schema("p1"))
+        with pytest.raises(PDMSError):
+            peer.add_outgoing_mapping(Mapping.from_pairs("p2", "p3", {"Creator": "Creator"}))
+
+    def test_duplicate_outgoing_mapping_rejected(self):
+        peer = Peer("p1", schema("p1"))
+        mapping = Mapping.from_pairs("p1", "p2", {"Creator": "Creator"})
+        peer.add_outgoing_mapping(mapping)
+        with pytest.raises(PDMSError):
+            peer.add_outgoing_mapping(Mapping.from_pairs("p1", "p2", {"Title": "Title"}))
+
+    def test_neighbor_names_and_mappings_to(self):
+        peer = Peer("p1", schema("p1"))
+        peer.add_outgoing_mapping(Mapping.from_pairs("p1", "p2", {"Creator": "Creator"}))
+        peer.add_outgoing_mapping(
+            Mapping.from_pairs("p1", "p2", {"Title": "Title"}, label="alt")
+        )
+        peer.add_outgoing_mapping(Mapping.from_pairs("p1", "p3", {"Creator": "Creator"}))
+        assert peer.neighbor_names == ("p2", "p3")
+        assert len(peer.mappings_to("p2")) == 2
+
+    def test_mapping_named(self):
+        peer = Peer("p1", schema("p1"))
+        mapping = peer.add_outgoing_mapping(
+            Mapping.from_pairs("p1", "p2", {"Creator": "Creator"})
+        )
+        assert peer.mapping_named("p1->p2") is mapping
+        with pytest.raises(PDMSError):
+            peer.mapping_named("p1->p9")
+
+    def test_insert_records(self):
+        peer = Peer("p1", schema("p1"), records=[{"Creator": "Monet"}])
+        assert peer.record_count == 1
+        peer.insert({"Creator": "Degas"})
+        assert peer.record_count == 2
+
+
+class TestPDMSNetwork:
+    def test_add_peer_from_schema(self):
+        net = PDMSNetwork()
+        peer = net.add_peer(schema("p1"))
+        assert isinstance(peer, Peer)
+        assert net.has_peer("p1")
+
+    def test_duplicate_peer_rejected(self, network):
+        with pytest.raises(PDMSError):
+            network.add_peer(Peer("p1", schema("p1")))
+
+    def test_unknown_peer_lookup_raises(self, network):
+        with pytest.raises(UnknownPeerError):
+            network.peer("zz")
+
+    def test_add_mapping_registers_on_owner(self, network):
+        mapping = Mapping.from_pairs("p1", "p2", {"Creator": "Creator"})
+        network.add_mapping(mapping)
+        assert network.has_mapping("p1->p2")
+        assert network.peer("p1").mappings_to("p2") == (mapping,)
+
+    def test_add_mapping_unknown_endpoint_rejected(self, network):
+        with pytest.raises(UnknownPeerError):
+            network.add_mapping(Mapping.from_pairs("p1", "p9", {"Creator": "Creator"}))
+        with pytest.raises(UnknownPeerError):
+            network.add_mapping(Mapping.from_pairs("p9", "p1", {"Creator": "Creator"}))
+
+    def test_duplicate_mapping_rejected(self, network):
+        network.add_mapping(Mapping.from_pairs("p1", "p2", {"Creator": "Creator"}))
+        with pytest.raises(PDMSError):
+            network.add_mapping(Mapping.from_pairs("p1", "p2", {"Title": "Title"}))
+
+    def test_undirected_network_registers_reverse(self):
+        net = PDMSNetwork(directed=False)
+        net.add_peer(Peer("a", schema("a")))
+        net.add_peer(Peer("b", schema("b")))
+        net.add_mapping(Mapping.from_pairs("a", "b", {"Creator": "Creator"}))
+        assert net.has_mapping("a->b")
+        assert net.has_mapping("b->a")
+
+    def test_directed_network_does_not_reverse_by_default(self, network):
+        network.add_mapping(Mapping.from_pairs("p1", "p2", {"Creator": "Creator"}))
+        assert not network.has_mapping("p2->p1")
+
+    def test_mappings_between(self, network):
+        network.add_mapping(Mapping.from_pairs("p1", "p2", {"Creator": "Creator"}))
+        network.add_mapping(
+            Mapping.from_pairs("p1", "p2", {"Title": "Title"}, label="alt")
+        )
+        assert len(network.mappings_between("p1", "p2")) == 2
+        assert network.mappings_between("p2", "p1") == ()
+
+    def test_to_networkx(self, network):
+        network.add_mapping(Mapping.from_pairs("p1", "p2", {"Creator": "Creator"}))
+        graph = network.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 1
+
+    def test_attribute_universe(self, network):
+        assert network.attribute_universe() == ("Creator", "Title")
+
+    def test_out_degree(self, network):
+        network.add_mapping(Mapping.from_pairs("p1", "p2", {"Creator": "Creator"}))
+        assert network.out_degree("p1") == 1
+        assert network.out_degree("p2") == 0
+
+    def test_clustering_coefficient_triangle(self, network):
+        for source, target in (("p1", "p2"), ("p2", "p3"), ("p3", "p1")):
+            network.add_mapping(Mapping.from_pairs(source, target, {"Creator": "Creator"}))
+        assert network.clustering_coefficient() == pytest.approx(1.0)
+
+    def test_len_and_iter(self, network):
+        assert len(network) == 3
+        assert {peer.name for peer in network} == {"p1", "p2", "p3"}

@@ -1,0 +1,148 @@
+"""Unit tests for quality-aware query routing."""
+
+import pytest
+
+from repro.exceptions import UnknownPeerError
+from repro.generators.paper import intro_example_network
+from repro.pdms.query import Query, substring_predicate
+from repro.pdms.routing import QueryRouter, RoutingPolicy, execute_locally
+
+
+@pytest.fixture
+def network():
+    return intro_example_network(with_records=True)
+
+
+@pytest.fixture
+def river_query():
+    return Query.select_project(
+        "p2",
+        project=["Creator"],
+        where={"Subject": substring_predicate("river")},
+    )
+
+
+class TestRoutingPolicy:
+    def test_default_threshold(self):
+        policy = RoutingPolicy(default_threshold=0.4)
+        assert policy.threshold_for("anything") == 0.4
+
+    def test_per_attribute_threshold(self):
+        policy = RoutingPolicy(default_threshold=0.4, attribute_thresholds={"Creator": 0.8})
+        assert policy.threshold_for("Creator") == 0.8
+        assert policy.threshold_for("Title") == 0.4
+
+
+class TestExecuteLocally:
+    def test_selection_and_projection(self, network, river_query):
+        records = execute_locally(river_query, network, "p2")
+        assert len(records) == 2
+        assert all(set(record.values) == {"Creator"} for record in records)
+
+    def test_missing_selection_attribute_yields_nothing(self, network):
+        query = Query.select_project(
+            "p2", project=["Creator"], where={"Nonexistent": lambda v: True}
+        )
+        # The attribute is not in the schema: nothing can match.
+        assert execute_locally(query, network, "p2") == ()
+
+
+class TestQueryRouterStandard:
+    def test_standard_router_floods_everywhere(self, network, river_query):
+        router = QueryRouter(network, policy=RoutingPolicy(default_threshold=0.0))
+        trace = router.route(river_query)
+        assert set(trace.visited_peers) == {"p1", "p2", "p3", "p4"}
+
+    def test_standard_router_produces_false_positive(self, network, river_query):
+        router = QueryRouter(network, policy=RoutingPolicy(default_threshold=0.0))
+        trace = router.route(river_query)
+        answers = [record for answer in trace.answers for record in answer.records]
+        # The p4 answer arrives through the faulty mapping, projected onto
+        # CreatedOn, hence lacks a proper Creator value.
+        assert any(record.get("Creator") is None for record in answers)
+
+    def test_unknown_origin_raises(self, network, river_query):
+        router = QueryRouter(network)
+        with pytest.raises(UnknownPeerError):
+            router.route(river_query, origin="zz")
+
+    def test_ttl_zero_stays_local(self, network, river_query):
+        router = QueryRouter(network, policy=RoutingPolicy(default_threshold=0.0, ttl=0))
+        trace = router.route(river_query)
+        assert trace.visited_peers == ["p2"]
+
+
+class TestQueryRouterQualityAware:
+    def test_low_quality_mapping_blocked(self, network, river_query):
+        def oracle(mapping, attribute):
+            return 0.3 if mapping.name == "p2->p4" else 0.9
+
+        router = QueryRouter(
+            network, policy=RoutingPolicy(default_threshold=0.5), quality_oracle=oracle
+        )
+        trace = router.route(river_query)
+        blocked = {hop.mapping_name for hop in trace.blocked_hops}
+        assert "p2->p4" in blocked
+        # The query still reaches every peer through the good mappings.
+        assert set(trace.visited_peers) == {"p1", "p2", "p3", "p4"}
+
+    def test_no_false_positives_with_quality_routing(self, network, river_query):
+        def oracle(mapping, attribute):
+            return 0.3 if mapping.name == "p2->p4" else 0.9
+
+        router = QueryRouter(
+            network, policy=RoutingPolicy(default_threshold=0.5), quality_oracle=oracle
+        )
+        trace = router.route(river_query)
+        answers = [record for answer in trace.answers for record in answer.records]
+        assert all(record.get("Creator") is not None for record in answers)
+
+    def test_forwarding_decision_reports_probabilities(self, network, river_query):
+        router = QueryRouter(network, policy=RoutingPolicy(default_threshold=0.5))
+        mapping = network.mapping("p2->p3")
+        forward, reason, probabilities = router.forwarding_decision(river_query, mapping)
+        assert forward
+        assert set(probabilities) == {"Creator", "Subject"}
+
+    def test_missing_correspondence_blocks_by_default(self, network):
+        query = Query.select_project("p2", project=["Creator", "Rights"])
+        from repro.mapping.mapping import Mapping
+
+        partial = Mapping.from_pairs("p2", "p3", {"Creator": "Creator"}, label="partial")
+        router = QueryRouter(network, policy=RoutingPolicy(default_threshold=0.0))
+        forward, reason, _ = router.forwarding_decision(query, partial)
+        assert not forward
+        assert "Rights" in reason
+
+    def test_forward_on_partial_policy(self, network):
+        query = Query.select_project("p2", project=["Creator", "Rights"])
+        from repro.mapping.mapping import Mapping
+
+        partial = Mapping.from_pairs("p2", "p3", {"Creator": "Creator"}, label="partial")
+        router = QueryRouter(
+            network,
+            policy=RoutingPolicy(default_threshold=0.0, forward_on_partial=True),
+        )
+        forward, _, _ = router.forwarding_decision(query, partial)
+        assert forward
+
+
+class TestTrace:
+    def test_trace_summary_mentions_hops(self, network, river_query):
+        router = QueryRouter(network, policy=RoutingPolicy(default_threshold=0.0))
+        trace = router.route(river_query)
+        summary = trace.summary()
+        assert "query" in summary
+        assert "p2->p3" in summary
+
+    def test_used_mappings_subset_of_forwarded(self, network, river_query):
+        router = QueryRouter(network, policy=RoutingPolicy(default_threshold=0.0))
+        trace = router.route(river_query)
+        assert set(trace.used_mappings()) == {
+            hop.mapping_name for hop in trace.forwarded_hops
+        }
+
+    def test_answers_from(self, network, river_query):
+        router = QueryRouter(network, policy=RoutingPolicy(default_threshold=0.0))
+        trace = router.route(river_query)
+        assert len(trace.answers_from("p2")) == 2

@@ -1,0 +1,90 @@
+"""Unit tests for repro.schema.instances."""
+
+import pytest
+
+from repro.exceptions import QueryError, UnknownAttributeError
+from repro.schema.instances import InstanceStore, Record
+from repro.schema.schema import Schema
+
+
+@pytest.fixture
+def store():
+    schema = Schema("art", attributes=["Creator", "Title", "Subject"])
+    store = InstanceStore(schema)
+    store.insert({"Creator": "Monet", "Title": "Morning", "Subject": "river Seine"})
+    store.insert({"Creator": "Turner", "Title": "Rain", "Subject": "speed"})
+    store.insert({"Creator": "Hokusai", "Subject": "the great wave"})
+    return store
+
+
+class TestInsertion:
+    def test_insert_validates_attributes(self, store):
+        with pytest.raises(UnknownAttributeError):
+            store.insert({"Painter": "X"})
+
+    def test_insert_many_returns_count(self):
+        schema = Schema("s", ["A"])
+        store = InstanceStore(schema)
+        assert store.insert_many([{"A": 1}, {"A": 2}]) == 2
+        assert len(store) == 2
+
+    def test_insert_record_object(self, store):
+        record = Record(schema_name="other", values={"Creator": "Degas"})
+        stored = store.insert(record)
+        assert stored.schema_name == "art"
+        assert stored.get("Creator") == "Degas"
+
+    def test_len_and_iter(self, store):
+        assert len(store) == 3
+        assert len(list(store)) == 3
+
+
+class TestQueryPrimitives:
+    def test_select_matches_predicate(self, store):
+        results = store.select("Subject", lambda v: "river" in v)
+        assert len(results) == 1
+        assert results[0].get("Creator") == "Monet"
+
+    def test_select_skips_missing_values(self, store):
+        results = store.select("Title", lambda v: True)
+        assert len(results) == 2  # Hokusai record has no Title
+
+    def test_select_unknown_attribute_raises(self, store):
+        with pytest.raises(UnknownAttributeError):
+            store.select("Painter", lambda v: True)
+
+    def test_select_requires_callable(self, store):
+        with pytest.raises(QueryError):
+            store.select("Subject", "not callable")
+
+    def test_project(self, store):
+        projected = store.project(["Creator"])
+        assert all(set(record.values) <= {"Creator"} for record in projected)
+        assert len(projected) == 3
+
+    def test_project_unknown_attribute_raises(self, store):
+        with pytest.raises(UnknownAttributeError):
+            store.project(["Painter"])
+
+    def test_values_of(self, store):
+        assert set(store.values_of("Creator")) == {"Monet", "Turner", "Hokusai"}
+        assert len(store.values_of("Title")) == 2
+
+    def test_scan_returns_all(self, store):
+        assert len(store.scan()) == 3
+
+
+class TestRecord:
+    def test_get_missing_returns_none(self):
+        record = Record("s", {"A": 1})
+        assert record.get("B") is None
+
+    def test_project(self):
+        record = Record("s", {"A": 1, "B": 2})
+        assert record.project(["A"]).values == {"A": 1}
+
+    def test_rename_attributes_drops_unmapped(self):
+        record = Record("s", {"A": 1, "B": 2})
+        renamed = record.rename_attributes({"A": "X"}, schema_name="t")
+        assert renamed.schema_name == "t"
+        assert renamed.values == {"X": 1}

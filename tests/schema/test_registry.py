@@ -1,0 +1,39 @@
+"""Unit tests for repro.schema.registry."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.schema.registry import SchemaRegistry
+from repro.schema.schema import Schema
+
+
+class TestSchemaRegistry:
+    def test_register_and_get(self):
+        registry = SchemaRegistry()
+        schema = Schema("s", ["A"])
+        registry.register(schema)
+        assert registry.get("s") is schema
+
+    def test_duplicate_registration_rejected(self):
+        registry = SchemaRegistry([Schema("s", ["A"])])
+        with pytest.raises(SchemaError):
+            registry.register(Schema("s", ["B"]))
+
+    def test_unknown_schema_raises(self):
+        with pytest.raises(SchemaError):
+            SchemaRegistry().get("missing")
+
+    def test_contains_len_iter_names(self):
+        registry = SchemaRegistry([Schema("a", ["X"]), Schema("b", ["Y"])])
+        assert "a" in registry
+        assert "z" not in registry
+        assert 17 not in registry
+        assert len(registry) == 2
+        assert {schema.name for schema in registry} == {"a", "b"}
+        assert registry.names == ("a", "b")
+
+    def test_common_attributes(self):
+        registry = SchemaRegistry(
+            [Schema("a", ["X", "Y", "Z"]), Schema("b", ["Y", "Z", "W"])]
+        )
+        assert registry.common_attributes("a", "b") == ("Y", "Z")

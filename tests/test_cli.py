@@ -1,0 +1,64 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in (
+            ["intro"],
+            ["convergence", "--priors", "0.8"],
+            ["relative-error", "--max-extra-peers", "2"],
+            ["cycle-length", "--max-length", "6"],
+            ["fault-tolerance", "--repetitions", "2"],
+            ["real-world", "--thetas", "0.5"],
+            ["baseline"],
+            ["schedules"],
+            ["scenario", "--peers", "6"],
+        ):
+            args = parser.parse_args(command)
+            assert args.command == command[0]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_intro_command(self, capsys):
+        assert main(["intro"]) == 0
+        output = capsys.readouterr().out
+        assert "P(p2->p3 correct)" in output
+        assert "p2->p4" in output
+
+    def test_cycle_length_command(self, capsys):
+        assert main(["cycle-length", "--max-length", "6", "--deltas", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 10" in output
+        assert "Δ=0.1" in output
+
+    def test_relative_error_command(self, capsys):
+        assert main(["relative-error", "--max-extra-peers", "1"]) == 0
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_baseline_command(self, capsys):
+        assert main(["baseline"]) == 0
+        output = capsys.readouterr().out
+        assert "probabilistic" in output
+        assert "chatty-web" in output
+
+    def test_scenario_command(self, capsys):
+        assert main(["scenario", "--peers", "6", "--attributes", "6", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "precision" in output
+
+    def test_convergence_command(self, capsys):
+        assert main(["convergence"]) == 0
+        assert "Figure 7" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Tests for the top-level public API surface of the package."""
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_exception_hierarchy(self):
+        from repro.exceptions import (
+            AlignmentError,
+            FactorGraphError,
+            MappingError,
+            PDMSError,
+            ReproError,
+            SchemaError,
+        )
+
+        for exception_type in (
+            FactorGraphError,
+            MappingError,
+            PDMSError,
+            SchemaError,
+            AlignmentError,
+        ):
+            assert issubclass(exception_type, ReproError)
+
+    def test_quickstart_snippet_from_module_docstring(self):
+        """The usage example in the package docstring must keep working."""
+        network = repro.intro_example_network()
+        assessor = repro.MappingQualityAssessor(network, delta=0.1)
+        assessment = assessor.assess_attribute("Creator")
+        assert assessment.posteriors
+        router = assessor.router()
+        assert router is not None
+
+    def test_subpackages_importable(self):
+        import repro.alignment
+        import repro.core
+        import repro.evaluation
+        import repro.factorgraph
+        import repro.generators
+        import repro.mapping
+        import repro.pdms
+        import repro.schema
+
+        for module in (
+            repro.alignment,
+            repro.core,
+            repro.evaluation,
+            repro.factorgraph,
+            repro.generators,
+            repro.mapping,
+            repro.pdms,
+            repro.schema,
+        ):
+            assert module.__doc__, f"{module.__name__} is missing a docstring"
+
+    def test_compensation_probability_reexported(self):
+        assert repro.compensation_probability(11) == pytest.approx(0.1)
