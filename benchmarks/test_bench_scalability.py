@@ -14,7 +14,7 @@ from repro.core.quality import MappingQualityAssessor
 from repro.evaluation.reporting import format_table
 from repro.generators.scenarios import generate_scenario
 
-SIZES = (8, 16, 32)
+SIZES = (8, 16, 32, 64, 128)
 
 
 def assess(network, attribute):

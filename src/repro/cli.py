@@ -27,6 +27,7 @@ from .evaluation.experiments import (
     run_baseline_comparison,
     run_convergence,
     run_cycle_length,
+    run_engine_throughput,
     run_fault_tolerance,
     run_intro_example,
     run_real_world,
@@ -78,6 +79,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("baseline", help="ablation vs the Chatty-Web heuristic (E7)")
     subparsers.add_parser("schedules", help="ablation periodic vs lazy schedules (E8)")
+
+    throughput = subparsers.add_parser(
+        "throughput",
+        help="edges/sec of the loop vs vectorized sum-product backends",
+    )
+    throughput.add_argument(
+        "--sizes", type=int, nargs="+", default=[8, 16, 32, 64, 128],
+        help="peer counts of the generated scale-free networks",
+    )
+    throughput.add_argument("--ttl", type=int, default=3)
+    throughput.add_argument("--repeats", type=int, default=3)
+    throughput.add_argument("--max-iterations", type=int, default=50)
 
     scenario = subparsers.add_parser(
         "scenario", help="assess a generated synthetic PDMS scenario"
@@ -207,6 +220,31 @@ def _render_schedules() -> str:
     )
 
 
+def _render_throughput(args: argparse.Namespace) -> str:
+    result = run_engine_throughput(
+        peer_counts=tuple(args.sizes),
+        ttl=args.ttl,
+        max_iterations=args.max_iterations,
+        repeats=args.repeats,
+    )
+    rows = [
+        (
+            point.peer_count,
+            point.edge_count,
+            f"{point.loop_edges_per_second:,.0f}",
+            f"{point.vectorized_edges_per_second:,.0f}",
+            f"{point.speedup:.1f}x",
+            f"{point.max_marginal_difference:.1e}",
+        )
+        for point in result.points
+    ]
+    return format_table(
+        ("peers", "edges", "loop msg/s", "vectorized msg/s", "speedup", "max |Δmarginal|"),
+        rows,
+        title="Engine throughput — loop vs vectorized sum-product backends",
+    )
+
+
 def _render_scenario(args: argparse.Namespace) -> str:
     scenario = generate_scenario(
         topology=args.topology,
@@ -261,6 +299,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _render_baseline()
     elif args.command == "schedules":
         output = _render_schedules()
+    elif args.command == "throughput":
+        output = _render_throughput(args)
     elif args.command == "scenario":
         output = _render_scenario(args)
     else:  # pragma: no cover - argparse enforces the choices

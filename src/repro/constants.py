@@ -1,0 +1,59 @@
+"""Shared numerical defaults of the iterative inference engines.
+
+Historically the centralised :class:`~repro.factorgraph.sum_product.SumProduct`
+engine and the decentralised :class:`~repro.core.embedded.EmbeddedMessagePassing`
+engine grew slightly different defaults (tolerances of ``1e-6`` vs ``1e-4``,
+and a hidden ``random.Random(0)`` fallback vs an unseeded transport).  Both
+engines approximate the *same* fixed points, so inconsistent stopping rules
+made cross-engine comparisons noisy.  This module is the single source of
+truth for those knobs; every engine imports its defaults from here.
+
+Seeding behaviour
+-----------------
+Randomness only enters the algorithms through message loss
+(``send_probability < 1``).  When no explicit ``rng``/``seed`` is supplied,
+every engine falls back to a deterministic source seeded with
+:data:`DEFAULT_SEED` so that repeated runs are reproducible by default.
+Pass an explicit seed (as the fault-tolerance experiments do, one per
+repetition) to obtain independent lossy runs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DEFAULT_MAX_ITERATIONS",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_DAMPING",
+    "DEFAULT_SEND_PROBABILITY",
+    "DEFAULT_SEED",
+    "DEFAULT_BACKEND",
+    "BACKEND_LOOPS",
+    "BACKEND_VECTORIZED",
+]
+
+#: Hard cap on synchronous rounds, shared by the centralised and embedded runs.
+DEFAULT_MAX_ITERATIONS: int = 50
+
+#: Convergence threshold on the largest message / posterior change per round.
+DEFAULT_TOLERANCE: float = 1e-6
+
+#: Convex-combination weight of the *old* factor→variable message (0 = off).
+DEFAULT_DAMPING: float = 0.0
+
+#: Probability that a directed message is transmitted in a round.
+DEFAULT_SEND_PROBABILITY: float = 1.0
+
+#: Seed of the fallback random source used when none is supplied.
+DEFAULT_SEED: int = 0
+
+#: Reference edge-by-edge Python implementation.
+BACKEND_LOOPS: str = "loops"
+
+#: Compiled, batched numpy implementation (see repro.factorgraph.compiled).
+BACKEND_VECTORIZED: str = "vectorized"
+
+#: Backend used by :class:`~repro.factorgraph.sum_product.SumProduct` when
+#: none is requested.  The vectorized backend matches the loop reference to
+#: floating-point accuracy and falls back to the loops automatically on
+#: graphs it cannot compile (mixed variable cardinalities).
+DEFAULT_BACKEND: str = BACKEND_VECTORIZED

@@ -17,6 +17,19 @@ replica of each feedback factor its mappings participate in, and exchanges
 Because every factor replica applies the same sum–product update as the
 corresponding factor of the global graph, the fixed points coincide with
 those of centralised loopy BP — which is what the tests verify.
+
+Compiled-kernel equivalence contract
+------------------------------------
+The factor→variable sweep of every round is routed through the same batched
+:class:`~repro.factorgraph.compiled.FactorBatch` einsum kernels that power
+the vectorized :class:`~repro.factorgraph.sum_product.SumProduct` backend:
+the feedback-factor replicas are grouped by table shape once at construction
+and each round computes all messages of a group with one ``einsum`` per
+target slot.  The kernels evaluate exactly the sum–product expression the
+scalar :meth:`repro.factorgraph.factors.Factor.message_to` evaluates, so
+posteriors agree with the loop formulation to floating-point accuracy.
+Convergence defaults (tolerance, round cap, seeding) are shared with the
+centralised engine through :mod:`repro.constants`.
 """
 
 from __future__ import annotations
@@ -27,7 +40,14 @@ from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence
 
 import numpy as np
 
+from ..constants import (
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_SEED,
+    DEFAULT_SEND_PROBABILITY,
+    DEFAULT_TOLERANCE,
+)
 from ..exceptions import ConvergenceError, FeedbackError
+from ..factorgraph.compiled import FactorBatch, normalize_rows
 from ..factorgraph.factors import Factor
 from ..factorgraph.messages import normalize, unit_message
 from ..factorgraph.variables import BinaryVariable
@@ -74,9 +94,18 @@ class MessageTransport:
     ``send_probability``; dropped messages simply leave the recipient's last
     received value in place, which the algorithm tolerates by design
     (§4.3.2, Figure 11).
+
+    ``seed`` defaults to :data:`repro.constants.DEFAULT_SEED` so lossy runs
+    are reproducible unless an explicit seed is supplied (matching the
+    centralised engine's fallback rng; pass a distinct seed per repetition
+    for independent runs).
     """
 
-    def __init__(self, send_probability: float = 1.0, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        send_probability: float = DEFAULT_SEND_PROBABILITY,
+        seed: Optional[int] = DEFAULT_SEED,
+    ) -> None:
         if not 0.0 < send_probability <= 1.0:
             raise FeedbackError(
                 f"send_probability must be in (0, 1], got {send_probability}"
@@ -97,10 +126,15 @@ class MessageTransport:
 
 @dataclass(frozen=True)
 class EmbeddedOptions:
-    """Tuning knobs of the embedded message-passing run."""
+    """Tuning knobs of the embedded message-passing run.
 
-    max_rounds: int = 50
-    tolerance: float = 1e-4
+    The defaults are shared with the centralised engine's
+    :class:`~repro.factorgraph.sum_product.SumProductOptions` through
+    :mod:`repro.constants`, so both formulations stop under the same rule.
+    """
+
+    max_rounds: int = DEFAULT_MAX_ITERATIONS
+    tolerance: float = DEFAULT_TOLERANCE
     record_history: bool = True
     strict: bool = False
 
@@ -225,6 +259,73 @@ class EmbeddedMessagePassing:
                     incoming[(feedback.identifier, mapping_name)] = unit_message(2)
             self._received[peer] = incoming
 
+        self._compile_batches()
+
+    def _compile_batches(self) -> None:
+        """Group the feedback-factor replicas into compiled einsum batches.
+
+        For every batch of same-shape factors we precompute a gather plan:
+        for each (target slot, source slot) pair, the list of message cells —
+        either the owner's own fresh µ_{v→F} or the last *received* remote
+        copy — that feed the batched factor→variable kernel, plus the µ_{F→v}
+        cells the results scatter back into.  The inner dicts referenced here
+        are created once in ``__init__`` and only ever updated in place, so
+        the plan stays valid for the lifetime of the engine.
+        """
+        by_shape: Dict[Tuple[int, ...], List[Feedback]] = {}
+        for feedback in self._feedbacks:
+            shape = self._factors[feedback.identifier].table.shape
+            by_shape.setdefault(shape, []).append(feedback)
+        # Each entry: (batch, gather plan, scatter plan).  gather[t][m] and
+        # scatter[t] are aligned with the batch's factor order.
+        self._batches: List[
+            Tuple[
+                FactorBatch,
+                List[List[Optional[List[Tuple[dict, object]]]]],
+                List[List[Tuple[dict, str]]],
+            ]
+        ] = []
+        for group in by_shape.values():
+            batch = FactorBatch([self._factors[f.identifier] for f in group])
+            arity = batch.arity
+            gather: List[List[Optional[List[Tuple[dict, object]]]]] = []
+            scatter: List[List[Tuple[dict, str]]] = []
+            for target in range(arity):
+                per_source: List[Optional[List[Tuple[dict, object]]]] = []
+                targets: List[Tuple[dict, str]] = []
+                for feedback in group:
+                    target_mapping = feedback.mapping_names[target]
+                    if feedback.identifier not in self._f2v[target_mapping]:
+                        raise FeedbackError(
+                            f"feedback {feedback.identifier!r} missing from the "
+                            f"local graph of {target_mapping!r}'s owner"
+                        )
+                    targets.append((self._f2v[target_mapping], feedback.identifier))
+                for source in range(arity):
+                    if source == target:
+                        per_source.append(None)
+                        continue
+                    cells: List[Tuple[dict, object]] = []
+                    for feedback in group:
+                        target_mapping = feedback.mapping_names[target]
+                        source_mapping = feedback.mapping_names[source]
+                        owner = self._owners[target_mapping]
+                        if self._owners[source_mapping] == owner:
+                            cells.append(
+                                (self._v2f[source_mapping], feedback.identifier)
+                            )
+                        else:
+                            cells.append(
+                                (
+                                    self._received[owner],
+                                    (feedback.identifier, source_mapping),
+                                )
+                            )
+                    per_source.append(cells)
+                gather.append(per_source)
+                scatter.append(targets)
+            self._batches.append((batch, gather, scatter))
+
     # -- helpers ---------------------------------------------------------------------
 
     @staticmethod
@@ -307,27 +408,25 @@ class EmbeddedMessagePassing:
                     )
 
     def _compute_factor_messages(self) -> None:
-        """Phase 3: every replica recomputes µ_{F→v} for its owned variables."""
-        for mapping_name, per_feedback in self._f2v.items():
-            owner = self._owners[mapping_name]
-            for feedback_id in per_feedback:
-                factor = self._factors[feedback_id]
-                feedback = self._feedback_by_id[feedback_id]
-                incoming: Dict[str, np.ndarray] = {}
-                for other_mapping in feedback.mapping_names:
-                    if other_mapping == mapping_name:
+        """Phase 3: every replica recomputes µ_{F→v} for its owned variables.
+
+        All replicas of same-shape factors are updated together through the
+        compiled :class:`~repro.factorgraph.compiled.FactorBatch` kernels —
+        the same einsum path the vectorized global engine uses — instead of
+        one scalar :meth:`Factor.message_to` call per directed message.
+        """
+        for batch, gather, scatter in self._batches:
+            for target in range(batch.arity):
+                incoming: List[Optional[np.ndarray]] = []
+                for source in range(batch.arity):
+                    cells = gather[target][source]
+                    if cells is None:
+                        incoming.append(None)
                         continue
-                    other_variable = variable_name_for(other_mapping, self.attribute)
-                    if self._owners[other_mapping] == owner:
-                        incoming[other_variable] = self._v2f[other_mapping][feedback_id]
-                    else:
-                        incoming[other_variable] = self._received[owner][
-                            (feedback_id, other_mapping)
-                        ]
-                target_variable = variable_name_for(mapping_name, self.attribute)
-                per_feedback[feedback_id] = normalize(
-                    factor.message_to(target_variable, incoming)
-                )
+                    incoming.append(np.stack([store[key] for store, key in cells]))
+                fresh = normalize_rows(batch.messages_toward(target, incoming))
+                for row, (store, key) in enumerate(scatter[target]):
+                    store[key] = fresh[row]
 
     # -- public API ------------------------------------------------------------------------
 

@@ -6,7 +6,8 @@ core contribution.  Given a PDMS network it
 1. gathers cycle / parallel-path evidence for the attributes of interest
    (:mod:`repro.core.analysis`),
 2. runs the decentralised embedded message passing per attribute
-   (:mod:`repro.core.embedded`),
+   (:mod:`repro.core.embedded`, whose factor sweeps execute on the compiled
+   batched kernels of :mod:`repro.factorgraph.compiled`),
 3. exposes the posterior correctness probabilities, both programmatically
    and as a quality oracle pluggable into the
    :class:`~repro.pdms.routing.QueryRouter`, and

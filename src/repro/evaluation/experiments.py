@@ -10,8 +10,11 @@ the comparison.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.analysis import analyze_network
 from ..core.beliefs import PriorBeliefStore
@@ -20,7 +23,10 @@ from ..core.feedback import Feedback, feedback_from_cycle
 from ..core.pdms_factor_graph import build_factor_graph, variable_name_for
 from ..core.quality import MappingQualityAssessor
 from ..core.schedules import LazySchedule, PeriodicSchedule
+from ..exceptions import EvaluationError
 from ..factorgraph.exact import exact_marginals
+from ..factorgraph.sum_product import run_sum_product
+from ..generators.scenarios import generate_scenario
 from ..generators.paper import (
     INTRO_ATTRIBUTE,
     extended_cycle_feedbacks,
@@ -53,6 +59,10 @@ __all__ = [
     "run_baseline_comparison",
     "ScheduleComparisonResult",
     "run_schedule_comparison",
+    "EngineThroughputPoint",
+    "EngineThroughputResult",
+    "run_engine_throughput",
+    "throughput_graph",
 ]
 
 
@@ -633,3 +643,153 @@ def run_schedule_comparison(
         periodic_posteriors=periodic_engine.posteriors(),
         lazy_posteriors=lazy_engine.posteriors(),
     )
+
+
+# ---------------------------------------------------------------------------
+# EX — engine throughput: loop vs vectorized sum–product backends
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineThroughputPoint:
+    """Timing of both backends on one generated PDMS factor graph.
+
+    ``edges_per_second`` counts *directed* messages: every variable–factor
+    edge carries two messages per synchronous iteration.
+    """
+
+    peer_count: int
+    variable_count: int
+    factor_count: int
+    edge_count: int
+    loop_iterations: int
+    vectorized_iterations: int
+    loop_seconds: float
+    vectorized_seconds: float
+    max_marginal_difference: float
+
+    @staticmethod
+    def _rate(edge_count: int, iterations: int, seconds: float) -> float:
+        if seconds <= 0.0:
+            return float("inf")
+        return 2.0 * edge_count * iterations / seconds
+
+    @property
+    def loop_edges_per_second(self) -> float:
+        return self._rate(self.edge_count, self.loop_iterations, self.loop_seconds)
+
+    @property
+    def vectorized_edges_per_second(self) -> float:
+        return self._rate(
+            self.edge_count, self.vectorized_iterations, self.vectorized_seconds
+        )
+
+    @property
+    def speedup(self) -> float:
+        loop_rate = self.loop_edges_per_second
+        vectorized_rate = self.vectorized_edges_per_second
+        if loop_rate == float("inf") and vectorized_rate == float("inf"):
+            return 1.0
+        if vectorized_rate == float("inf"):
+            return float("inf")
+        if loop_rate == float("inf"):
+            return 0.0
+        return vectorized_rate / loop_rate
+
+
+@dataclass(frozen=True)
+class EngineThroughputResult:
+    """Throughput of the two backends across network sizes."""
+
+    points: Tuple[EngineThroughputPoint, ...]
+
+    def point_for(self, peer_count: int) -> EngineThroughputPoint:
+        for point in self.points:
+            if point.peer_count == peer_count:
+                return point
+        raise KeyError(f"no throughput point for {peer_count} peers")
+
+
+def throughput_graph(peer_count: int, ttl: int = 3, attribute_count: int = 10):
+    """Build the benchmark factor graph for a scale-free PDMS of ``peer_count``.
+
+    Picks the first attribute that yields informative cycle feedback, so the
+    returned graph is never empty.  Returns the
+    :class:`~repro.core.pdms_factor_graph.PDMSFactorGraph`.
+    """
+    scenario = generate_scenario(
+        topology="scale-free",
+        peer_count=peer_count,
+        attribute_count=attribute_count,
+        error_rate=0.15,
+        seed=peer_count,
+    )
+    for attribute in scenario.network.attribute_universe():
+        evidence = analyze_network(
+            scenario.network, attribute, ttl=ttl, include_parallel_paths=False
+        )
+        if evidence.informative_feedbacks:
+            return build_factor_graph(
+                evidence.informative_feedbacks, priors=0.5, attribute=attribute
+            )
+    raise EvaluationError(
+        f"no attribute of the {peer_count}-peer scenario produced informative "
+        "feedback; increase ttl or the error rate"
+    )
+
+
+def _time_backend(graph, backend: str, max_iterations: int, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = run_sum_product(
+            graph, max_iterations=max_iterations, backend=backend
+        )
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def run_engine_throughput(
+    peer_counts: Sequence[int] = (8, 16, 32, 64, 128),
+    ttl: int = 3,
+    max_iterations: int = 50,
+    repeats: int = 3,
+) -> EngineThroughputResult:
+    """Measure directed messages per second of both sum–product backends.
+
+    For each peer count a scale-free PDMS is generated, its cycle feedback
+    is gathered and encoded as a factor graph, and the same run (identical
+    options, reliable transport) is timed on the ``"loops"`` and
+    ``"vectorized"`` backends.  Each timing keeps the best of ``repeats``
+    runs to damp scheduler noise, and the worst marginal disagreement is
+    recorded as an online equivalence check.
+    """
+    points: List[EngineThroughputPoint] = []
+    for peer_count in peer_counts:
+        pdms_graph = throughput_graph(peer_count, ttl=ttl)
+        graph = pdms_graph.graph
+        loop_result, loop_seconds = _time_backend(
+            graph, "loops", max_iterations, repeats
+        )
+        vector_result, vector_seconds = _time_backend(
+            graph, "vectorized", max_iterations, repeats
+        )
+        worst = max(
+            float(np.abs(loop_result.marginals[name] - vector_result.marginals[name]).max())
+            for name in loop_result.marginals
+        )
+        points.append(
+            EngineThroughputPoint(
+                peer_count=peer_count,
+                variable_count=len(graph.variables),
+                factor_count=len(graph.factors),
+                edge_count=graph.edge_count(),
+                loop_iterations=loop_result.iterations,
+                vectorized_iterations=vector_result.iterations,
+                loop_seconds=loop_seconds,
+                vectorized_seconds=vector_seconds,
+                max_marginal_difference=worst,
+            )
+        )
+    return EngineThroughputResult(points=tuple(points))

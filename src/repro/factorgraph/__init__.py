@@ -15,6 +15,12 @@ from .variables import (
     DiscreteVariable,
     mapping_variable_name,
 )
+from .compiled import (
+    CompiledFactorGraph,
+    FactorBatch,
+    compile_factor_graph,
+    normalize_rows,
+)
 from .factors import Factor, observation_factor, prior_factor, uniform_factor
 from .graph import FactorGraph
 from .messages import MessageStore, message_distance, normalize, unit_message
@@ -28,6 +34,10 @@ __all__ = [
     "BinaryVariable",
     "DiscreteVariable",
     "mapping_variable_name",
+    "CompiledFactorGraph",
+    "FactorBatch",
+    "compile_factor_graph",
+    "normalize_rows",
     "Factor",
     "observation_factor",
     "prior_factor",

@@ -70,13 +70,15 @@ class Factor:
         self.name = name
         self.variables: Tuple[DiscreteVariable, ...] = variables
         self.table = table
+        self._variable_names: Tuple[str, ...] = tuple(v.name for v in variables)
+        self._variable_name_set = frozenset(self._variable_names)
 
     # -- introspection ------------------------------------------------------
 
     @property
     def variable_names(self) -> Tuple[str, ...]:
         """Names of the variables the factor spans, in axis order."""
-        return tuple(v.name for v in self.variables)
+        return self._variable_names
 
     @property
     def arity(self) -> int:
@@ -124,9 +126,17 @@ class Factor:
         variable→factor message (a vector over that variable's domain).
         Missing entries are treated as unit (uninformative) messages, which
         is exactly the initialisation the paper prescribes for the embedded
-        decentralised schedule (§4.3).
+        decentralised schedule (§4.3).  Keys naming variables the factor does
+        *not* span raise :class:`VariableDomainError` — a silently ignored
+        entry is almost always a misspelled mapping name.
         """
         target_axis = self.axis_of(variable_name)
+        unknown = incoming.keys() - self._variable_name_set
+        if unknown:
+            raise VariableDomainError(
+                f"factor {self.name!r} received messages for unknown "
+                f"variables {sorted(unknown)!r}; it spans {self.variable_names!r}"
+            )
         result = self.table.copy()
         for axis, variable in enumerate(self.variables):
             if axis == target_axis:

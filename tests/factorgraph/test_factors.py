@@ -103,6 +103,26 @@ class TestMessageTo:
         factor = Factor("f", (a,), np.array([0.7, 0.3]))
         assert factor.message_to("a", {}) == pytest.approx([0.7, 0.3])
 
+    def test_unknown_incoming_key_raises(self, two_variables):
+        """Regression: a misspelled mapping name used to be silently treated
+        as a unit message instead of failing loudly."""
+        a, b = two_variables
+        factor = Factor("f", (a, b), np.ones((2, 2)))
+        with pytest.raises(VariableDomainError, match="unknown"):
+            factor.message_to("a", {"B": np.array([1.0, 0.0])})
+
+    def test_target_variable_in_incoming_is_ignored(self, two_variables):
+        """The target's own message is legal input (it spans the factor) and
+        must not affect the outgoing message."""
+        a, b = two_variables
+        table = np.array([[0.1, 0.2], [0.3, 0.4]])
+        factor = Factor("f", (a, b), table)
+        with_target = factor.message_to(
+            "a", {"a": np.array([0.0, 1.0]), "b": np.array([1.0, 0.0])}
+        )
+        without_target = factor.message_to("a", {"b": np.array([1.0, 0.0])})
+        assert with_target == pytest.approx(without_target)
+
 
 class TestFactorBuilders:
     def test_prior_factor_values(self):

@@ -3,12 +3,18 @@
 import numpy as np
 import pytest
 
+from repro import constants
 from repro.exceptions import ConvergenceError, FactorGraphError
 from repro.factorgraph.exact import exact_marginals
 from repro.factorgraph.factors import Factor, prior_factor
 from repro.factorgraph.graph import FactorGraph
-from repro.factorgraph.sum_product import SumProduct, SumProductOptions, run_sum_product
-from repro.factorgraph.variables import BinaryVariable
+from repro.factorgraph.sum_product import (
+    SumProduct,
+    SumProductOptions,
+    SumProductResult,
+    run_sum_product,
+)
+from repro.factorgraph.variables import CORRECT, INCORRECT, BinaryVariable, DiscreteVariable
 
 
 def single_variable_graph(prior=0.7):
@@ -147,3 +153,83 @@ class TestResultAccessors:
         graph.add_variable(BinaryVariable("isolated"))
         result = run_sum_product(graph, max_iterations=20)
         assert result.marginals["isolated"] == pytest.approx([0.5, 0.5])
+
+    def test_probability_correct_resolves_domain_order(self):
+        """Regression: P(correct) used to hard-code index 0; it must follow
+        the variable's actual domain ordering."""
+        graph = FactorGraph("flipped")
+        x = graph.add_variable(
+            DiscreteVariable("x", domain=(INCORRECT, CORRECT))
+        )
+        graph.add_factor(Factor("prior", (x,), np.array([0.3, 0.7])))
+        result = run_sum_product(graph, record_history=True)
+        assert result.probability_correct("x") == pytest.approx(0.7, abs=1e-6)
+        assert result.history_of("x")[-1] == pytest.approx(0.7, abs=1e-6)
+
+    def test_probability_correct_rejects_non_correctness_domain(self):
+        graph = FactorGraph("ternary")
+        x = graph.add_variable(
+            DiscreteVariable("x", domain=("red", "green", "blue"))
+        )
+        graph.add_factor(Factor("prior", (x,), np.array([0.2, 0.3, 0.5])))
+        result = run_sum_product(graph)
+        with pytest.raises(FactorGraphError, match="probability_correct"):
+            result.probability_correct("x")
+        with pytest.raises(FactorGraphError, match="probability_correct"):
+            result.history_of("x")
+
+    def test_handmade_result_without_domains_assumes_binary_layout(self):
+        result = SumProductResult(
+            marginals={"x": np.array([0.8, 0.2]), "y": np.array([0.1, 0.2, 0.7])},
+            iterations=1,
+            converged=True,
+            final_change=0.0,
+        )
+        assert result.probability_correct("x") == pytest.approx(0.8)
+        with pytest.raises(FactorGraphError):
+            result.probability_correct("y")
+
+
+class TestSharedDefaults:
+    def test_options_read_shared_constants(self):
+        options = SumProductOptions()
+        assert options.max_iterations == constants.DEFAULT_MAX_ITERATIONS
+        assert options.tolerance == constants.DEFAULT_TOLERANCE
+        assert options.damping == constants.DEFAULT_DAMPING
+        assert options.send_probability == constants.DEFAULT_SEND_PROBABILITY
+        assert options.backend == constants.DEFAULT_BACKEND
+
+    def test_embedded_defaults_match_sum_product_defaults(self):
+        """Regression: the two engines used to disagree (1e-6 vs 1e-4)."""
+        from repro.core.embedded import EmbeddedOptions
+
+        embedded = EmbeddedOptions()
+        centralised = SumProductOptions()
+        assert embedded.tolerance == centralised.tolerance
+        assert embedded.max_rounds == centralised.max_iterations
+
+    def test_default_rng_is_deterministic(self):
+        """Two lossy runs without explicit seeds share DEFAULT_SEED and must
+        produce identical trajectories."""
+        first = run_sum_product(loopy_graph(), max_iterations=40, send_probability=0.5)
+        second = run_sum_product(loopy_graph(), max_iterations=40, send_probability=0.5)
+        assert first.iterations == second.iterations
+        for name, marginal in first.marginals.items():
+            assert second.marginals[name] == pytest.approx(marginal)
+
+    def test_transport_default_seed_is_deterministic(self):
+        from repro.core.embedded import MessageTransport
+
+        draws = [MessageTransport(0.5).try_send() for _ in range(20)]
+        redraws = [MessageTransport(0.5).try_send() for _ in range(20)]
+        assert draws != [True] * 20  # actually lossy
+        first = MessageTransport(0.5)
+        second = MessageTransport(0.5)
+        assert [first.try_send() for _ in range(50)] == [
+            second.try_send() for _ in range(50)
+        ]
+        assert draws == redraws
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(FactorGraphError):
+            SumProductOptions(backend="gpu")

@@ -21,6 +21,7 @@ class TestParser:
             ["real-world", "--thetas", "0.5"],
             ["baseline"],
             ["schedules"],
+            ["throughput", "--sizes", "8", "--repeats", "1"],
             ["scenario", "--peers", "6"],
         ):
             args = parser.parse_args(command)
@@ -53,6 +54,12 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "probabilistic" in output
         assert "chatty-web" in output
+
+    def test_throughput_command(self, capsys):
+        assert main(["throughput", "--sizes", "8", "--repeats", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "vectorized msg/s" in output
+        assert "speedup" in output
 
     def test_scenario_command(self, capsys):
         assert main(["scenario", "--peers", "6", "--attributes", "6", "--seed", "3"]) == 0
