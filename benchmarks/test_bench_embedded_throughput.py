@@ -1,0 +1,138 @@
+"""Extra ablation — round throughput of the embedded state backends.
+
+The ROADMAP's remaining embedded perf levers were the variable→factor phase
+and the transport exchange, both dict-based after PR 1.  This benchmark
+times full decentralised rounds on growing scale-free cycle evidence with
+the historical per-message dict state (``backend="dicts"``) and the stacked
+array state (``backend="arrays"``), lossless and lossy, and doubles as a
+regression tripwire: the array state must stay well ahead of the dicts
+(≥5x per round at 64 peers) while reproducing the dict posteriors to
+``1e-12`` under shared transport seeds.  A second test pins the probe-once
+structure cache of :class:`~repro.core.quality.MappingQualityAssessor`:
+assessing every attribute of a 32-peer network must enumerate the cycle
+structures exactly once.
+"""
+
+import pytest
+
+from repro.core.embedded import EmbeddedMessagePassing, EmbeddedOptions
+from repro.evaluation.experiments import (
+    run_assessor_amortization,
+    run_embedded_throughput,
+    throughput_feedbacks,
+)
+from repro.evaluation.reporting import format_table
+
+SIZES = (16, 32, 64)
+
+#: Acceptance floor for the array state on the 64-peer evidence.
+MIN_SPEEDUP_AT_64_PEERS = 5.0
+
+#: Both backends replay the same message schedule under a shared seed, so
+#: their posteriors may only differ by accumulated floating-point noise.
+MAX_POSTERIOR_DIVERGENCE = 1e-12
+
+LOSSY_SEND_PROBABILITY = 0.7
+
+
+def _row(point, label):
+    return (
+        point.peer_count,
+        label,
+        point.feedback_count,
+        point.remote_messages_per_round,
+        f"{point.dict_rounds_per_second:,.0f}",
+        f"{point.array_rounds_per_second:,.0f}",
+        f"{point.speedup:.1f}x",
+        f"{point.max_posterior_difference:.1e}",
+    )
+
+
+@pytest.mark.parametrize("peer_count", SIZES)
+def test_bench_embedded_round_throughput(benchmark, report, peer_count):
+    feedbacks = throughput_feedbacks(peer_count, ttl=3)
+    engine = EmbeddedMessagePassing(
+        feedbacks,
+        priors=0.5,
+        delta=0.1,
+        options=EmbeddedOptions(record_history=False),
+    )
+    benchmark(engine.run_round)
+
+    lossless = run_embedded_throughput(
+        peer_counts=(peer_count,), rounds=25, repeats=2
+    ).point_for(peer_count)
+    lossy = run_embedded_throughput(
+        peer_counts=(peer_count,),
+        rounds=25,
+        repeats=1,
+        send_probability=LOSSY_SEND_PROBABILITY,
+    ).point_for(peer_count)
+
+    lines = format_table(
+        (
+            "peers",
+            "transport",
+            "feedbacks",
+            "remote msgs/round",
+            "dict rounds/s",
+            "array rounds/s",
+            "speedup",
+            "max |Δposterior|",
+        ),
+        [
+            _row(lossless, "lossless"),
+            _row(lossy, f"P(send)={LOSSY_SEND_PROBABILITY}"),
+        ],
+        title=(
+            f"Embedded throughput — dict vs array state on the "
+            f"{peer_count}-peer scale-free cycle evidence"
+        ),
+    )
+    report(f"EX_embedded_throughput_{peer_count}_peers", lines)
+
+    assert lossless.max_posterior_difference <= MAX_POSTERIOR_DIVERGENCE
+    assert lossy.max_posterior_difference <= MAX_POSTERIOR_DIVERGENCE
+    if peer_count >= 64:
+        for point in (lossless, lossy):
+            assert point.speedup >= MIN_SPEEDUP_AT_64_PEERS, (
+                f"array state is only {point.speedup:.1f}x faster than the "
+                f"dict state at {peer_count} peers "
+                f"(floor {MIN_SPEEDUP_AT_64_PEERS}x)"
+            )
+
+
+def test_bench_assessor_amortization(report):
+    result = run_assessor_amortization(peer_count=32, attribute_count=10, ttl=3)
+
+    lines = format_table(
+        (
+            "peers",
+            "attributes",
+            "probes (cached)",
+            "probes (uncached)",
+            "cached s",
+            "uncached s",
+            "speedup",
+            "max |Δposterior|",
+        ),
+        [
+            (
+                result.peer_count,
+                result.attribute_count,
+                result.cached_probe_count,
+                result.uncached_probe_count,
+                f"{result.cached_seconds:.3f}",
+                f"{result.uncached_seconds:.3f}",
+                f"{result.speedup:.1f}x",
+                f"{result.max_posterior_difference:.1e}",
+            )
+        ],
+        title="Assessor amortization — probe-once structure cache, 32 peers",
+    )
+    report("EX_assessor_amortization_32_peers", lines)
+
+    assert result.attribute_count >= 5
+    assert result.cached_probe_count == 1
+    assert result.probe_amortization == result.attribute_count
+    assert result.max_posterior_difference == 0.0

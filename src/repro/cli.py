@@ -24,9 +24,11 @@ from typing import List, Optional, Sequence
 
 from .core.quality import MappingQualityAssessor
 from .evaluation.experiments import (
+    run_assessor_amortization,
     run_baseline_comparison,
     run_convergence,
     run_cycle_length,
+    run_embedded_throughput,
     run_engine_throughput,
     run_fault_tolerance,
     run_intro_example,
@@ -82,15 +84,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     throughput = subparsers.add_parser(
         "throughput",
-        help="edges/sec of the loop vs vectorized sum-product backends",
+        help="throughput of the inference engines (centralised sum-product "
+        "backends, or embedded dict vs array state with --mode embedded)",
     )
     throughput.add_argument(
-        "--sizes", type=int, nargs="+", default=[8, 16, 32, 64, 128],
-        help="peer counts of the generated scale-free networks",
+        "--sizes", type=int, nargs="+", default=None,
+        help="peer counts of the generated scale-free networks "
+        "(default 8 16 32 64 128; 8 16 32 64 in embedded mode)",
+    )
+    throughput.add_argument(
+        "--mode", choices=("sum-product", "embedded"), default="sum-product",
+        help="'sum-product' times the centralised loop vs vectorized "
+        "backends; 'embedded' times decentralised rounds on the dict vs "
+        "array state backends",
     )
     throughput.add_argument("--ttl", type=int, default=3)
     throughput.add_argument("--repeats", type=int, default=3)
-    throughput.add_argument("--max-iterations", type=int, default=50)
+    throughput.add_argument(
+        "--max-iterations", type=int, default=None,
+        help="sum-product mode only: iteration cap per timed run (default 50)",
+    )
+    throughput.add_argument(
+        "--rounds", type=int, default=None,
+        help="embedded mode only: decentralised rounds per timed run "
+        "(default 25)",
+    )
+    throughput.add_argument(
+        "--send-probability", type=float, default=None,
+        help="embedded mode only: transport reliability of the timed runs "
+        "(default 1.0)",
+    )
+
+    amortization = subparsers.add_parser(
+        "amortization",
+        help="probe-once structure cache vs per-attribute probing on a "
+        "full assess_all_attributes pass",
+    )
+    amortization.add_argument("--peers", type=int, default=32)
+    amortization.add_argument("--attributes", type=int, default=10)
+    amortization.add_argument("--ttl", type=int, default=3)
 
     scenario = subparsers.add_parser(
         "scenario", help="assess a generated synthetic PDMS scenario"
@@ -221,10 +253,13 @@ def _render_schedules() -> str:
 
 
 def _render_throughput(args: argparse.Namespace) -> str:
+    if args.mode == "embedded":
+        return _render_embedded_throughput(args)
+    sizes = tuple(args.sizes) if args.sizes else (8, 16, 32, 64, 128)
     result = run_engine_throughput(
-        peer_counts=tuple(args.sizes),
+        peer_counts=sizes,
         ttl=args.ttl,
-        max_iterations=args.max_iterations,
+        max_iterations=args.max_iterations if args.max_iterations is not None else 50,
         repeats=args.repeats,
     )
     rows = [
@@ -242,6 +277,81 @@ def _render_throughput(args: argparse.Namespace) -> str:
         ("peers", "edges", "loop msg/s", "vectorized msg/s", "speedup", "max |Δmarginal|"),
         rows,
         title="Engine throughput — loop vs vectorized sum-product backends",
+    )
+
+
+def _render_embedded_throughput(args: argparse.Namespace) -> str:
+    sizes = tuple(args.sizes) if args.sizes else (8, 16, 32, 64)
+    send_probability = (
+        args.send_probability if args.send_probability is not None else 1.0
+    )
+    result = run_embedded_throughput(
+        peer_counts=sizes,
+        ttl=args.ttl,
+        rounds=args.rounds if args.rounds is not None else 25,
+        repeats=args.repeats,
+        send_probability=send_probability,
+    )
+    rows = [
+        (
+            point.peer_count,
+            point.feedback_count,
+            point.remote_messages_per_round,
+            f"{point.dict_rounds_per_second:,.0f}",
+            f"{point.array_rounds_per_second:,.0f}",
+            f"{point.speedup:.1f}x",
+            f"{point.max_posterior_difference:.1e}",
+        )
+        for point in result.points
+    ]
+    return format_table(
+        (
+            "peers",
+            "feedbacks",
+            "remote msgs/round",
+            "dict rounds/s",
+            "array rounds/s",
+            "speedup",
+            "max |Δposterior|",
+        ),
+        rows,
+        title=(
+            "Embedded throughput — dict vs array state backends "
+            f"(P(send)={send_probability})"
+        ),
+    )
+
+
+def _render_amortization(args: argparse.Namespace) -> str:
+    result = run_assessor_amortization(
+        peer_count=args.peers,
+        attribute_count=args.attributes,
+        ttl=args.ttl,
+    )
+    return format_table(
+        (
+            "peers",
+            "attributes",
+            "probes (cached)",
+            "probes (uncached)",
+            "cached s",
+            "uncached s",
+            "speedup",
+            "max |Δposterior|",
+        ),
+        [
+            (
+                result.peer_count,
+                result.attribute_count,
+                result.cached_probe_count,
+                result.uncached_probe_count,
+                f"{result.cached_seconds:.3f}",
+                f"{result.uncached_seconds:.3f}",
+                f"{result.speedup:.1f}x",
+                f"{result.max_posterior_difference:.1e}",
+            )
+        ],
+        title="Assessor amortization — probe-once structure cache",
     )
 
 
@@ -283,6 +393,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "throughput":
+        # Reject flags that belong to the other mode instead of silently
+        # ignoring them.
+        if args.mode == "embedded" and args.max_iterations is not None:
+            parser.error("--max-iterations only applies to --mode sum-product")
+        if args.mode == "sum-product":
+            for option, value in (
+                ("--rounds", args.rounds),
+                ("--send-probability", args.send_probability),
+            ):
+                if value is not None:
+                    parser.error(f"{option} only applies to --mode embedded")
     if args.command == "intro":
         output = _render_intro()
     elif args.command == "convergence":
@@ -301,6 +423,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _render_schedules()
     elif args.command == "throughput":
         output = _render_throughput(args)
+    elif args.command == "amortization":
+        output = _render_amortization(args)
     elif args.command == "scenario":
         output = _render_scenario(args)
     else:  # pragma: no cover - argparse enforces the choices

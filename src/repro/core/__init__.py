@@ -20,7 +20,13 @@ from .feedback import (
     feedback_from_parallel_paths,
     positive_feedback_probability,
 )
-from .analysis import NetworkEvidence, analyze_neighborhood, analyze_network
+from .analysis import (
+    NetworkEvidence,
+    NetworkStructureCache,
+    StructureCacheStatistics,
+    analyze_neighborhood,
+    analyze_network,
+)
 from .beliefs import MAXIMUM_ENTROPY_PRIOR, PriorBeliefStore
 from .pdms_factor_graph import (
     PDMSFactorGraph,
@@ -50,6 +56,8 @@ __all__ = [
     "feedback_from_parallel_paths",
     "positive_feedback_probability",
     "NetworkEvidence",
+    "NetworkStructureCache",
+    "StructureCacheStatistics",
     "analyze_neighborhood",
     "analyze_network",
     "MAXIMUM_ENTROPY_PRIOR",

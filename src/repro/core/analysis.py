@@ -10,6 +10,17 @@ turned into factors.
 It also reports, per mapping, whether the mapping provides *any*
 correspondence for the attribute — the paper treats a missing correspondence
 as correctness probability zero for that attribute (§3.2.1, the ⊥ case).
+
+Amortised probing
+-----------------
+Cycle and parallel-path *structures* are attribute-independent (§3.2.1):
+only their evaluation — pushing one attribute through the transitive
+closure of the traversed correspondences — depends on the attribute.
+:class:`NetworkStructureCache` exploits this: it probes the network once per
+``(network version, ttl, include_parallel_paths)`` key and derives the
+per-attribute :class:`NetworkEvidence` by re-evaluating the cached
+structures, so assessing N attributes (or N EM rounds) costs one
+exponential enumeration instead of N.
 """
 
 from __future__ import annotations
@@ -29,7 +40,13 @@ from ..pdms.probing import (
 )
 from .feedback import Feedback, FeedbackKind, feedback_from_cycle, feedback_from_parallel_paths
 
-__all__ = ["NetworkEvidence", "analyze_network", "analyze_neighborhood"]
+__all__ = [
+    "NetworkEvidence",
+    "StructureCacheStatistics",
+    "NetworkStructureCache",
+    "analyze_network",
+    "analyze_neighborhood",
+]
 
 
 @dataclass(frozen=True)
@@ -101,6 +118,99 @@ def _evidence_from_structures(
     return feedbacks
 
 
+@dataclass
+class StructureCacheStatistics:
+    """Hit/miss accounting of a :class:`NetworkStructureCache`.
+
+    ``probes`` counts actual cycle/parallel-path enumerations — the quantity
+    the cache exists to minimise; ``hits`` and ``misses`` count lookups.
+    """
+
+    probes: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class NetworkStructureCache:
+    """Probe-once cache of a network's cycle / parallel-path structures.
+
+    The cache is keyed on ``(network version, ttl, include_parallel_paths)``:
+    a topology mutation (added/removed peer or mapping) bumps
+    :attr:`~repro.pdms.network.PDMSNetwork.version` and transparently forces
+    a re-probe, and :meth:`invalidate` drops the cached structures
+    explicitly for mutations the version counter cannot see (e.g. direct
+    fiddling with network internals in tests).
+
+    Correspondence-level edits (corruptions, repairs) deliberately do *not*
+    invalidate: they change how a structure evaluates for an attribute — the
+    per-call :meth:`evidence_for` always re-evaluates — not which structures
+    exist.
+    """
+
+    def __init__(
+        self,
+        network: PDMSNetwork,
+        ttl: int = 6,
+        include_parallel_paths: Optional[bool] = None,
+    ) -> None:
+        self.network = network
+        self.ttl = ttl
+        self.include_parallel_paths = include_parallel_paths
+        self.statistics = StructureCacheStatistics()
+        self._key: Optional[Tuple[int, int, bool]] = None
+        self._cycles: Tuple[MappingCycle, ...] = ()
+        self._parallel_paths: Tuple[ParallelPaths, ...] = ()
+
+    def _resolved_include_parallel_paths(self) -> bool:
+        if self.include_parallel_paths is None:
+            return self.network.directed
+        return self.include_parallel_paths
+
+    def structures(self) -> Tuple[Tuple[MappingCycle, ...], Tuple[ParallelPaths, ...]]:
+        """The network's cycles and parallel paths, probing at most once per
+        topology version."""
+        include = self._resolved_include_parallel_paths()
+        key = (self.network.version, self.ttl, include)
+        if key == self._key:
+            self.statistics.hits += 1
+            return self._cycles, self._parallel_paths
+        self.statistics.misses += 1
+        self.statistics.probes += 1
+        self._cycles = find_all_cycles(self.network, ttl=self.ttl)
+        self._parallel_paths = (
+            find_all_parallel_paths(self.network, ttl=self.ttl) if include else ()
+        )
+        self._key = key
+        return self._cycles, self._parallel_paths
+
+    def evidence_for(self, attribute: str) -> NetworkEvidence:
+        """Per-attribute evidence derived from the cached structures.
+
+        Equivalent to :func:`analyze_network` — same structures, same
+        feedback identifiers — but the exponential enumeration is amortised
+        across attributes and EM rounds.
+        """
+        cycles, parallel_paths = self.structures()
+        feedbacks = _evidence_from_structures(cycles, parallel_paths, attribute)
+        return NetworkEvidence(
+            attribute=attribute,
+            feedbacks=tuple(feedbacks),
+            unmappable=_unmappable_mappings(self.network, attribute),
+            cycles=cycles,
+            parallel_paths=parallel_paths,
+        )
+
+    def invalidate(self) -> None:
+        """Drop the cached structures; the next lookup re-probes."""
+        self._key = None
+        self._cycles = ()
+        self._parallel_paths = ()
+
+
 def analyze_network(
     network: PDMSNetwork,
     attribute: str,
@@ -112,6 +222,10 @@ def analyze_network(
     ``include_parallel_paths`` defaults to the network's directedness:
     parallel paths are only meaningful in directed PDMS (§3.3) — in an
     undirected network they already appear as cycles.
+
+    This probes the network from scratch on every call; use a
+    :class:`NetworkStructureCache` when gathering evidence for several
+    attributes (or repeatedly, as the EM update does) on the same topology.
     """
     if include_parallel_paths is None:
         include_parallel_paths = network.directed

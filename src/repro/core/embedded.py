@@ -18,6 +18,35 @@ Because every factor replica applies the same sum–product update as the
 corresponding factor of the global graph, the fixed points coincide with
 those of centralised loopy BP — which is what the tests verify.
 
+State layout and backends
+-------------------------
+The engine keeps its message state in three stacked ``(rows, 2)`` matrices:
+
+* ``_v2f_mat`` / ``_f2v_mat`` — one row per directed *owner edge*
+  ``(mapping, feedback)``, grouped contiguously by mapping so phase 1 is a
+  single zero-aware segment product
+  (:func:`~repro.factorgraph.compiled.segment_exclusive_products`) over the
+  factor→variable matrix, and posteriors are one inclusive segment product.
+* ``_recv_mat`` — one row per *received cell* ``(peer, feedback, remote
+  mapping)``, the last remote message a peer received for a replica.
+
+Phase 2 (the transport exchange) is a single vectorized Bernoulli mask over
+the precomputed transmission list (``_tx_src`` → ``_tx_dest`` index arrays);
+phase 3 gathers the einsum operands for each
+:class:`~repro.factorgraph.compiled.FactorBatch` by fancy indexing into the
+concatenated message pool and scatters the fresh factor→variable rows back
+by edge id.  The historical dict-of-dicts state survives behind
+``backend="dicts"`` as the loop reference the parity tests and the
+throughput benchmark compare against; the array backend exposes the same
+``_f2v`` / ``_v2f`` / ``_received`` attributes as thin read-only dict views
+over the matrices, so introspection code works against either backend.
+
+The Bernoulli keep/send decisions are drawn from the transport's single
+``random.Random`` stream in transmission order by both backends
+(:meth:`MessageTransport.send_mask` versus repeated
+:meth:`MessageTransport.try_send`), so lossy runs with a shared seed make
+identical drop decisions and stay reproducible across backends.
+
 Compiled-kernel equivalence contract
 ------------------------------------
 The factor→variable sweep of every round is routed through the same batched
@@ -35,6 +64,7 @@ centralised engine through :mod:`repro.constants`.
 from __future__ import annotations
 
 import random
+from collections.abc import Mapping as ABCMapping
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
 
@@ -47,7 +77,12 @@ from ..constants import (
     DEFAULT_TOLERANCE,
 )
 from ..exceptions import ConvergenceError, FeedbackError
-from ..factorgraph.compiled import FactorBatch, normalize_rows
+from ..factorgraph.compiled import (
+    FactorBatch,
+    normalize_rows,
+    segment_exclusive_products,
+    segment_products,
+)
 from ..factorgraph.factors import Factor
 from ..factorgraph.messages import normalize, unit_message
 from ..factorgraph.variables import BinaryVariable
@@ -57,12 +92,35 @@ from .local_graph import LocalFactorGraph, build_local_graphs, mapping_owner
 from .pdms_factor_graph import variable_name_for
 
 __all__ = [
+    "STATE_ARRAYS",
+    "STATE_DICTS",
     "MessageTransport",
     "TransportStatistics",
     "EmbeddedOptions",
     "EmbeddedResult",
     "EmbeddedMessagePassing",
+    "required_quiet_rounds",
 ]
+
+
+def required_quiet_rounds(send_probability: float) -> int:
+    """Consecutive sub-tolerance rounds needed to declare convergence.
+
+    Under message loss a single quiet round may simply mean the informative
+    messages were dropped, so the count grows inversely with the transport's
+    send probability.  Shared by :meth:`EmbeddedMessagePassing.run` and the
+    schedules so every stopping rule stays in sync.
+    """
+    if send_probability >= 1.0:
+        return 1
+    return max(2, int(round(2.0 / send_probability)))
+
+#: Vectorized array state (default): stacked message matrices + index plans.
+STATE_ARRAYS = "arrays"
+
+#: Historical dict-of-dicts state, kept as the loop reference for parity
+#: tests and the embedded throughput benchmark.
+STATE_DICTS = "dicts"
 
 
 @dataclass
@@ -79,6 +137,11 @@ class TransportStatistics:
             self.delivered += 1
         else:
             self.dropped += 1
+
+    def record_many(self, attempted: int, delivered: int) -> None:
+        self.attempted += attempted
+        self.delivered += delivered
+        self.dropped += attempted - delivered
 
     @property
     def delivery_rate(self) -> float:
@@ -123,6 +186,28 @@ class MessageTransport:
         self.statistics.record(delivered)
         return delivered
 
+    def send_mask(self, count: int) -> np.ndarray:
+        """Vectorized equivalent of ``count`` consecutive :meth:`try_send`.
+
+        The uniforms are drawn from the same ``random.Random`` stream in the
+        same order as the scalar calls (and, like them, a perfectly reliable
+        transport draws nothing), so the dict and array backends make
+        identical drop decisions under a shared seed.
+        """
+        if count <= 0:
+            return np.zeros(0, dtype=bool)
+        if self.send_probability >= 1.0:
+            mask = np.ones(count, dtype=bool)
+        else:
+            uniforms = np.fromiter(
+                (self._rng.random() for _ in range(count)),
+                dtype=float,
+                count=count,
+            )
+            mask = uniforms < self.send_probability
+        self.statistics.record_many(count, int(mask.sum()))
+        return mask
+
 
 @dataclass(frozen=True)
 class EmbeddedOptions:
@@ -157,13 +242,50 @@ class EmbeddedResult:
     messages_attempted: int = 0
     messages_delivered: int = 0
 
+    def _require_known(self, mapping_name: str) -> None:
+        if mapping_name not in self.posteriors:
+            known = ", ".join(sorted(self.posteriors)) or "<none>"
+            raise FeedbackError(
+                f"unknown mapping {mapping_name!r} in embedded result; "
+                f"known mappings: {known}"
+            )
+
     def probability_correct(self, mapping_name: str) -> float:
         """Posterior P(mapping correct) for the run's attribute."""
+        self._require_known(mapping_name)
         return self.posteriors[mapping_name]
 
     def history_of(self, mapping_name: str) -> List[float]:
         """Per-round posterior trajectory of one mapping."""
+        self._require_known(mapping_name)
         return [snapshot[mapping_name] for snapshot in self.history]
+
+
+class _MessageRowView(ABCMapping):
+    """Read-only dict-like view over rows of a stacked message matrix.
+
+    The matrix attribute is resolved on the owning engine at access time, so
+    the view stays valid when a round replaces the whole matrix.
+    """
+
+    __slots__ = ("_engine", "_attribute", "_rows")
+
+    def __init__(self, engine: "EmbeddedMessagePassing", attribute: str, rows: Dict) -> None:
+        self._engine = engine
+        self._attribute = attribute
+        self._rows = rows
+
+    def __getitem__(self, key) -> np.ndarray:
+        return getattr(self._engine, self._attribute)[self._rows[key]]
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_MessageRowView({dict(self)!r})"
 
 
 class EmbeddedMessagePassing:
@@ -185,6 +307,11 @@ class EmbeddedMessagePassing:
     owners:
         Optional explicit mapping→peer ownership (defaults to each mapping's
         source peer).
+    backend:
+        ``"arrays"`` (default) runs every phase on the stacked message
+        matrices; ``"dicts"`` keeps the historical per-message dict state as
+        the loop reference.  Both produce posteriors matching to
+        floating-point accuracy under identical transport seeds.
     """
 
     def __init__(
@@ -195,7 +322,14 @@ class EmbeddedMessagePassing:
         transport: Optional[MessageTransport] = None,
         options: Optional[EmbeddedOptions] = None,
         owners: Optional[TMapping[str, str]] = None,
+        backend: str = STATE_ARRAYS,
     ) -> None:
+        if backend not in (STATE_ARRAYS, STATE_DICTS):
+            raise FeedbackError(
+                f"unknown embedded state backend {backend!r}; "
+                f"expected {STATE_ARRAYS!r} or {STATE_DICTS!r}"
+            )
+        self.backend = backend
         self.options = options or EmbeddedOptions()
         self.transport = transport or MessageTransport()
         self.delta = delta
@@ -211,13 +345,22 @@ class EmbeddedMessagePassing:
             for mapping_name in fragment.owned_mappings:
                 self._owners[mapping_name] = peer
 
-        # Priors, as plain vectors [P(correct), P(incorrect)].
-        self._prior_vectors: Dict[str, np.ndarray] = {}
-        for mapping_name in self._owners:
+        # Priors, stacked as one (mappings, 2) matrix of
+        # [P(correct), P(incorrect)] rows; ``_prior_vectors`` keeps the
+        # historical per-mapping dict view (rows of the matrix).
+        self._mapping_list: List[str] = list(self._owners)
+        self._mapping_index: Dict[str, int] = {
+            name: index for index, name in enumerate(self._mapping_list)
+        }
+        prior_rows = []
+        for mapping_name in self._mapping_list:
             prior = self._resolve_prior(priors, mapping_name)
-            self._prior_vectors[mapping_name] = np.clip(
-                np.array([prior, 1.0 - prior]), 1e-9, 1.0
-            )
+            prior_rows.append(np.clip(np.array([prior, 1.0 - prior]), 1e-9, 1.0))
+        self._prior_matrix = np.stack(prior_rows)
+        self._prior_vectors: Dict[str, np.ndarray] = {
+            name: self._prior_matrix[index]
+            for index, name in enumerate(self._mapping_list)
+        }
 
         # One factor object per feedback (shared by all replicas; the factor
         # table is identical everywhere so sharing is purely an optimisation).
@@ -233,13 +376,47 @@ class EmbeddedMessagePassing:
             )
             self._feedback_by_id[feedback.identifier] = feedback
 
-        # Message state.
-        #   factor→variable messages held by the owner of the variable:
-        #     _f2v[mapping_name][feedback_id]
-        #   variable→factor messages computed by the owner each round:
-        #     _v2f[mapping_name][feedback_id]
-        #   remote messages received by a peer for a (feedback, remote mapping):
-        #     _received[peer][(feedback_id, mapping_name)]
+        if backend == STATE_DICTS:
+            self._init_dict_state()
+            self._compile_dict_batches()
+        else:
+            self._init_array_state()
+            self._compile_array_batches()
+
+    # -- state construction ------------------------------------------------------------
+
+    def _owner_edge_layout(self) -> List[Tuple[str, str]]:
+        """Directed owner edges ``(mapping, feedback id)``, grouped by mapping.
+
+        The order matches the historical dict construction: mappings in
+        ownership order, feedbacks in each owner fragment's order.
+        """
+        edges: List[Tuple[str, str]] = []
+        for mapping_name, owner in self._owners.items():
+            fragment = self.local_graphs[owner]
+            for feedback in fragment.feedbacks_for(mapping_name):
+                edges.append((mapping_name, feedback.identifier))
+        return edges
+
+    def _received_cell_layout(self) -> List[Tuple[str, str, str]]:
+        """Received cells ``(peer, feedback id, remote mapping)`` in peer order."""
+        cells: Dict[Tuple[str, str, str], None] = {}
+        for peer, fragment in self.local_graphs.items():
+            for feedback in fragment.feedbacks:
+                for mapping_name in feedback.mapping_names:
+                    if self._owners.get(mapping_name) == peer:
+                        continue
+                    cells.setdefault((peer, feedback.identifier, mapping_name), None)
+        return list(cells)
+
+    def _init_dict_state(self) -> None:
+        """Historical per-message dict state (the ``"dicts"`` backend).
+
+        ``_f2v[mapping][feedback_id]`` holds the factor→variable messages at
+        the variable's owner, ``_v2f[mapping][feedback_id]`` the fresh
+        variable→factor messages, and ``_received[peer][(feedback_id,
+        mapping)]`` the last remote message a peer received for a replica.
+        """
         self._f2v: Dict[str, Dict[str, np.ndarray]] = {}
         self._v2f: Dict[str, Dict[str, np.ndarray]] = {}
         for mapping_name, owner in self._owners.items():
@@ -259,9 +436,88 @@ class EmbeddedMessagePassing:
                     incoming[(feedback.identifier, mapping_name)] = unit_message(2)
             self._received[peer] = incoming
 
-        self._compile_batches()
+    def _init_array_state(self) -> None:
+        """Stacked array state (the ``"arrays"`` backend) plus dict views."""
+        edges = self._owner_edge_layout()
+        self._edge_rows: Dict[Tuple[str, str], int] = {
+            edge: row for row, edge in enumerate(edges)
+        }
+        self._edge_mapping = np.asarray(
+            [self._mapping_index[mapping_name] for mapping_name, _ in edges],
+            dtype=np.int64,
+        )
+        # Every owned mapping appears in at least one feedback, and the
+        # edges are grouped by mapping in ownership order, so segment index
+        # == mapping index and the starts are the first edge of each block.
+        if len(edges):
+            is_start = np.empty(len(edges), dtype=bool)
+            is_start[0] = True
+            is_start[1:] = self._edge_mapping[1:] != self._edge_mapping[:-1]
+            self._segment_starts = np.flatnonzero(is_start)
+        else:
+            self._segment_starts = np.empty(0, dtype=np.int64)
 
-    def _compile_batches(self) -> None:
+        cells = self._received_cell_layout()
+        self._recv_rows: Dict[Tuple[str, str, str], int] = {
+            cell: row for row, cell in enumerate(cells)
+        }
+
+        self._v2f_mat = np.full((len(edges), 2), 0.5)
+        self._f2v_mat = np.full((len(edges), 2), 0.5)
+        self._recv_mat = np.full((len(cells), 2), 0.5)
+        # Posterior beliefs only change when a factor sweep rewrites
+        # _f2v_mat, so the matrix is memoised between sweeps (the "after"
+        # snapshot of one round doubles as the "before" of the next).
+        self._posterior_cache: Optional[np.ndarray] = None
+
+        # Transmission list of phase 2, in the exact order the dict backend
+        # walks it (feedback → sender mapping → recipient mapping), so both
+        # backends consume the transport rng identically.
+        tx_src: List[int] = []
+        tx_dest: List[int] = []
+        tx_mapping: List[int] = []
+        for feedback in self._feedbacks:
+            for mapping_name in feedback.mapping_names:
+                sender = self._owners[mapping_name]
+                source_edge = self._edge_rows[(mapping_name, feedback.identifier)]
+                for other_mapping in feedback.mapping_names:
+                    recipient = self._owners[other_mapping]
+                    if recipient == sender:
+                        continue
+                    tx_src.append(source_edge)
+                    tx_dest.append(
+                        self._recv_rows[(recipient, feedback.identifier, mapping_name)]
+                    )
+                    tx_mapping.append(self._mapping_index[mapping_name])
+        self._tx_src = np.asarray(tx_src, dtype=np.int64)
+        self._tx_dest = np.asarray(tx_dest, dtype=np.int64)
+        self._tx_mapping = np.asarray(tx_mapping, dtype=np.int64)
+
+        # Read-only dict views preserving the historical attribute layout.
+        per_mapping_rows: Dict[str, Dict[str, int]] = {
+            name: {} for name in self._mapping_list
+        }
+        for (mapping_name, feedback_id), row in self._edge_rows.items():
+            per_mapping_rows[mapping_name][feedback_id] = row
+        self._f2v = {
+            name: _MessageRowView(self, "_f2v_mat", rows)
+            for name, rows in per_mapping_rows.items()
+        }
+        self._v2f = {
+            name: _MessageRowView(self, "_v2f_mat", rows)
+            for name, rows in per_mapping_rows.items()
+        }
+        per_peer_rows: Dict[str, Dict[Tuple[str, str], int]] = {
+            peer: {} for peer in self.local_graphs
+        }
+        for (peer, feedback_id, mapping_name), row in self._recv_rows.items():
+            per_peer_rows[peer][(feedback_id, mapping_name)] = row
+        self._received = {
+            peer: _MessageRowView(self, "_recv_mat", rows)
+            for peer, rows in per_peer_rows.items()
+        }
+
+    def _compile_dict_batches(self) -> None:
         """Group the feedback-factor replicas into compiled einsum batches.
 
         For every batch of same-shape factors we precompute a gather plan:
@@ -326,10 +582,84 @@ class EmbeddedMessagePassing:
                 scatter.append(targets)
             self._batches.append((batch, gather, scatter))
 
+    def _compile_array_batches(self) -> None:
+        """Index-array gather/scatter plans for the array backend.
+
+        The message pool a sweep gathers from is the row-wise concatenation
+        of ``_v2f_mat`` and ``_recv_mat``: pool ids below the edge count
+        select the owner's own fresh µ_{v→F}, ids above it select the last
+        received remote copy.  ``scatter[target]`` holds the µ_{F→v} edge
+        ids the fresh rows of a target slot are written back to.
+        """
+        edge_count = len(self._edge_rows)
+        by_shape: Dict[Tuple[int, ...], List[Feedback]] = {}
+        for feedback in self._feedbacks:
+            shape = self._factors[feedback.identifier].table.shape
+            by_shape.setdefault(shape, []).append(feedback)
+        self._batches = []
+        for group in by_shape.values():
+            batch = FactorBatch([self._factors[f.identifier] for f in group])
+            arity = batch.arity
+            gather: List[List[Optional[np.ndarray]]] = []
+            scatter: List[np.ndarray] = []
+            for target in range(arity):
+                target_rows: List[int] = []
+                for feedback in group:
+                    target_mapping = feedback.mapping_names[target]
+                    if (target_mapping, feedback.identifier) not in self._edge_rows:
+                        raise FeedbackError(
+                            f"feedback {feedback.identifier!r} missing from the "
+                            f"local graph of {target_mapping!r}'s owner"
+                        )
+                    target_rows.append(
+                        self._edge_rows[(target_mapping, feedback.identifier)]
+                    )
+                per_source: List[Optional[np.ndarray]] = []
+                for source in range(arity):
+                    if source == target:
+                        per_source.append(None)
+                        continue
+                    pool_ids: List[int] = []
+                    for feedback in group:
+                        target_mapping = feedback.mapping_names[target]
+                        source_mapping = feedback.mapping_names[source]
+                        owner = self._owners[target_mapping]
+                        if self._owners[source_mapping] == owner:
+                            pool_ids.append(
+                                self._edge_rows[(source_mapping, feedback.identifier)]
+                            )
+                        else:
+                            pool_ids.append(
+                                edge_count
+                                + self._recv_rows[
+                                    (owner, feedback.identifier, source_mapping)
+                                ]
+                            )
+                    per_source.append(np.asarray(pool_ids, dtype=np.int64))
+                gather.append(per_source)
+                scatter.append(np.asarray(target_rows, dtype=np.int64))
+            self._batches.append((batch, gather, scatter))
+
     # -- helpers ---------------------------------------------------------------------
 
     @staticmethod
+    def _validate_prior(value, mapping_name: str) -> float:
+        if isinstance(value, bool):
+            raise FeedbackError(
+                f"prior for {mapping_name!r} must be a probability in [0, 1], "
+                f"got boolean {value!r}"
+            )
+        prior = float(value)
+        if not 0.0 <= prior <= 1.0:
+            raise FeedbackError(
+                f"prior for {mapping_name!r} must be a probability in [0, 1], "
+                f"got {value!r}"
+            )
+        return prior
+
+    @classmethod
     def _resolve_prior(
+        cls,
         priors: PriorBeliefStore | TMapping[str, float] | float | None,
         mapping_name: str,
     ) -> float:
@@ -340,9 +670,9 @@ class EmbeddedMessagePassing:
             raise FeedbackError(
                 "pass PriorBeliefStore priors via priors_for_attribute()"
             )
-        if isinstance(priors, (int, float)):
-            return float(priors)
-        return float(priors.get(mapping_name, 0.5))
+        if isinstance(priors, bool) or isinstance(priors, (int, float)):
+            return cls._validate_prior(priors, mapping_name)
+        return cls._validate_prior(priors.get(mapping_name, 0.5), mapping_name)
 
     @classmethod
     def from_prior_store(
@@ -373,10 +703,53 @@ class EmbeddedMessagePassing:
     def owner_of(self, mapping_name: str) -> str:
         return self._owners[mapping_name]
 
+    @property
+    def remote_message_count(self) -> int:
+        """Remote transmissions one full round attempts (the paper's
+        ``Σ_ci (l_ci − 1)`` summed over all peers)."""
+        total = 0
+        for feedback in self._feedbacks:
+            for mapping_name in feedback.mapping_names:
+                sender = self._owners[mapping_name]
+                total += sum(
+                    1
+                    for other in feedback.mapping_names
+                    if self._owners[other] != sender
+                )
+        return total
+
+    def _mapping_selection(self, selection: set) -> np.ndarray:
+        """Boolean mask over mapping indices for a phase-1/2 restriction."""
+        mask = np.zeros(len(self._mapping_list), dtype=bool)
+        for name in selection:
+            index = self._mapping_index.get(name)
+            if index is not None:
+                mask[index] = True
+        return mask
+
     # -- the three phases of a round ----------------------------------------------------
 
     def _compute_variable_messages(self, mapping_names: Optional[set] = None) -> None:
-        """Phase 1: owners recompute µ_{v→F} for their mapping variables."""
+        """Phase 1: owners recompute µ_{v→F} for their mapping variables.
+
+        Array backend: one zero-aware exclusive segment product over the
+        stacked factor→variable matrix, scaled by the per-edge prior rows.
+        """
+        if self.backend == STATE_DICTS:
+            self._compute_variable_messages_dicts(mapping_names)
+            return
+        exclusive = segment_exclusive_products(
+            self._f2v_mat, self._segment_starts, self._edge_mapping
+        )
+        fresh = normalize_rows(self._prior_matrix[self._edge_mapping] * exclusive)
+        if mapping_names is not None:
+            keep = self._mapping_selection(mapping_names)[self._edge_mapping]
+            fresh = np.where(keep[:, None], fresh, self._v2f_mat)
+        self._v2f_mat = fresh
+
+    def _compute_variable_messages_dicts(
+        self, mapping_names: Optional[set] = None
+    ) -> None:
         for mapping_name, per_feedback in self._v2f.items():
             if mapping_names is not None and mapping_name not in mapping_names:
                 continue
@@ -390,7 +763,31 @@ class EmbeddedMessagePassing:
                 per_feedback[feedback_id] = normalize(message)
 
     def _exchange_messages(self, mapping_names: Optional[set] = None) -> None:
-        """Phase 2: send each µ_{v→F} to the other peers replicating F."""
+        """Phase 2: send each µ_{v→F} to the other peers replicating F.
+
+        Array backend: one vectorized Bernoulli mask over the precomputed
+        transmission list, applied as a fancy-indexed scatter from the
+        variable→factor matrix into the received-cell matrix.
+        """
+        if self.backend == STATE_DICTS:
+            self._exchange_messages_dicts(mapping_names)
+            return
+        if self._tx_src.size == 0:
+            return
+        if mapping_names is None:
+            src, dest = self._tx_src, self._tx_dest
+        else:
+            keep = self._mapping_selection(mapping_names)[self._tx_mapping]
+            src, dest = self._tx_src[keep], self._tx_dest[keep]
+        if src.size == 0:
+            return
+        delivered = self.transport.send_mask(src.size)
+        if delivered.all():
+            self._recv_mat[dest] = self._v2f_mat[src]
+        elif delivered.any():
+            self._recv_mat[dest[delivered]] = self._v2f_mat[src[delivered]]
+
+    def _exchange_messages_dicts(self, mapping_names: Optional[set] = None) -> None:
         for feedback in self._feedbacks:
             for mapping_name in feedback.mapping_names:
                 if mapping_names is not None and mapping_name not in mapping_names:
@@ -413,8 +810,28 @@ class EmbeddedMessagePassing:
         All replicas of same-shape factors are updated together through the
         compiled :class:`~repro.factorgraph.compiled.FactorBatch` kernels —
         the same einsum path the vectorized global engine uses — instead of
-        one scalar :meth:`Factor.message_to` call per directed message.
+        one scalar :meth:`Factor.message_to` call per directed message.  The
+        array backend gathers the einsum operands by fancy indexing into the
+        concatenated µ_{v→F} / received pool and scatters the fresh rows
+        back by edge id.
         """
+        if self.backend == STATE_DICTS:
+            self._compute_factor_messages_dicts()
+            return
+        if self._recv_mat.shape[0]:
+            pool = np.concatenate((self._v2f_mat, self._recv_mat))
+        else:
+            pool = self._v2f_mat
+        for batch, gather, scatter in self._batches:
+            for target in range(batch.arity):
+                incoming = [
+                    None if ids is None else pool[ids] for ids in gather[target]
+                ]
+                fresh = normalize_rows(batch.messages_toward(target, incoming))
+                self._f2v_mat[scatter[target]] = fresh
+        self._posterior_cache = None
+
+    def _compute_factor_messages_dicts(self) -> None:
         for batch, gather, scatter in self._batches:
             for target in range(batch.arity):
                 incoming: List[Optional[np.ndarray]] = []
@@ -430,8 +847,25 @@ class EmbeddedMessagePassing:
 
     # -- public API ------------------------------------------------------------------------
 
+    def _posterior_matrix(self) -> np.ndarray:
+        """Beliefs of all mapping variables as one ``(mappings, 2)`` matrix.
+
+        Memoised until the next factor sweep; never mutated in place, so
+        slices handed out earlier stay valid snapshots.
+        """
+        if self._posterior_cache is None:
+            products = segment_products(self._f2v_mat, self._segment_starts)
+            self._posterior_cache = normalize_rows(self._prior_matrix * products)
+        return self._posterior_cache
+
     def posteriors(self) -> Dict[str, float]:
         """Current posterior P(correct) of every mapping variable."""
+        if self.backend == STATE_ARRAYS:
+            matrix = self._posterior_matrix()
+            return {
+                name: float(matrix[index, 0])
+                for index, name in enumerate(self._mapping_list)
+            }
         result: Dict[str, float] = {}
         for mapping_name in self._owners:
             belief = self._prior_vectors[mapping_name].copy()
@@ -448,6 +882,13 @@ class EmbeddedMessagePassing:
         primitive the lazy schedule uses to piggyback on query traffic.
         """
         selection = set(mapping_names) if mapping_names is not None else None
+        if self.backend == STATE_ARRAYS:
+            before = self._posterior_matrix()[:, 0]
+            self._compute_variable_messages(selection)
+            self._exchange_messages(selection)
+            self._compute_factor_messages()
+            after = self._posterior_matrix()[:, 0]
+            return float(np.abs(after - before).max()) if after.size else 0.0
         before = self.posteriors()
         self._compute_variable_messages(selection)
         self._exchange_messages(selection)
@@ -469,18 +910,14 @@ class EmbeddedMessagePassing:
         converged = False
         change = float("inf")
         rounds = 0
-        send_probability = self.transport.send_probability
-        if send_probability >= 1.0:
-            required_quiet_rounds = 1
-        else:
-            required_quiet_rounds = max(2, int(round(2.0 / send_probability)))
+        quiet_rounds_needed = required_quiet_rounds(self.transport.send_probability)
         quiet_rounds = 0
         for rounds in range(1, self.options.max_rounds + 1):
             change = self.run_round()
             if self.options.record_history:
                 history.append(self.posteriors())
             quiet_rounds = quiet_rounds + 1 if change < self.options.tolerance else 0
-            if quiet_rounds >= required_quiet_rounds:
+            if quiet_rounds >= quiet_rounds_needed:
                 converged = True
                 break
         if not converged and self.options.strict:

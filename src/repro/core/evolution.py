@@ -117,11 +117,7 @@ class EvolvingPDMS:
             return event.mapping.source_attributes
 
         if event.kind is MappingEventKind.REMOVE_MAPPING:
-            mapping = self.network.mapping(event.mapping_name)
-            # Remove from the global index and from the owning peer.
-            del self.network._mappings[event.mapping_name]
-            owner = self.network.peer(mapping.source)
-            owner._outgoing.pop(event.mapping_name, None)
+            mapping = self.network.remove_mapping(event.mapping_name)
             return mapping.source_attributes
 
         if event.kind in (

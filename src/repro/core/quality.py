@@ -4,10 +4,13 @@ The :class:`MappingQualityAssessor` is the user-facing entry point of the
 core contribution.  Given a PDMS network it
 
 1. gathers cycle / parallel-path evidence for the attributes of interest
-   (:mod:`repro.core.analysis`),
+   through a :class:`~repro.core.analysis.NetworkStructureCache`, so the
+   exponential structure enumeration runs once per topology version instead
+   of once per attribute and per EM round,
 2. runs the decentralised embedded message passing per attribute
-   (:mod:`repro.core.embedded`, whose factor sweeps execute on the compiled
-   batched kernels of :mod:`repro.factorgraph.compiled`),
+   (:mod:`repro.core.embedded`, whose phases execute on stacked message
+   arrays and the compiled batched kernels of
+   :mod:`repro.factorgraph.compiled`),
 3. exposes the posterior correctness probabilities, both programmatically
    and as a quality oracle pluggable into the
    :class:`~repro.pdms.routing.QueryRouter`, and
@@ -17,6 +20,9 @@ core contribution.  Given a PDMS network it
 Mappings whose source schema declares an attribute but that provide no
 correspondence for it get probability zero for that attribute (the ⊥ rule
 of §3.2.1); mappings with no evidence at all fall back to their prior.
+Topology mutations bump :attr:`~repro.pdms.network.PDMSNetwork.version` and
+re-probe automatically; call :meth:`MappingQualityAssessor.invalidate` after
+out-of-band network surgery.
 """
 
 from __future__ import annotations
@@ -24,11 +30,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
 
+from ..constants import DEFAULT_SEED
 from ..exceptions import ReproError
 from ..mapping.mapping import Mapping
 from ..pdms.network import PDMSNetwork
 from ..pdms.routing import QueryRouter, RoutingPolicy
-from .analysis import NetworkEvidence, analyze_network
+from .analysis import NetworkEvidence, NetworkStructureCache, analyze_network
 from .beliefs import PriorBeliefStore
 from .embedded import EmbeddedMessagePassing, EmbeddedOptions, EmbeddedResult, MessageTransport
 from .feedback import compensation_probability
@@ -73,8 +80,16 @@ class MappingQualityAssessor:
         Probe TTL used when gathering cycles and parallel paths.
     send_probability / seed:
         Reliability of the simulated transport used by the embedded runs.
+        ``seed`` defaults to :data:`repro.constants.DEFAULT_SEED` so lossy
+        assessments are reproducible unless an explicit seed is supplied
+        (``seed=None`` opts into OS entropy).
     options:
         Iteration control for the embedded runs.
+    use_structure_cache:
+        When ``True`` (default), cycle / parallel-path discovery runs
+        through a :class:`~repro.core.analysis.NetworkStructureCache` and is
+        amortised across attributes and EM rounds; ``False`` restores the
+        probe-per-call behaviour (mainly useful for benchmarking the cache).
     """
 
     def __init__(
@@ -84,9 +99,10 @@ class MappingQualityAssessor:
         delta: Optional[float] = 0.1,
         ttl: int = 6,
         send_probability: float = 1.0,
-        seed: Optional[int] = None,
+        seed: Optional[int] = DEFAULT_SEED,
         options: Optional[EmbeddedOptions] = None,
         include_parallel_paths: Optional[bool] = None,
+        use_structure_cache: bool = True,
     ) -> None:
         self.network = network
         # Note: an empty PriorBeliefStore is falsy (it defines __len__), so
@@ -104,6 +120,10 @@ class MappingQualityAssessor:
         # to bound the evidence considered; passing ``False`` here keeps the
         # cycle evidence only.
         self.include_parallel_paths = include_parallel_paths
+        self.use_structure_cache = use_structure_cache
+        self.structure_cache = NetworkStructureCache(
+            network, ttl=ttl, include_parallel_paths=include_parallel_paths
+        )
         self._assessments: Dict[str, AttributeAssessment] = {}
 
     # -- inference --------------------------------------------------------------------------
@@ -121,13 +141,21 @@ class MappingQualityAssessor:
 
     def assess_attribute(self, attribute: str) -> AttributeAssessment:
         """Run the full pipeline (probe → factor graph → embedded BP) for one
-        attribute and cache the outcome."""
-        evidence = analyze_network(
-            self.network,
-            attribute,
-            ttl=self.ttl,
-            include_parallel_paths=self.include_parallel_paths,
-        )
+        attribute and cache the outcome.
+
+        The probe step is served by the assessor's structure cache: the
+        cycles and parallel paths are enumerated once per topology version
+        and only re-*evaluated* for each attribute.
+        """
+        if self.use_structure_cache:
+            evidence = self.structure_cache.evidence_for(attribute)
+        else:
+            evidence = analyze_network(
+                self.network,
+                attribute,
+                ttl=self.ttl,
+                include_parallel_paths=self.include_parallel_paths,
+            )
         informative = evidence.informative_feedbacks
         posteriors: Dict[str, float] = {}
         result: Optional[EmbeddedResult] = None
@@ -228,6 +256,19 @@ class MappingQualityAssessor:
         if attribute not in self._assessments:
             return self.assess_attribute(attribute)
         return self._assessments[attribute]
+
+    def invalidate(self) -> None:
+        """Drop all cached state after a network mutation.
+
+        Topology changes made through the :class:`PDMSNetwork` API bump the
+        network version and re-probe automatically, but the per-attribute
+        assessments still reflect the old evidence until re-assessed — and
+        out-of-band surgery on network internals is invisible to the version
+        counter entirely.  This clears both the structure cache and the
+        assessment cache.
+        """
+        self.structure_cache.invalidate()
+        self._assessments.clear()
 
     # -- queries -----------------------------------------------------------------------------
 

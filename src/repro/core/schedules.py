@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import ReproError
 from ..pdms.trace import QueryTrace
-from .embedded import EmbeddedMessagePassing, EmbeddedResult
+from .embedded import EmbeddedMessagePassing, EmbeddedResult, required_quiet_rounds
 
 __all__ = ["PeriodicSchedule", "LazySchedule", "ScheduleReport"]
 
@@ -87,24 +87,35 @@ class PeriodicSchedule:
         tolerance: Optional[float] = None,
         stop_on_convergence: bool = True,
     ) -> ScheduleReport:
-        """Run up to ``periods`` periods (one engine round each)."""
+        """Run up to ``periods`` periods (one engine round each).
+
+        ``converged`` in the report reflects the *final* rounds, using the
+        same quiet-rounds rule as :meth:`EmbeddedMessagePassing.run`: under
+        message loss a run only counts as converged after enough consecutive
+        quiet rounds, and a run that goes quiet but moves again afterwards
+        (possible when ``stop_on_convergence=False`` keeps it going) is not
+        reported as converged on the strength of the earlier lull.
+        """
         if periods < 1:
             raise ReproError("periods must be >= 1")
         tolerance = tolerance if tolerance is not None else self.engine.options.tolerance
         history: List[Dict[str, float]] = []
         start_attempted = self.engine.transport.statistics.attempted
         start_delivered = self.engine.transport.statistics.delivered
-        converged = False
+        quiet_rounds_needed = required_quiet_rounds(
+            self.engine.transport.send_probability
+        )
+        quiet_rounds = 0
         change = float("inf")
         rounds = 0
         for rounds in range(1, periods + 1):
             change = self.engine.run_round()
             self.clock += self.tau
             history.append(self.engine.posteriors())
-            if change < tolerance:
-                converged = True
-                if stop_on_convergence:
-                    break
+            quiet_rounds = quiet_rounds + 1 if change < tolerance else 0
+            if stop_on_convergence and quiet_rounds >= quiet_rounds_needed:
+                break
+        converged = quiet_rounds >= quiet_rounds_needed
         stats = self.engine.transport.statistics
         return ScheduleReport(
             rounds=rounds,
@@ -132,8 +143,13 @@ class LazySchedule:
         self.processed_queries = 0
         self.piggybacked_mappings = 0
 
-    def process_trace(self, trace: QueryTrace) -> float:
-        """Piggyback on one resolved query; return the posterior change."""
+    def _process(self, trace: QueryTrace) -> Tuple[float, bool]:
+        """Piggyback on one trace; return ``(posterior change, ran a round)``.
+
+        A trace that traverses no mapping of the feedback graph exchanges no
+        inference messages at all — it must not be mistaken for a quiet
+        round by the convergence check.
+        """
         used = [
             mapping_name
             for mapping_name in trace.used_mappings()
@@ -141,16 +157,27 @@ class LazySchedule:
         ]
         self.processed_queries += 1
         if not used:
-            return 0.0
+            return 0.0, False
         self.piggybacked_mappings += len(used)
-        return self.engine.run_round(mapping_names=used)
+        return self.engine.run_round(mapping_names=used), True
+
+    def process_trace(self, trace: QueryTrace) -> float:
+        """Piggyback on one resolved query; return the posterior change."""
+        change, _ = self._process(trace)
+        return change
 
     def process_traces(
         self,
         traces: Iterable[QueryTrace],
         tolerance: Optional[float] = None,
     ) -> ScheduleReport:
-        """Piggyback on a whole query workload, stopping once converged."""
+        """Piggyback on a whole query workload, stopping once converged.
+
+        Only traces that actually exchanged inference messages count as
+        rounds and advance the convergence check; a workload that skirts the
+        feedback graph (its queries traverse none of the modelled mappings)
+        therefore never yields a false convergence claim.
+        """
         tolerance = tolerance if tolerance is not None else self.engine.options.tolerance
         history: List[Dict[str, float]] = []
         start_attempted = self.engine.transport.statistics.attempted
@@ -159,7 +186,10 @@ class LazySchedule:
         change = float("inf")
         rounds = 0
         for trace in traces:
-            change = self.process_trace(trace)
+            trace_change, ran_round = self._process(trace)
+            if not ran_round:
+                continue
+            change = trace_change
             rounds += 1
             history.append(self.engine.posteriors())
             if change < tolerance and rounds > 1:

@@ -63,6 +63,12 @@ __all__ = [
     "EngineThroughputResult",
     "run_engine_throughput",
     "throughput_graph",
+    "throughput_feedbacks",
+    "EmbeddedThroughputPoint",
+    "EmbeddedThroughputResult",
+    "run_embedded_throughput",
+    "AssessorAmortizationResult",
+    "run_assessor_amortization",
 ]
 
 
@@ -710,12 +716,12 @@ class EngineThroughputResult:
         raise KeyError(f"no throughput point for {peer_count} peers")
 
 
-def throughput_graph(peer_count: int, ttl: int = 3, attribute_count: int = 10):
-    """Build the benchmark factor graph for a scale-free PDMS of ``peer_count``.
+def throughput_feedbacks(peer_count: int, ttl: int = 3, attribute_count: int = 10):
+    """Informative cycle feedback of the benchmark scale-free PDMS.
 
-    Picks the first attribute that yields informative cycle feedback, so the
-    returned graph is never empty.  Returns the
-    :class:`~repro.core.pdms_factor_graph.PDMSFactorGraph`.
+    Generates the same scenario as :func:`throughput_graph` and returns the
+    informative feedbacks of the first attribute that has any, so both the
+    centralised and the embedded throughput runs measure the same evidence.
     """
     scenario = generate_scenario(
         topology="scale-free",
@@ -729,13 +735,24 @@ def throughput_graph(peer_count: int, ttl: int = 3, attribute_count: int = 10):
             scenario.network, attribute, ttl=ttl, include_parallel_paths=False
         )
         if evidence.informative_feedbacks:
-            return build_factor_graph(
-                evidence.informative_feedbacks, priors=0.5, attribute=attribute
-            )
+            return evidence.informative_feedbacks
     raise EvaluationError(
         f"no attribute of the {peer_count}-peer scenario produced informative "
         "feedback; increase ttl or the error rate"
     )
+
+
+def throughput_graph(peer_count: int, ttl: int = 3, attribute_count: int = 10):
+    """Build the benchmark factor graph for a scale-free PDMS of ``peer_count``.
+
+    Picks the first attribute that yields informative cycle feedback, so the
+    returned graph is never empty.  Returns the
+    :class:`~repro.core.pdms_factor_graph.PDMSFactorGraph`.
+    """
+    feedbacks = throughput_feedbacks(
+        peer_count, ttl=ttl, attribute_count=attribute_count
+    )
+    return build_factor_graph(feedbacks, priors=0.5, attribute=feedbacks[0].attribute)
 
 
 def _time_backend(graph, backend: str, max_iterations: int, repeats: int):
@@ -793,3 +810,248 @@ def run_engine_throughput(
             )
         )
     return EngineThroughputResult(points=tuple(points))
+
+
+# ---------------------------------------------------------------------------
+# EX — embedded throughput: dict-state vs array-state decentralised rounds
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EmbeddedThroughputPoint:
+    """Timing of both embedded state backends on one generated PDMS.
+
+    The two engines run the same fixed number of full decentralised rounds
+    over the same feedback evidence with identically seeded transports, so
+    they exchange the same remote messages (and, under loss, drop the same
+    ones) — the posteriors must agree to floating-point accuracy, which
+    ``max_posterior_difference`` records as an online equivalence check.
+    """
+
+    peer_count: int
+    mapping_count: int
+    feedback_count: int
+    remote_messages_per_round: int
+    rounds: int
+    dict_seconds: float
+    array_seconds: float
+    max_posterior_difference: float
+
+    @staticmethod
+    def _rate(rounds: int, seconds: float) -> float:
+        if seconds <= 0.0:
+            return float("inf")
+        return rounds / seconds
+
+    @property
+    def dict_rounds_per_second(self) -> float:
+        return self._rate(self.rounds, self.dict_seconds)
+
+    @property
+    def array_rounds_per_second(self) -> float:
+        return self._rate(self.rounds, self.array_seconds)
+
+    @property
+    def speedup(self) -> float:
+        if self.array_seconds <= 0.0:
+            return float("inf")
+        if self.dict_seconds <= 0.0:
+            return 0.0
+        return self.dict_seconds / self.array_seconds
+
+
+@dataclass(frozen=True)
+class EmbeddedThroughputResult:
+    """Embedded round throughput of the two state backends across sizes."""
+
+    points: Tuple[EmbeddedThroughputPoint, ...]
+    send_probability: float = 1.0
+
+    def point_for(self, peer_count: int) -> EmbeddedThroughputPoint:
+        for point in self.points:
+            if point.peer_count == peer_count:
+                return point
+        raise KeyError(f"no embedded throughput point for {peer_count} peers")
+
+
+def _time_embedded_rounds(
+    feedbacks,
+    backend: str,
+    rounds: int,
+    repeats: int,
+    send_probability: float,
+    seed: int,
+):
+    """Best-of-``repeats`` wall time of ``rounds`` embedded rounds.
+
+    A fresh engine (and freshly seeded transport) is built per repetition so
+    every timed run replays the same message schedule; construction is kept
+    outside the timed section — the round loop is what the backends differ
+    in.
+    """
+    best = float("inf")
+    engine = None
+    for _ in range(max(1, repeats)):
+        engine = EmbeddedMessagePassing(
+            feedbacks,
+            priors=0.5,
+            delta=0.1,
+            transport=MessageTransport(send_probability, seed=seed),
+            options=EmbeddedOptions(record_history=False),
+            backend=backend,
+        )
+        start = time.perf_counter()
+        for _ in range(rounds):
+            engine.run_round()
+        best = min(best, time.perf_counter() - start)
+    return engine, best
+
+
+def run_embedded_throughput(
+    peer_counts: Sequence[int] = (8, 16, 32, 64),
+    ttl: int = 3,
+    rounds: int = 25,
+    repeats: int = 3,
+    send_probability: float = 1.0,
+    seed: int = 0,
+) -> EmbeddedThroughputResult:
+    """Measure embedded rounds per second of the dict vs array state backends.
+
+    For each peer count the cycle feedback of a scale-free PDMS is gathered
+    once, then the same fixed-round run is timed on ``backend="dicts"`` (the
+    PR 1 per-message dict state) and ``backend="arrays"`` (the stacked
+    matrices).  ``send_probability < 1`` exercises the lossy path: both
+    transports are seeded identically, so the drop pattern — and therefore
+    the posteriors — must still agree.
+    """
+    points: List[EmbeddedThroughputPoint] = []
+    for peer_count in peer_counts:
+        feedbacks = throughput_feedbacks(peer_count, ttl=ttl)
+        dict_engine, dict_seconds = _time_embedded_rounds(
+            feedbacks, "dicts", rounds, repeats, send_probability, seed
+        )
+        array_engine, array_seconds = _time_embedded_rounds(
+            feedbacks, "arrays", rounds, repeats, send_probability, seed
+        )
+        dict_posteriors = dict_engine.posteriors()
+        array_posteriors = array_engine.posteriors()
+        worst = max(
+            abs(dict_posteriors[name] - array_posteriors[name])
+            for name in dict_posteriors
+        )
+        points.append(
+            EmbeddedThroughputPoint(
+                peer_count=peer_count,
+                mapping_count=len(array_engine.mapping_names),
+                feedback_count=len(feedbacks),
+                remote_messages_per_round=array_engine.remote_message_count,
+                rounds=rounds,
+                dict_seconds=dict_seconds,
+                array_seconds=array_seconds,
+                max_posterior_difference=worst,
+            )
+        )
+    return EmbeddedThroughputResult(
+        points=tuple(points), send_probability=send_probability
+    )
+
+
+# ---------------------------------------------------------------------------
+# EX — assessor amortization: probe-once structure cache across attributes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AssessorAmortizationResult:
+    """Cost of ``assess_all_attributes`` with and without the structure cache.
+
+    The cache collapses the per-attribute cycle/parallel-path enumerations
+    into a single probe (``cached_probe_count`` must be 1); its wall-clock
+    effect depends on how much of the pipeline the probe dominates, so both
+    timings are reported alongside the probe counts.
+    """
+
+    peer_count: int
+    attribute_count: int
+    ttl: int
+    cached_probe_count: int
+    uncached_probe_count: int
+    cached_seconds: float
+    uncached_seconds: float
+    max_posterior_difference: float
+
+    @property
+    def probe_amortization(self) -> float:
+        if self.cached_probe_count == 0:
+            return float("inf")
+        return self.uncached_probe_count / self.cached_probe_count
+
+    @property
+    def speedup(self) -> float:
+        if self.cached_seconds <= 0.0:
+            return float("inf")
+        return self.uncached_seconds / self.cached_seconds
+
+
+def run_assessor_amortization(
+    peer_count: int = 32,
+    attribute_count: int = 10,
+    ttl: int = 3,
+    error_rate: float = 0.15,
+    seed: Optional[int] = 0,
+) -> AssessorAmortizationResult:
+    """Measure what the probe-once structure cache saves on a full assessment.
+
+    Runs ``assess_all_attributes`` on the same generated scale-free PDMS
+    twice — once through the :class:`~repro.core.analysis.NetworkStructureCache`
+    (the default) and once with ``use_structure_cache=False`` (the PR 1
+    probe-per-attribute behaviour) — and compares probe counts, wall time
+    and posteriors.
+    """
+    scenario = generate_scenario(
+        topology="scale-free",
+        peer_count=peer_count,
+        attribute_count=attribute_count,
+        error_rate=error_rate,
+        seed=peer_count,
+    )
+    network = scenario.network
+    attributes = network.attribute_universe()
+
+    cached = MappingQualityAssessor(
+        network, delta=None, ttl=ttl, include_parallel_paths=False, seed=seed
+    )
+    start = time.perf_counter()
+    cached_assessments = cached.assess_all_attributes()
+    cached_seconds = time.perf_counter() - start
+
+    uncached = MappingQualityAssessor(
+        network,
+        delta=None,
+        ttl=ttl,
+        include_parallel_paths=False,
+        seed=seed,
+        use_structure_cache=False,
+    )
+    start = time.perf_counter()
+    uncached_assessments = uncached.assess_all_attributes()
+    uncached_seconds = time.perf_counter() - start
+
+    worst = 0.0
+    for attribute in attributes:
+        cached_posteriors = cached_assessments[attribute].posteriors
+        uncached_posteriors = uncached_assessments[attribute].posteriors
+        for name, value in cached_posteriors.items():
+            worst = max(worst, abs(value - uncached_posteriors[name]))
+
+    return AssessorAmortizationResult(
+        peer_count=peer_count,
+        attribute_count=len(attributes),
+        ttl=ttl,
+        cached_probe_count=cached.structure_cache.statistics.probes,
+        # Without the cache every assessed attribute probes from scratch.
+        uncached_probe_count=len(attributes),
+        cached_seconds=cached_seconds,
+        uncached_seconds=uncached_seconds,
+        max_posterior_difference=worst,
+    )

@@ -55,6 +55,8 @@ from .graph import FactorGraph
 __all__ = [
     "MAX_COMPILED_ARITY",
     "normalize_rows",
+    "segment_products",
+    "segment_exclusive_products",
     "FactorBatch",
     "CompiledFactorGraph",
     "compile_factor_graph",
@@ -81,6 +83,43 @@ def normalize_rows(matrix: np.ndarray) -> np.ndarray:
     if np.any(bad):
         normalized = np.where(bad, 1.0 / matrix.shape[1], normalized)
     return normalized
+
+
+def segment_products(grouped: np.ndarray, segment_starts: np.ndarray) -> np.ndarray:
+    """Per-segment row products of an already segment-grouped matrix.
+
+    ``grouped`` is an ``(rows, cardinality)`` matrix whose rows are sorted so
+    that each segment occupies a contiguous block starting at the offsets in
+    ``segment_starts``.  Returns one product row per segment.
+    """
+    if len(segment_starts) == 0:
+        return np.empty((0,) + grouped.shape[1:], dtype=float)
+    return np.multiply.reduceat(grouped, segment_starts, axis=0)
+
+
+def segment_exclusive_products(
+    grouped: np.ndarray,
+    segment_starts: np.ndarray,
+    segment_of_row: np.ndarray,
+) -> np.ndarray:
+    """For every row, the product of the *other* rows of its segment.
+
+    Zero-aware: a zero entry elsewhere in the segment forces the product to
+    zero without ever dividing by zero (factor tables with exact zeros —
+    e.g. the paper's feedback CPTs with ``P(f+ | one error) = 0`` — would
+    otherwise trigger a 0/0).  ``grouped`` must already be segment-sorted;
+    ``segment_of_row`` maps each row to its segment index.
+    """
+    zeros = grouped == 0.0
+    safe = np.where(zeros, 1.0, grouped)
+    segment_product = np.multiply.reduceat(safe, segment_starts, axis=0)
+    segment_zeros = np.add.reduceat(
+        zeros.astype(np.int64), segment_starts, axis=0
+    )
+    product_here = segment_product[segment_of_row]
+    zeros_here = segment_zeros[segment_of_row]
+    exclusive = np.where(zeros, product_here, product_here / safe)
+    return np.where((zeros_here - zeros) > 0, 0.0, exclusive)
 
 
 class FactorBatch:
@@ -261,17 +300,9 @@ class CompiledFactorGraph:
         """
         if self.edge_count == 0:
             return matrix.copy()
-        grouped = matrix[self._order]
-        zeros = grouped == 0.0
-        safe = np.where(zeros, 1.0, grouped)
-        segment_product = np.multiply.reduceat(safe, self._segment_starts, axis=0)
-        segment_zeros = np.add.reduceat(
-            zeros.astype(np.int64), self._segment_starts, axis=0
+        exclusive = segment_exclusive_products(
+            matrix[self._order], self._segment_starts, self._segment_of_edge
         )
-        product_here = segment_product[self._segment_of_edge]
-        zeros_here = segment_zeros[self._segment_of_edge]
-        exclusive = np.where(zeros, product_here, product_here / safe)
-        exclusive = np.where((zeros_here - zeros) > 0, 0.0, exclusive)
         result = np.empty_like(exclusive)
         result[self._order] = exclusive
         return result
@@ -364,8 +395,9 @@ class CompiledFactorGraph:
             (len(self.variable_names), self.cardinality), 1.0 / self.cardinality
         )
         if self.edge_count:
-            grouped = self.factor_to_variable[self._order]
-            products = np.multiply.reduceat(grouped, self._segment_starts, axis=0)
+            products = segment_products(
+                self.factor_to_variable[self._order], self._segment_starts
+            )
             beliefs[self._segment_variable] = normalize_rows(products)
         return beliefs
 

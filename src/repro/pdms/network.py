@@ -45,6 +45,17 @@ class PDMSNetwork:
         self.directed = directed
         self._peers: Dict[str, Peer] = {}
         self._mappings: Dict[str, Mapping] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic topology version, bumped on every peer/mapping mutation.
+
+        Consumers that derive expensive structures from the topology (e.g.
+        :class:`repro.core.analysis.NetworkStructureCache`) key their caches
+        on this counter so a mutated network is re-probed automatically.
+        """
+        return self._version
 
     # -- peers -----------------------------------------------------------------------
 
@@ -58,6 +69,7 @@ class PDMSNetwork:
         if peer.name in self._peers:
             raise PDMSError(f"peer {peer.name!r} already exists in {self.name!r}")
         self._peers[peer.name] = peer
+        self._version += 1
         return peer
 
     def peer(self, name: str) -> Peer:
@@ -104,6 +116,7 @@ class PDMSNetwork:
             raise PDMSError(f"mapping {mapping.name} already registered")
         self._mappings[mapping.name] = mapping
         self._peers[mapping.source].add_outgoing_mapping(mapping)
+        self._version += 1
 
         reverse = (not self.directed) if bidirectional is None else bidirectional
         if reverse:
@@ -111,6 +124,7 @@ class PDMSNetwork:
             if reversed_mapping.name not in self._mappings:
                 self._mappings[reversed_mapping.name] = reversed_mapping
                 self._peers[reversed_mapping.source].add_outgoing_mapping(reversed_mapping)
+                self._version += 1
         return mapping
 
     def mapping(self, name: str) -> Mapping:
@@ -119,6 +133,14 @@ class PDMSNetwork:
             return self._mappings[name]
         except KeyError:
             raise PDMSError(f"unknown mapping {name!r}") from None
+
+    def remove_mapping(self, name: str) -> Mapping:
+        """Unregister a mapping from the network and its owning peer."""
+        mapping = self.mapping(name)
+        del self._mappings[name]
+        self._peers[mapping.source]._outgoing.pop(name, None)
+        self._version += 1
+        return mapping
 
     def has_mapping(self, name: str) -> bool:
         return name in self._mappings

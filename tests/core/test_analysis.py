@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.core.analysis import analyze_neighborhood, analyze_network
+from repro.core.analysis import (
+    NetworkStructureCache,
+    analyze_neighborhood,
+    analyze_network,
+)
 from repro.core.feedback import FeedbackKind
 from repro.generators.paper import intro_example_network
 from repro.generators.topologies import chain_network, cycle_network
@@ -65,6 +69,87 @@ class TestAnalyzeNetwork:
             intro_network, "Title", ttl=4, include_parallel_paths=False
         )
         assert len(with_parallel.feedbacks) > len(without_parallel.feedbacks)
+
+
+class TestNetworkStructureCache:
+    def _fresh_network(self):
+        return intro_example_network(with_records=False)
+
+    def test_evidence_matches_analyze_network(self):
+        network = self._fresh_network()
+        cache = NetworkStructureCache(network, ttl=4)
+        for attribute in ("Creator", "Title"):
+            cached = cache.evidence_for(attribute)
+            direct = analyze_network(network, attribute, ttl=4)
+            assert cached.attribute == direct.attribute
+            assert cached.unmappable == direct.unmappable
+            assert len(cached.feedbacks) == len(direct.feedbacks)
+            for a, b in zip(cached.feedbacks, direct.feedbacks):
+                assert a.identifier == b.identifier
+                assert a.kind == b.kind
+                assert a.mapping_names == b.mapping_names
+
+    def test_probes_once_across_attributes(self):
+        network = self._fresh_network()
+        cache = NetworkStructureCache(network, ttl=4)
+        for attribute in ("Creator", "Title", "Subject", "Creator"):
+            cache.evidence_for(attribute)
+        assert cache.statistics.probes == 1
+        assert cache.statistics.misses == 1
+        assert cache.statistics.hits == 3
+
+    def test_topology_mutation_triggers_reprobe(self):
+        from repro.mapping.correspondence import Correspondence
+        from repro.mapping.mapping import Mapping
+        from repro.pdms.peer import Peer
+        from repro.schema.schema import Schema
+
+        network = self._fresh_network()
+        cache = NetworkStructureCache(network, ttl=4)
+        before = cache.evidence_for("Creator")
+        network.add_peer(Peer("p9", Schema.from_names("p9", ["Creator"])))
+        network.add_mapping(
+            Mapping(
+                "p2",
+                "p9",
+                [Correspondence("Creator", "Creator")],
+            ),
+            bidirectional=False,
+        )
+        after = cache.evidence_for("Creator")
+        assert cache.statistics.probes == 2
+        # The new dangling mapping creates no cycle, so the evidence set is
+        # structurally unchanged — but it was re-derived from a fresh probe.
+        assert len(after.feedbacks) == len(before.feedbacks)
+
+    def test_removed_mapping_triggers_reprobe(self):
+        network = self._fresh_network()
+        cache = NetworkStructureCache(network, ttl=4)
+        before = cache.evidence_for("Creator")
+        assert before.feedbacks
+        network.remove_mapping("p2->p4")
+        after = cache.evidence_for("Creator")
+        assert cache.statistics.probes == 2
+        assert len(after.feedbacks) < len(before.feedbacks)
+
+    def test_invalidate_forces_reprobe(self):
+        network = self._fresh_network()
+        cache = NetworkStructureCache(network, ttl=4)
+        cache.evidence_for("Creator")
+        cache.invalidate()
+        cache.evidence_for("Creator")
+        assert cache.statistics.probes == 2
+
+    def test_network_version_counter(self):
+        from repro.pdms.peer import Peer
+        from repro.schema.schema import Schema
+
+        network = self._fresh_network()
+        version = network.version
+        network.add_peer(Peer("p9", Schema.from_names("p9", ["Creator"])))
+        assert network.version == version + 1
+        network.remove_mapping("p2->p4")
+        assert network.version == version + 2
 
 
 class TestAnalyzeNeighborhood:

@@ -213,6 +213,151 @@ class TestCompiledKernels:
             assert np.abs(actual - reference).max() < 1e-12
 
 
+class TestArrayDictParity:
+    """The array state must replay the dict state's runs exactly."""
+
+    @pytest.mark.parametrize("send_probability", [1.0, 0.7, 0.3])
+    def test_fixed_round_posterior_parity(self, send_probability):
+        engines = {}
+        for backend in ("dicts", "arrays"):
+            engine = EmbeddedMessagePassing(
+                figure4_feedbacks(),
+                priors=0.7,
+                delta=0.1,
+                transport=MessageTransport(send_probability, seed=17),
+                backend=backend,
+            )
+            for _ in range(40):
+                engine.run_round()
+            engines[backend] = engine
+        dict_posteriors = engines["dicts"].posteriors()
+        array_posteriors = engines["arrays"].posteriors()
+        assert dict_posteriors.keys() == array_posteriors.keys()
+        for name, value in dict_posteriors.items():
+            assert abs(array_posteriors[name] - value) <= 1e-12
+
+    @pytest.mark.parametrize("send_probability", [1.0, 0.5])
+    def test_transport_statistics_parity(self, send_probability):
+        """Identical seeds must consume the rng identically: same attempted,
+        same delivered, i.e. the same drop decisions in the same order."""
+        stats = {}
+        for backend in ("dicts", "arrays"):
+            engine = EmbeddedMessagePassing(
+                figure4_feedbacks(),
+                priors=0.7,
+                delta=0.1,
+                transport=MessageTransport(send_probability, seed=23),
+                backend=backend,
+            )
+            for _ in range(10):
+                engine.run_round()
+            stats[backend] = engine.transport.statistics
+        assert stats["dicts"].attempted == stats["arrays"].attempted
+        assert stats["dicts"].delivered == stats["arrays"].delivered
+        assert stats["dicts"].dropped == stats["arrays"].dropped
+
+    def test_run_parity(self):
+        results = {}
+        for backend in ("dicts", "arrays"):
+            engine = EmbeddedMessagePassing(
+                intro_example_feedbacks(),
+                priors=0.5,
+                delta=0.1,
+                transport=MessageTransport(0.8, seed=3),
+                options=EmbeddedOptions(max_rounds=200, tolerance=1e-8),
+                backend=backend,
+            )
+            results[backend] = engine.run()
+        assert results["dicts"].iterations == results["arrays"].iterations
+        assert results["dicts"].converged == results["arrays"].converged
+        for name, value in results["dicts"].posteriors.items():
+            assert abs(results["arrays"].posteriors[name] - value) <= 1e-12
+
+    def test_partial_round_parity(self):
+        """The lazy schedule's mapping selection must behave identically,
+        including which transmissions consume the transport rng."""
+        selections = [["p2->p3", "p2->p4"], ["p1->p2"], None, ["p3->p4"]]
+        posteriors = {}
+        for backend in ("dicts", "arrays"):
+            engine = EmbeddedMessagePassing(
+                intro_example_feedbacks(),
+                priors=0.5,
+                delta=0.1,
+                transport=MessageTransport(0.6, seed=9),
+                backend=backend,
+            )
+            for selection in selections:
+                engine.run_round(mapping_names=selection)
+            posteriors[backend] = engine.posteriors()
+        for name, value in posteriors["dicts"].items():
+            assert abs(posteriors["arrays"][name] - value) <= 1e-12
+
+    def test_dict_views_expose_message_state(self):
+        """The array backend keeps `_f2v` / `_v2f` / `_received` readable as
+        the nested dicts they used to be."""
+        import numpy as np
+
+        engine = EmbeddedMessagePassing(intro_example_feedbacks(), priors=0.5)
+        engine.run_round()
+        assert set(engine._f2v) == set(engine.mapping_names)
+        for mapping_name, per_feedback in engine._f2v.items():
+            assert len(per_feedback) > 0
+            for feedback_id, message in per_feedback.items():
+                assert message.shape == (2,)
+                assert np.isclose(message.sum(), 1.0)
+        for peer, incoming in engine._received.items():
+            for (feedback_id, mapping_name), message in incoming.items():
+                assert engine.owner_of(mapping_name) != peer
+                assert message.shape == (2,)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(FeedbackError):
+            EmbeddedMessagePassing(
+                intro_example_feedbacks(), priors=0.5, backend="sparse"
+            )
+
+
+class TestPriorValidation:
+    def test_out_of_range_float_prior_rejected(self):
+        with pytest.raises(FeedbackError):
+            EmbeddedMessagePassing(intro_example_feedbacks(), priors=1.5)
+        with pytest.raises(FeedbackError):
+            EmbeddedMessagePassing(intro_example_feedbacks(), priors=-0.1)
+
+    def test_boolean_prior_rejected(self):
+        # bool is an int subclass: True would silently mean "certainly
+        # correct" — reject it with a descriptive error instead.
+        with pytest.raises(FeedbackError):
+            EmbeddedMessagePassing(intro_example_feedbacks(), priors=True)
+
+    def test_invalid_dict_prior_rejected(self):
+        with pytest.raises(FeedbackError):
+            EmbeddedMessagePassing(
+                intro_example_feedbacks(), priors={"p2->p4": 2.0}
+            )
+        with pytest.raises(FeedbackError):
+            EmbeddedMessagePassing(
+                intro_example_feedbacks(), priors={"p2->p4": False}
+            )
+
+    def test_boundary_priors_accepted(self):
+        engine = EmbeddedMessagePassing(
+            intro_example_feedbacks(), priors={"p2->p4": 0.0, "p2->p3": 1.0}
+        )
+        assert engine._prior_vectors["p2->p4"][0] == pytest.approx(1e-9)
+        assert engine._prior_vectors["p2->p3"][0] == pytest.approx(1.0)
+
+
+class TestResultAccessors:
+    def test_unknown_mapping_raises_descriptive_error(self):
+        engine = EmbeddedMessagePassing(intro_example_feedbacks(), priors=0.5)
+        result = engine.run()
+        with pytest.raises(FeedbackError, match="p9->p10"):
+            result.probability_correct("p9->p10")
+        with pytest.raises(FeedbackError, match="p9->p10"):
+            result.history_of("p9->p10")
+
+
 class TestControls:
     def test_strict_mode_raises_on_non_convergence(self):
         engine = EmbeddedMessagePassing(

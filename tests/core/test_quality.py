@@ -79,6 +79,96 @@ class TestAssessment:
         assert assessor._delta_for("Creator") == pytest.approx(0.1)
 
 
+class TestStructureCacheWiring:
+    def test_assess_all_attributes_probes_once(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        assessments = assessor.assess_all_attributes()
+        assert len(assessments) >= 2
+        assert assessor.structure_cache.statistics.probes == 1
+
+    def test_em_rounds_do_not_reprobe(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        for _ in range(3):
+            assessor.assess_all_attributes()
+            assessor.update_priors()
+        assert assessor.structure_cache.statistics.probes == 1
+
+    def test_cache_matches_uncached_pipeline(self):
+        network = intro_example_network(with_records=False)
+        cached = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        uncached = MappingQualityAssessor(
+            network, delta=0.1, ttl=4, use_structure_cache=False
+        )
+        for attribute in network.attribute_universe():
+            a = cached.assess_attribute(attribute)
+            b = uncached.assess_attribute(attribute)
+            assert a.posteriors == b.posteriors
+            assert a.unmappable == b.unmappable
+
+    def test_topology_mutation_reprobes_automatically(self):
+        from repro.mapping.correspondence import Correspondence
+        from repro.mapping.mapping import Mapping
+        from repro.pdms.peer import Peer
+        from repro.schema.schema import Schema
+
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        assessor.assess_attribute("Creator")
+        network.add_peer(Peer("p9", Schema.from_names("p9", ["Creator"])))
+        network.add_mapping(
+            Mapping("p4", "p9", [Correspondence("Creator", "Creator")]),
+            bidirectional=False,
+        )
+        assessor.assess_attribute("Creator")
+        assert assessor.structure_cache.statistics.probes == 2
+
+    def test_invalidate_clears_assessments_and_cache(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        first = assessor.assess_attribute("Creator")
+        assert assessor.assessment("Creator") is first
+        assessor.invalidate()
+        second = assessor.assessment("Creator")
+        assert second is not first
+        assert assessor.structure_cache.statistics.probes == 2
+
+
+class TestDeterministicSeeding:
+    def test_lossy_assessment_is_deterministic_by_default(self):
+        """Regression: seed=None used to override the transport's seeded
+        fallback, making default lossy assessments nondeterministic."""
+        posteriors = []
+        for _ in range(2):
+            network = intro_example_network(with_records=False)
+            assessor = MappingQualityAssessor(
+                network, delta=0.1, ttl=4, send_probability=0.5
+            )
+            posteriors.append(assessor.assess_attribute("Creator").posteriors)
+        assert posteriors[0] == posteriors[1]
+
+    def test_lossy_assess_local_is_deterministic_by_default(self):
+        results = []
+        for _ in range(2):
+            network = intro_example_network(with_records=False)
+            assessor = MappingQualityAssessor(
+                network, delta=0.1, ttl=4, send_probability=0.5
+            )
+            results.append(assessor.assess_local("p2", "Creator"))
+        assert results[0] == results[1]
+
+    def test_explicit_seed_still_honoured(self):
+        network = intro_example_network(with_records=False)
+        a = MappingQualityAssessor(
+            network, delta=0.1, ttl=4, send_probability=0.5, seed=1
+        ).assess_attribute("Creator")
+        b = MappingQualityAssessor(
+            network, delta=0.1, ttl=4, send_probability=0.5, seed=1
+        ).assess_attribute("Creator")
+        assert a.posteriors == b.posteriors
+
+
 class TestRoutingIntegration:
     def test_router_blocks_faulty_mapping(self, assessor):
         router = assessor.router(policy=RoutingPolicy(default_threshold=0.5))

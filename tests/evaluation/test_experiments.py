@@ -7,9 +7,11 @@ compared to the benchmark harness but check the same qualitative claims.
 import pytest
 
 from repro.evaluation.experiments import (
+    run_assessor_amortization,
     run_baseline_comparison,
     run_convergence,
     run_cycle_length,
+    run_embedded_throughput,
     run_fault_tolerance,
     run_intro_example,
     run_real_world,
@@ -125,3 +127,36 @@ class TestAblations:
         # Both schedules identify the same faulty mapping.
         assert result.periodic_posteriors["p2->p4"] < 0.5
         assert result.lazy_posteriors["p2->p4"] < 0.5
+
+
+class TestEmbeddedThroughput:
+    @pytest.mark.parametrize("send_probability", [1.0, 0.7])
+    def test_backends_agree_and_report_rates(self, send_probability):
+        result = run_embedded_throughput(
+            peer_counts=(8,),
+            rounds=10,
+            repeats=1,
+            send_probability=send_probability,
+        )
+        point = result.point_for(8)
+        assert point.rounds == 10
+        assert point.feedback_count > 0
+        assert point.remote_messages_per_round > 0
+        assert point.max_posterior_difference <= 1e-12
+        assert point.dict_rounds_per_second > 0
+        assert point.array_rounds_per_second > 0
+
+    def test_unknown_peer_count_raises(self):
+        result = run_embedded_throughput(peer_counts=(8,), rounds=2, repeats=1)
+        with pytest.raises(KeyError):
+            result.point_for(999)
+
+
+class TestAssessorAmortization:
+    def test_probe_once_and_identical_posteriors(self):
+        result = run_assessor_amortization(peer_count=16, attribute_count=6, ttl=3)
+        assert result.attribute_count >= 5
+        assert result.cached_probe_count == 1
+        assert result.uncached_probe_count == result.attribute_count
+        assert result.probe_amortization == result.attribute_count
+        assert result.max_posterior_difference == 0.0

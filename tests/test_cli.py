@@ -22,6 +22,8 @@ class TestParser:
             ["baseline"],
             ["schedules"],
             ["throughput", "--sizes", "8", "--repeats", "1"],
+            ["throughput", "--mode", "embedded", "--sizes", "8", "--rounds", "5"],
+            ["amortization", "--peers", "8"],
             ["scenario", "--peers", "6"],
         ):
             args = parser.parse_args(command)
@@ -60,6 +62,22 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "vectorized msg/s" in output
         assert "speedup" in output
+
+    def test_embedded_throughput_command(self, capsys):
+        assert main(
+            [
+                "throughput", "--mode", "embedded",
+                "--sizes", "8", "--repeats", "1", "--rounds", "5",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "array rounds/s" in output
+        assert "max |Δposterior|" in output
+
+    def test_amortization_command(self, capsys):
+        assert main(["amortization", "--peers", "8", "--attributes", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "probes (cached)" in output
 
     def test_scenario_command(self, capsys):
         assert main(["scenario", "--peers", "6", "--attributes", "6", "--seed", "3"]) == 0
