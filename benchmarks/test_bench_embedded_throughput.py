@@ -49,7 +49,7 @@ def _row(point, label):
 
 
 @pytest.mark.parametrize("peer_count", SIZES)
-def test_bench_embedded_round_throughput(benchmark, report, peer_count):
+def test_bench_embedded_round_throughput(benchmark, report, report_json, peer_count):
     feedbacks = throughput_feedbacks(peer_count, ttl=3)
     engine = EmbeddedMessagePassing(
         feedbacks,
@@ -90,6 +90,23 @@ def test_bench_embedded_round_throughput(benchmark, report, peer_count):
         ),
     )
     report(f"EX_embedded_throughput_{peer_count}_peers", lines)
+    report_json(
+        f"embedded_throughput_{peer_count}_peers",
+        {
+            "peer_count": peer_count,
+            "feedback_count": lossless.feedback_count,
+            "remote_messages_per_round": lossless.remote_messages_per_round,
+            "dict_rounds_per_second": lossless.dict_rounds_per_second,
+            "array_rounds_per_second": lossless.array_rounds_per_second,
+            "array_messages_per_second": (
+                lossless.array_rounds_per_second
+                * lossless.remote_messages_per_round
+            ),
+            "speedup": lossless.speedup,
+            "lossy_speedup": lossy.speedup,
+            "max_posterior_difference": lossless.max_posterior_difference,
+        },
+    )
 
     assert lossless.max_posterior_difference <= MAX_POSTERIOR_DIVERGENCE
     assert lossy.max_posterior_difference <= MAX_POSTERIOR_DIVERGENCE
@@ -102,37 +119,75 @@ def test_bench_embedded_round_throughput(benchmark, report, peer_count):
             )
 
 
-def test_bench_assessor_amortization(report):
+def test_bench_assessor_amortization(report, report_json):
     result = run_assessor_amortization(peer_count=32, attribute_count=10, ttl=3)
 
     lines = format_table(
         (
+            "mode",
             "peers",
             "attributes",
-            "probes (cached)",
-            "probes (uncached)",
-            "cached s",
-            "uncached s",
-            "speedup",
+            "probes",
+            "plan compiles",
+            "seconds",
             "max |Δposterior|",
         ),
         [
             (
+                "probe per attribute",
+                result.peer_count,
+                result.attribute_count,
+                result.uncached_probe_count,
+                "-",
+                f"{result.uncached_seconds:.3f}",
+                "-",
+            ),
+            (
+                "cached + sequential",
                 result.peer_count,
                 result.attribute_count,
                 result.cached_probe_count,
-                result.uncached_probe_count,
+                "-",
                 f"{result.cached_seconds:.3f}",
-                f"{result.uncached_seconds:.3f}",
-                f"{result.speedup:.1f}x",
                 f"{result.max_posterior_difference:.1e}",
-            )
+            ),
+            (
+                "cached + batched",
+                result.peer_count,
+                result.attribute_count,
+                result.batched_probe_count,
+                result.batched_plan_compiles,
+                f"{result.batched_seconds:.3f}",
+                f"{result.batched_max_posterior_difference:.1e}",
+            ),
         ],
-        title="Assessor amortization — probe-once structure cache, 32 peers",
+        title=(
+            "Assessor amortization — structure cache + batched engine, "
+            "32 peers"
+        ),
     )
     report("EX_assessor_amortization_32_peers", lines)
+    report_json(
+        "assessor_amortization_32_peers",
+        {
+            "peer_count": result.peer_count,
+            "attribute_count": result.attribute_count,
+            "uncached_seconds": result.uncached_seconds,
+            "cached_seconds": result.cached_seconds,
+            "batched_seconds": result.batched_seconds,
+            "cache_speedup": result.speedup,
+            "batched_speedup": result.batched_speedup,
+            "max_posterior_difference": result.max_posterior_difference,
+            "batched_max_posterior_difference": (
+                result.batched_max_posterior_difference
+            ),
+        },
+    )
 
     assert result.attribute_count >= 5
     assert result.cached_probe_count == 1
+    assert result.batched_probe_count == 1
+    assert result.batched_plan_compiles == 1
     assert result.probe_amortization == result.attribute_count
     assert result.max_posterior_difference == 0.0
+    assert result.batched_max_posterior_difference <= 1e-9

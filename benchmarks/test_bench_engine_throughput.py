@@ -28,7 +28,7 @@ def vectorized_run(graph):
 
 
 @pytest.mark.parametrize("peer_count", SIZES)
-def test_bench_engine_throughput(benchmark, report, peer_count):
+def test_bench_engine_throughput(benchmark, report, report_json, peer_count):
     pdms_graph = throughput_graph(peer_count, ttl=3)
     graph = pdms_graph.graph
     result = benchmark(vectorized_run, graph)
@@ -63,6 +63,17 @@ def test_bench_engine_throughput(benchmark, report, peer_count):
         ),
     )
     report(f"EX_engine_throughput_{peer_count}_peers", lines)
+    report_json(
+        f"engine_throughput_{peer_count}_peers",
+        {
+            "peer_count": peer_count,
+            "edge_count": point.edge_count,
+            "loop_messages_per_second": point.loop_edges_per_second,
+            "vectorized_messages_per_second": point.vectorized_edges_per_second,
+            "speedup": point.speedup,
+            "max_marginal_difference": point.max_marginal_difference,
+        },
+    )
 
     assert result.iterations == point.vectorized_iterations
     assert point.max_marginal_difference < 1e-9

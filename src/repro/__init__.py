@@ -45,6 +45,7 @@ from .pdms import (
     substring_predicate,
 )
 from .core import (
+    BatchedEmbeddedMessagePassing,
     EmbeddedMessagePassing,
     EmbeddedOptions,
     EmbeddedResult,
@@ -105,6 +106,7 @@ __all__ = [
     "RoutingPolicy",
     "probe_neighborhood",
     "substring_predicate",
+    "BatchedEmbeddedMessagePassing",
     "EmbeddedMessagePassing",
     "EmbeddedOptions",
     "EmbeddedResult",

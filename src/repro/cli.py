@@ -330,28 +330,51 @@ def _render_amortization(args: argparse.Namespace) -> str:
     )
     return format_table(
         (
+            "mode",
             "peers",
             "attributes",
-            "probes (cached)",
-            "probes (uncached)",
-            "cached s",
-            "uncached s",
+            "probes",
+            "plan compiles",
+            "seconds",
             "speedup",
             "max |Δposterior|",
         ),
         [
             (
+                "probe per attribute",
+                result.peer_count,
+                result.attribute_count,
+                result.uncached_probe_count,
+                "-",
+                f"{result.uncached_seconds:.3f}",
+                "1.0x",
+                "-",
+            ),
+            (
+                "cached + sequential",
                 result.peer_count,
                 result.attribute_count,
                 result.cached_probe_count,
-                result.uncached_probe_count,
+                "-",
                 f"{result.cached_seconds:.3f}",
-                f"{result.uncached_seconds:.3f}",
                 f"{result.speedup:.1f}x",
                 f"{result.max_posterior_difference:.1e}",
-            )
+            ),
+            (
+                "cached + batched",
+                result.peer_count,
+                result.attribute_count,
+                result.batched_probe_count,
+                result.batched_plan_compiles,
+                f"{result.batched_seconds:.3f}",
+                f"{result.speedup * result.batched_speedup:.1f}x",
+                f"{result.batched_max_posterior_difference:.1e}",
+            ),
         ],
-        title="Assessor amortization — probe-once structure cache",
+        title=(
+            "Assessor amortization — probe-once structure cache + batched "
+            "all-attribute engine (speedup vs probe-per-attribute)"
+        ),
     )
 
 

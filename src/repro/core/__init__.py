@@ -35,6 +35,11 @@ from .pdms_factor_graph import (
     variable_name_for,
 )
 from .local_graph import LocalFactorGraph, build_local_graphs, mapping_owner
+from .batched import (
+    AssessmentPlan,
+    BatchedEmbeddedMessagePassing,
+    compile_assessment_plan,
+)
 from .embedded import (
     EmbeddedMessagePassing,
     EmbeddedOptions,
@@ -69,6 +74,9 @@ __all__ = [
     "LocalFactorGraph",
     "build_local_graphs",
     "mapping_owner",
+    "AssessmentPlan",
+    "BatchedEmbeddedMessagePassing",
+    "compile_assessment_plan",
     "EmbeddedMessagePassing",
     "EmbeddedOptions",
     "EmbeddedResult",

@@ -36,6 +36,7 @@ from ..pdms.probing import (
     ParallelPaths,
     find_all_cycles,
     find_all_parallel_paths,
+    find_cycles_through,
     probe_neighborhood,
 )
 from .feedback import Feedback, FeedbackKind, feedback_from_cycle, feedback_from_parallel_paths
@@ -46,6 +47,7 @@ __all__ = [
     "NetworkStructureCache",
     "analyze_network",
     "analyze_neighborhood",
+    "structure_signatures",
 ]
 
 
@@ -98,22 +100,46 @@ def _unmappable_mappings(network: PDMSNetwork, attribute: str) -> Tuple[str, ...
     return tuple(unmappable)
 
 
+def structure_signatures(
+    cycles: Sequence[MappingCycle],
+    parallel_paths: Sequence[ParallelPaths],
+) -> List[Tuple[str, Tuple[str, ...]]]:
+    """``(identifier, mapping names)`` pairs in evidence order.
+
+    This is the naming contract shared by the per-attribute evidence
+    (:func:`analyze_network` / :meth:`NetworkStructureCache.evidence_for`)
+    and the compiled :class:`~repro.core.batched.AssessmentPlan`: both must
+    list the same structures under the same identifiers, index for index,
+    for the batched engine to bind evidence to its plan.
+    """
+    signatures: List[Tuple[str, Tuple[str, ...]]] = [
+        (f"f{index}", cycle.mapping_names)
+        for index, cycle in enumerate(cycles, start=1)
+    ]
+    offset = len(cycles)
+    signatures.extend(
+        (f"f{offset + index}=>", paths.mapping_names)
+        for index, paths in enumerate(parallel_paths, start=1)
+    )
+    return signatures
+
+
 def _evidence_from_structures(
     cycles: Sequence[MappingCycle],
     parallel_paths: Sequence[ParallelPaths],
     attribute: str,
 ) -> List[Feedback]:
+    signatures = structure_signatures(cycles, parallel_paths)
     feedbacks: List[Feedback] = []
-    for index, cycle in enumerate(cycles, start=1):
+    for (identifier, _), cycle in zip(signatures, cycles):
         feedbacks.append(
-            feedback_from_cycle(cycle, attribute, identifier=f"f{index}")
+            feedback_from_cycle(cycle, attribute, identifier=identifier)
         )
-    offset = len(cycles)
-    for index, paths in enumerate(parallel_paths, start=1):
+    for (identifier, _), paths in zip(
+        signatures[len(cycles):], parallel_paths
+    ):
         feedbacks.append(
-            feedback_from_parallel_paths(
-                paths, attribute, identifier=f"f{offset + index}=>"
-            )
+            feedback_from_parallel_paths(paths, attribute, identifier=identifier)
         )
     return feedbacks
 
@@ -122,13 +148,19 @@ def _evidence_from_structures(
 class StructureCacheStatistics:
     """Hit/miss accounting of a :class:`NetworkStructureCache`.
 
-    ``probes`` counts actual cycle/parallel-path enumerations — the quantity
-    the cache exists to minimise; ``hits`` and ``misses`` count lookups.
+    ``probes`` counts *full* cycle/parallel-path enumerations — the quantity
+    the cache exists to minimise; ``hits`` and ``misses`` count lookups.  A
+    miss is satisfied either by a full re-probe (``full_refreshes``, always
+    equal to ``probes``) or — when the network's mutation log shows only
+    mapping-level changes the cache can replay — by an incremental update of
+    the affected structures (``partial_refreshes``).
     """
 
     probes: int = 0
     hits: int = 0
     misses: int = 0
+    partial_refreshes: int = 0
+    full_refreshes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -141,9 +173,36 @@ class NetworkStructureCache:
     The cache is keyed on ``(network version, ttl, include_parallel_paths)``:
     a topology mutation (added/removed peer or mapping) bumps
     :attr:`~repro.pdms.network.PDMSNetwork.version` and transparently forces
-    a re-probe, and :meth:`invalidate` drops the cached structures
+    a refresh, and :meth:`invalidate` drops the cached structures
     explicitly for mutations the version counter cannot see (e.g. direct
     fiddling with network internals in tests).
+
+    Incremental maintenance
+    -----------------------
+    When the network's mutation log (:meth:`PDMSNetwork.mutations_since`)
+    shows only mapping-level changes since the cached version, the refresh
+    updates just the structures touching the mutated mappings instead of
+    re-enumerating the whole network:
+
+    * ``remove_mapping`` drops the cycles and parallel paths traversing the
+      removed mapping (exact: a structure stays valid iff all its own
+      mappings still exist);
+    * ``add_mapping`` enumerates only the cycles *through the new mapping's
+      source peer* that contain the new mapping (every genuinely new cycle
+      must contain it) and appends the unseen ones.  New *parallel paths*
+      cannot be derived locally, so an addition falls back to a full
+      re-probe whenever parallel paths are enabled;
+    * ``add_peer`` always falls back to a full re-probe.
+
+    ``statistics.partial_refreshes`` / ``full_refreshes`` record which path
+    served each miss.  Incrementally added structures are appended after the
+    surviving ones, so feedback identifiers may be numbered differently than
+    a fresh probe would number them, and incrementally discovered cycles are
+    oriented from the added mapping's source peer (exactly what a real probe
+    from that peer reports) rather than from the peer a fresh global
+    enumeration happens to visit first.  The structure *set* — up to
+    rotation — is identical; both orientations are valid probe outcomes of
+    the same nondeterministic discovery the paper describes (§3.2.1).
 
     Correspondence-level edits (corruptions, repairs) deliberately do *not*
     invalidate: they change how a structure evaluates for an attribute — the
@@ -170,22 +229,92 @@ class NetworkStructureCache:
             return self.network.directed
         return self.include_parallel_paths
 
+    @property
+    def key(self) -> Optional[Tuple[int, int, bool]]:
+        """The ``(version, ttl, include_parallel_paths)`` key of the cached
+        structures, or ``None`` when nothing is cached yet.
+
+        Consumers deriving further state from the structures (e.g. the
+        compiled :class:`~repro.core.batched.AssessmentPlan` of the quality
+        assessor) key their own caches on this value.
+        """
+        return self._key
+
     def structures(self) -> Tuple[Tuple[MappingCycle, ...], Tuple[ParallelPaths, ...]]:
         """The network's cycles and parallel paths, probing at most once per
-        topology version."""
+        topology version (and only partially when the mutation log allows)."""
         include = self._resolved_include_parallel_paths()
         key = (self.network.version, self.ttl, include)
         if key == self._key:
             self.statistics.hits += 1
             return self._cycles, self._parallel_paths
         self.statistics.misses += 1
-        self.statistics.probes += 1
-        self._cycles = find_all_cycles(self.network, ttl=self.ttl)
-        self._parallel_paths = (
-            find_all_parallel_paths(self.network, ttl=self.ttl) if include else ()
-        )
+        if self._refresh_incrementally(key):
+            self.statistics.partial_refreshes += 1
+        else:
+            self.statistics.probes += 1
+            self.statistics.full_refreshes += 1
+            self._cycles = find_all_cycles(self.network, ttl=self.ttl)
+            self._parallel_paths = (
+                find_all_parallel_paths(self.network, ttl=self.ttl) if include else ()
+            )
         self._key = key
         return self._cycles, self._parallel_paths
+
+    def _refresh_incrementally(self, key: Tuple[int, int, bool]) -> bool:
+        """Replay the mutation log onto the cached structures when possible.
+
+        Returns ``True`` when the cached cycles / parallel paths were brought
+        up to ``key`` without a full enumeration; ``False`` requests a full
+        re-probe (peer additions, truncated logs, ttl / parallel-path flag
+        changes, or mapping additions while parallel paths are enabled).
+        """
+        if self._key is None or self._key[1:] != key[1:]:
+            return False
+        mutations = self.network.mutations_since(self._key[0])
+        if mutations is None or not mutations:
+            return False
+        include = key[2]
+        kinds = {kind for _, kind, _ in mutations}
+        if "add_peer" in kinds:
+            return False
+        if include and "add_mapping" in kinds:
+            return False
+        cycles = list(self._cycles)
+        parallel_paths = list(self._parallel_paths)
+        # Canonical keys are only needed to dedupe additions; remove-only
+        # logs (the common case) never pay for the set.
+        seen: Optional[set] = None
+        for _, kind, name in mutations:
+            if kind == "remove_mapping":
+                cycles = [c for c in cycles if name not in c.mapping_names]
+                parallel_paths = [
+                    p for p in parallel_paths if name not in p.mapping_names
+                ]
+                seen = None
+            elif kind == "add_mapping":
+                if not self.network.has_mapping(name):
+                    # Added and removed again later in the log; the removal
+                    # entry keeps the cached set consistent.
+                    continue
+                mapping = self.network.mapping(name)
+                if seen is None:
+                    seen = {cycle.canonical_key() for cycle in cycles}
+                for cycle in find_cycles_through(
+                    self.network, mapping.source, ttl=self.ttl
+                ):
+                    if name not in cycle.mapping_names:
+                        continue
+                    cycle_key = cycle.canonical_key()
+                    if cycle_key in seen:
+                        continue
+                    seen.add(cycle_key)
+                    cycles.append(cycle)
+            else:  # pragma: no cover - defensive: unknown mutation kind
+                return False
+        self._cycles = tuple(cycles)
+        self._parallel_paths = tuple(parallel_paths)
+        return True
 
     def evidence_for(self, attribute: str) -> NetworkEvidence:
         """Per-attribute evidence derived from the cached structures.

@@ -1,0 +1,687 @@
+"""Batched multi-attribute embedded message passing.
+
+The self-organizing assessment loop of the paper runs the decentralised
+message passing of §4 for *every* attribute of the schema network.  The
+cycle / parallel-path structures those runs are built from are
+attribute-independent (§3.2.1) — only the feedback *signs* (and therefore
+the factor tables) change per attribute — yet the per-attribute
+:class:`~repro.core.embedded.EmbeddedMessagePassing` engine re-derives the
+full topology machinery (edge layouts, segment index plans, factor-batch
+gather/scatter operands, factor tables) from scratch for each attribute.
+
+This module splits that work along the topology/evidence boundary:
+
+* :func:`compile_assessment_plan` compiles the structures **once** into an
+  :class:`AssessmentPlan` — everything in ``EmbeddedMessagePassing.__init__``
+  / ``_init_array_state`` / ``_compile_array_batches`` that depends only on
+  which structures exist and which peers own their mappings.
+* :class:`BatchedEmbeddedMessagePassing` binds one plan to the per-attribute
+  evidence (feedback kinds, priors, Δ) and runs **all attributes
+  simultaneously** on stacked ``(attributes, edges, 2)`` message matrices:
+  phase 1 is one zero-aware segment product over the stacked
+  factor→variable state, phase 2 one Bernoulli mask per attribute over the
+  shared transmission list, phase 3 one
+  :class:`~repro.factorgraph.compiled.StackedFactorBatch` einsum per arity
+  bucket and target slot.  Per-attribute convergence masking freezes
+  finished attributes so they stop contributing work.
+
+Equivalence with the per-attribute engine
+-----------------------------------------
+The stacked state covers *all* structures, not only the ones informative for
+a given attribute.  Structures that are neutral for an attribute carry an
+all-ones factor table, whose sum–product messages are exactly uniform; a
+uniform factor→variable row scales both belief components by the same power
+of two, so every shared message — and therefore every posterior — matches
+the sequential ``backend="arrays"`` engine to floating-point accuracy (the
+parity tests pin the agreement well below ``1e-9``, lossless and lossy).
+Mappings whose evidence is entirely neutral for an attribute are masked out
+of that attribute's result, mirroring the sequential engine's restriction to
+informative feedback.
+
+Reproducibility contract
+------------------------
+The sequential assessor builds one freshly seeded
+:class:`~repro.core.embedded.MessageTransport` per attribute.  The batched
+engine keeps that contract: each attribute draws its Bernoulli keep/send
+masks from its **own** ``random.Random`` stream (seeded identically to the
+sequential run), and only for the transmissions of its *informative*
+structures, in the same transmission order — so lossy batched runs replay
+the sequential drop decisions exactly, attempt counts included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constants import DEFAULT_SEED, DEFAULT_SEND_PROBABILITY
+from ..exceptions import ConvergenceError, FactorGraphError, FeedbackError
+from ..factorgraph.compiled import (
+    MAX_COMPILED_ARITY,
+    StackedFactorBatch,
+    normalize_rows,
+    segment_exclusive_products,
+    segment_products,
+)
+from .beliefs import PriorBeliefStore
+from .embedded import (
+    EmbeddedMessagePassing,
+    EmbeddedOptions,
+    EmbeddedResult,
+    MessageTransport,
+    required_quiet_rounds,
+)
+from .feedback import Feedback, FeedbackKind
+from .local_graph import mapping_owner
+
+__all__ = [
+    "AssessmentPlan",
+    "BatchedEmbeddedMessagePassing",
+    "compile_assessment_plan",
+]
+
+#: Integer codes of the per-(attribute, structure) feedback kinds.
+_KIND_NEUTRAL, _KIND_POSITIVE, _KIND_NEGATIVE = 0, 1, 2
+
+_KIND_CODES = {
+    FeedbackKind.NEUTRAL: _KIND_NEUTRAL,
+    FeedbackKind.POSITIVE: _KIND_POSITIVE,
+    FeedbackKind.NEGATIVE: _KIND_NEGATIVE,
+}
+
+
+@dataclass(frozen=True)
+class _PlanBatch:
+    """One arity bucket of the compiled plan.
+
+    ``gather[target][source]`` holds, per structure of the bucket, the pool
+    id of the message feeding slot ``source`` of the sweep toward slot
+    ``target`` — ids below the plan's edge count select the owner's own
+    fresh µ_{v→F} row, ids above it the last received remote copy.
+    ``scatter[target]`` holds the µ_{F→v} edge rows the fresh messages are
+    written back to.  ``incorrect_counts`` is the ``(2,)*arity`` tensor of
+    how many slots of each table cell are in the *incorrect* state, from
+    which the per-attribute CPTs are built in one vectorized expression.
+    """
+
+    arity: int
+    feedback_indices: np.ndarray
+    gather: Tuple[Tuple[Optional[np.ndarray], ...], ...]
+    scatter: Tuple[np.ndarray, ...]
+    incorrect_counts: np.ndarray
+
+
+@dataclass(frozen=True)
+class AssessmentPlan:
+    """Topology-only compilation of a network's feedback structures.
+
+    Holds everything the embedded engine derives from the structure list
+    alone — directed owner-edge layout (grouped by mapping for the segment
+    products), received-cell layout, the phase-2 transmission list and the
+    arity-bucketed gather/scatter operands — so a multi-attribute assessment
+    compiles them exactly once per network version and shares them across
+    attributes and EM rounds.
+    """
+
+    identifiers: Tuple[str, ...]
+    structure_mappings: Tuple[Tuple[str, ...], ...]
+    owners: TMapping[str, str]
+    mapping_names: Tuple[str, ...]
+    mapping_index: TMapping[str, int]
+    edge_mapping: np.ndarray
+    segment_starts: np.ndarray
+    edge_count: int
+    recv_count: int
+    tx_src: np.ndarray
+    tx_dest: np.ndarray
+    tx_feedback: np.ndarray
+    batches: Tuple[_PlanBatch, ...]
+
+    @property
+    def structure_count(self) -> int:
+        return len(self.identifiers)
+
+    @property
+    def mapping_count(self) -> int:
+        return len(self.mapping_names)
+
+
+def compile_assessment_plan(
+    structures: Sequence[Tuple[str, Sequence[str]]],
+    owners: Optional[TMapping[str, str]] = None,
+) -> AssessmentPlan:
+    """Compile ``(identifier, mapping names)`` structures into a plan.
+
+    ``structures`` lists the network's cycles and parallel paths in the
+    order :func:`repro.core.analysis.analyze_network` numbers them, so the
+    per-attribute :class:`~repro.core.feedback.Feedback` evidence derived
+    from the same structures aligns with the plan index for index.  Raises
+    :class:`~repro.exceptions.FactorGraphError` for structures beyond the
+    compiled arity limit (callers fall back to the sequential engine).
+    """
+    normalized: List[Tuple[str, Tuple[str, ...]]] = [
+        (identifier, tuple(names)) for identifier, names in structures
+    ]
+    owner_map: Dict[str, str] = {}
+    mapping_list: List[str] = []
+    for identifier, names in normalized:
+        if len(names) < 2:
+            raise FeedbackError(
+                f"structure {identifier!r} needs at least two mappings, "
+                f"got {names!r}"
+            )
+        for name in names:
+            if name not in owner_map:
+                if owners is not None and name in owners:
+                    owner_map[name] = owners[name]
+                else:
+                    owner_map[name] = mapping_owner(name)
+                mapping_list.append(name)
+    mapping_index = {name: index for index, name in enumerate(mapping_list)}
+
+    # Directed owner edges (mapping, structure), grouped contiguously by
+    # mapping so phase 1 and the posterior read are single segment products.
+    structures_of: Dict[str, List[int]] = {name: [] for name in mapping_list}
+    for structure_index, (_, names) in enumerate(normalized):
+        for name in names:
+            structures_of[name].append(structure_index)
+    edge_rows: Dict[Tuple[str, int], int] = {}
+    edge_mapping_list: List[int] = []
+    for m_index, name in enumerate(mapping_list):
+        for structure_index in structures_of[name]:
+            edge_rows[(name, structure_index)] = len(edge_mapping_list)
+            edge_mapping_list.append(m_index)
+    edge_mapping = np.asarray(edge_mapping_list, dtype=np.int64)
+    if len(edge_mapping):
+        is_start = np.empty(len(edge_mapping), dtype=bool)
+        is_start[0] = True
+        is_start[1:] = edge_mapping[1:] != edge_mapping[:-1]
+        segment_starts = np.flatnonzero(is_start)
+    else:
+        segment_starts = np.empty(0, dtype=np.int64)
+    edge_count = len(edge_mapping)
+
+    # Received cells (peer, structure, remote mapping): one per replica a
+    # peer holds of a structure it does not own every mapping of.
+    recv_rows: Dict[Tuple[str, int, str], int] = {}
+    for structure_index, (_, names) in enumerate(normalized):
+        for peer in dict.fromkeys(owner_map[name] for name in names):
+            for name in names:
+                if owner_map[name] != peer:
+                    recv_rows.setdefault(
+                        (peer, structure_index, name), len(recv_rows)
+                    )
+
+    # Transmission list in the exact order the sequential engine walks it
+    # (structure → sender mapping → recipient mapping), so per-attribute rng
+    # streams are consumed identically.
+    tx_src: List[int] = []
+    tx_dest: List[int] = []
+    tx_feedback: List[int] = []
+    for structure_index, (_, names) in enumerate(normalized):
+        for name in names:
+            sender = owner_map[name]
+            source_edge = edge_rows[(name, structure_index)]
+            for other in names:
+                recipient = owner_map[other]
+                if recipient == sender:
+                    continue
+                tx_src.append(source_edge)
+                tx_dest.append(recv_rows[(recipient, structure_index, name)])
+                tx_feedback.append(structure_index)
+
+    # Arity buckets with index-array gather/scatter plans.
+    by_arity: Dict[int, List[int]] = {}
+    for structure_index, (_, names) in enumerate(normalized):
+        by_arity.setdefault(len(names), []).append(structure_index)
+    batches: List[_PlanBatch] = []
+    for arity, structure_indices in by_arity.items():
+        if arity > MAX_COMPILED_ARITY:
+            raise FactorGraphError(
+                f"structure arity {arity} exceeds the compiled limit "
+                f"{MAX_COMPILED_ARITY}; use the sequential engine"
+            )
+        gather: List[Tuple[Optional[np.ndarray], ...]] = []
+        scatter: List[np.ndarray] = []
+        for target in range(arity):
+            target_rows = np.asarray(
+                [
+                    edge_rows[(normalized[si][1][target], si)]
+                    for si in structure_indices
+                ],
+                dtype=np.int64,
+            )
+            per_source: List[Optional[np.ndarray]] = []
+            for source in range(arity):
+                if source == target:
+                    per_source.append(None)
+                    continue
+                pool_ids: List[int] = []
+                for si in structure_indices:
+                    names = normalized[si][1]
+                    target_name, source_name = names[target], names[source]
+                    owner = owner_map[target_name]
+                    if owner_map[source_name] == owner:
+                        pool_ids.append(edge_rows[(source_name, si)])
+                    else:
+                        pool_ids.append(
+                            edge_count + recv_rows[(owner, si, source_name)]
+                        )
+                per_source.append(np.asarray(pool_ids, dtype=np.int64))
+            gather.append(tuple(per_source))
+            scatter.append(target_rows)
+        batches.append(
+            _PlanBatch(
+                arity=arity,
+                feedback_indices=np.asarray(structure_indices, dtype=np.int64),
+                gather=tuple(gather),
+                scatter=tuple(scatter),
+                incorrect_counts=np.indices((2,) * arity).sum(axis=0),
+            )
+        )
+
+    return AssessmentPlan(
+        identifiers=tuple(identifier for identifier, _ in normalized),
+        structure_mappings=tuple(names for _, names in normalized),
+        owners=owner_map,
+        mapping_names=tuple(mapping_list),
+        mapping_index=mapping_index,
+        edge_mapping=edge_mapping,
+        segment_starts=segment_starts,
+        edge_count=edge_count,
+        recv_count=len(recv_rows),
+        tx_src=np.asarray(tx_src, dtype=np.int64),
+        tx_dest=np.asarray(tx_dest, dtype=np.int64),
+        tx_feedback=np.asarray(tx_feedback, dtype=np.int64),
+        batches=tuple(batches),
+    )
+
+
+class BatchedEmbeddedMessagePassing:
+    """All-attribute embedded message passing on one compiled plan.
+
+    Parameters
+    ----------
+    plan:
+        The compiled topology (shared across attributes and EM rounds).
+    feedback_sets:
+        Per attribute, the evidence of **every** plan structure, aligned
+        index for index (neutral feedbacks included — they mask themselves
+        out via all-ones factor tables).  Attributes without a single
+        informative feedback yield ``None`` results, like the sequential
+        assessor.
+    priors:
+        ``None`` / a single float applied everywhere, or a mapping keyed by
+        *attribute* whose values are whatever the sequential engine accepts
+        (float, ``{mapping name: prior}`` dict, or ``None``).
+    deltas:
+        Error-compensation probability Δ, a float or per-attribute mapping.
+    send_probability / seed / transports:
+        One freshly seeded :class:`MessageTransport` is created per
+        attribute (matching the sequential assessor); pass ``transports`` to
+        supply them explicitly.
+    options:
+        Iteration control, shared by all attributes.
+    """
+
+    def __init__(
+        self,
+        plan: AssessmentPlan,
+        feedback_sets: TMapping[str, Sequence[Feedback]],
+        priors: object = None,
+        deltas: TMapping[str, float] | float = 0.1,
+        send_probability: float = DEFAULT_SEND_PROBABILITY,
+        seed: Optional[int] = DEFAULT_SEED,
+        transports: Optional[TMapping[str, MessageTransport]] = None,
+        options: Optional[EmbeddedOptions] = None,
+    ) -> None:
+        self.plan = plan
+        self.options = options or EmbeddedOptions()
+        self.attributes: Tuple[str, ...] = tuple(feedback_sets)
+
+        kinds: Dict[str, np.ndarray] = {}
+        for attribute, feedbacks in feedback_sets.items():
+            feedback_list = tuple(feedbacks)
+            if len(feedback_list) != plan.structure_count:
+                raise FeedbackError(
+                    f"attribute {attribute!r} supplies {len(feedback_list)} "
+                    f"feedbacks for a plan of {plan.structure_count} structures"
+                )
+            codes = np.empty(plan.structure_count, dtype=np.int8)
+            for index, feedback in enumerate(feedback_list):
+                if (
+                    feedback.identifier != plan.identifiers[index]
+                    or feedback.mapping_names != plan.structure_mappings[index]
+                ):
+                    raise FeedbackError(
+                        f"feedback {feedback.identifier!r} of attribute "
+                        f"{attribute!r} does not match plan structure "
+                        f"{plan.identifiers[index]!r}"
+                    )
+                codes[index] = _KIND_CODES[feedback.kind]
+            kinds[attribute] = codes
+
+        # Lanes: attributes with at least one informative structure.
+        self._lanes: Tuple[str, ...] = tuple(
+            a for a in self.attributes if (kinds[a] != _KIND_NEUTRAL).any()
+        )
+        lane_count = len(self._lanes)
+        self._kind_matrix = (
+            np.stack([kinds[a] for a in self._lanes])
+            if lane_count
+            else np.zeros((0, plan.structure_count), dtype=np.int8)
+        )
+
+        self._deltas = np.asarray(
+            [self._resolve_delta(deltas, a) for a in self._lanes], dtype=float
+        )
+        self._priors = self._stack_priors(priors)
+        if transports is not None:
+            self._transports = [
+                transports.get(a) or MessageTransport(send_probability, seed=seed)
+                for a in self._lanes
+            ]
+        else:
+            self._transports = [
+                MessageTransport(send_probability, seed=seed) for _ in self._lanes
+            ]
+        self._lossless = all(
+            transport.send_probability >= 1.0 for transport in self._transports
+        )
+
+        # Per-lane informative transmissions (positions into the plan's
+        # transmission list, in list order — the rng consumption order).
+        informative_tx = (
+            self._kind_matrix[:, plan.tx_feedback] != _KIND_NEUTRAL
+            if plan.tx_feedback.size
+            else np.zeros((lane_count, 0), dtype=bool)
+        )
+        self._lane_tx = [np.flatnonzero(row) for row in informative_tx]
+
+        # Per-lane active mappings: constrained by ≥1 informative structure.
+        self._active_indices: List[np.ndarray] = []
+        for lane in range(lane_count):
+            active = np.zeros(plan.mapping_count, dtype=bool)
+            for si in np.flatnonzero(self._kind_matrix[lane] != _KIND_NEUTRAL):
+                for name in plan.structure_mappings[si]:
+                    active[plan.mapping_index[name]] = True
+            self._active_indices.append(np.flatnonzero(active))
+
+        # Stacked per-attribute factor tables, one kernel per arity bucket.
+        self._kernels: List[StackedFactorBatch] = []
+        for batch in plan.batches:
+            kind_b = self._kind_matrix[:, batch.feedback_indices]
+            counts = batch.incorrect_counts
+            delta_shaped = self._deltas.reshape((lane_count,) + (1,) * batch.arity)
+            positive = np.where(
+                counts == 0, 1.0, np.where(counts == 1, 0.0, delta_shaped)
+            )
+            pos = positive[:, None]
+            kind_shaped = kind_b.reshape(kind_b.shape + (1,) * batch.arity)
+            tables = np.where(
+                kind_shaped == _KIND_POSITIVE,
+                pos,
+                np.where(kind_shaped == _KIND_NEGATIVE, 1.0 - pos, 1.0),
+            )
+            self._kernels.append(StackedFactorBatch(tables))
+
+        # Stacked message state, one lane per attribute.  The state arrays
+        # only ever hold the *live* (not yet converged) lanes: when a lane
+        # freezes it is compacted out (:meth:`_compact`), so finished
+        # attributes stop contributing work to every phase.  ``_live`` maps
+        # state rows back to lane indices.  The per-edge prior rows are
+        # gathered once — phase 1 reuses them every round.
+        self._live = np.arange(lane_count)
+        self._prior_edges = self._priors[:, plan.edge_mapping]
+        self._v2f = np.full((lane_count, plan.edge_count, 2), 0.5)
+        self._f2v = np.full((lane_count, plan.edge_count, 2), 0.5)
+        self._recv = np.full((lane_count, plan.recv_count, 2), 0.5)
+        self._post = normalize_rows(
+            self._priors * segment_products(self._f2v, plan.segment_starts)
+        )
+        self._final_post = self._post[:, :, 0].copy()
+
+    # -- construction helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _resolve_delta(deltas, attribute: str) -> float:
+        if isinstance(deltas, (int, float)) and not isinstance(deltas, bool):
+            value = float(deltas)
+        else:
+            try:
+                value = float(deltas[attribute])
+            except (KeyError, TypeError) as error:
+                raise FeedbackError(
+                    f"no Δ supplied for attribute {attribute!r}"
+                ) from error
+        if not 0.0 <= value <= 1.0:
+            raise FeedbackError(f"Δ must be in [0, 1], got {value}")
+        return value
+
+    def _stack_priors(self, priors) -> np.ndarray:
+        """One clipped ``(lanes, mappings, 2)`` prior matrix."""
+        if isinstance(priors, PriorBeliefStore):
+            raise FeedbackError(
+                "pass per-attribute prior dicts, not a PriorBeliefStore"
+            )
+        if priors is not None and not isinstance(priors, (bool, int, float)):
+            # The sequential engine takes a flat {mapping: prior} dict; this
+            # engine needs one prior set *per attribute*.  Reading a flat
+            # dict as attribute-keyed would silently degrade every prior to
+            # the 0.5 default, so reject the shape explicitly.
+            misread = [
+                key for key in priors if key in self.plan.mapping_index
+            ]
+            if misread:
+                raise FeedbackError(
+                    f"priors must be keyed by attribute, but "
+                    f"{misread[0]!r} is a mapping name; pass "
+                    f"{{attribute: {{mapping: prior}}}} instead"
+                )
+        validate = EmbeddedMessagePassing._validate_prior
+        correct = np.empty((len(self._lanes), self.plan.mapping_count))
+        for lane, attribute in enumerate(self._lanes):
+            per_attribute = priors
+            if priors is not None and not isinstance(priors, (int, float)):
+                per_attribute = priors.get(attribute)
+            if per_attribute is None:
+                correct[lane] = 0.5
+            elif isinstance(per_attribute, (bool, int, float)):
+                # bools are rejected by the shared validator, like the
+                # sequential engine does.
+                correct[lane] = validate(per_attribute, "*")
+            else:
+                get = per_attribute.get
+                correct[lane] = [
+                    validate(get(name, 0.5), name)
+                    for name in self.plan.mapping_names
+                ]
+        return np.clip(
+            np.stack((correct, 1.0 - correct), axis=-1), 1e-9, 1.0
+        )
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def mapping_names(self) -> Tuple[str, ...]:
+        return self.plan.mapping_names
+
+    @property
+    def lane_attributes(self) -> Tuple[str, ...]:
+        """Attributes with informative evidence, in state-lane order."""
+        return self._lanes
+
+    def transport_for(self, attribute: str) -> MessageTransport:
+        """The per-attribute transport (for statistics inspection)."""
+        try:
+            lane = self._lanes.index(attribute)
+        except ValueError:
+            known = ", ".join(self._lanes) or "<none>"
+            raise FeedbackError(
+                f"no transport for attribute {attribute!r} (only attributes "
+                f"with informative evidence have one; known: {known})"
+            ) from None
+        return self._transports[lane]
+
+    # -- the three phases, stacked ------------------------------------------------------
+
+    def _run_round(self) -> None:
+        """One full round over every live lane (no per-lane indexing)."""
+        plan = self.plan
+        # Phase 1: one exclusive segment product over all live lanes.
+        exclusive = segment_exclusive_products(
+            self._f2v, plan.segment_starts, plan.edge_mapping
+        )
+        self._v2f = normalize_rows(self._prior_edges * exclusive)
+        # Phase 2: the transport exchange.
+        self._exchange()
+        # Phase 3: stacked einsum sweeps per arity bucket.
+        if plan.recv_count:
+            pool = np.concatenate((self._v2f, self._recv), axis=1)
+        else:
+            pool = self._v2f
+        for batch, kernel in zip(plan.batches, self._kernels):
+            for target in range(batch.arity):
+                incoming = [
+                    None if ids is None else pool[:, ids]
+                    for ids in batch.gather[target]
+                ]
+                fresh = normalize_rows(kernel.messages_toward(target, incoming))
+                self._f2v[:, batch.scatter[target]] = fresh
+        # Posterior snapshot of the live lanes.
+        products = segment_products(self._f2v, plan.segment_starts)
+        self._post = normalize_rows(self._priors * products)
+
+    def _exchange(self) -> None:
+        plan = self.plan
+        if plan.tx_src.size == 0:
+            return
+        if self._lossless:
+            # Deliver everything in one stacked scatter; neutral cells are
+            # only ever read by neutral (all-ones) factor sweeps.
+            self._recv[:, plan.tx_dest] = self._v2f[:, plan.tx_src]
+            for row, lane in enumerate(self._live):
+                count = int(self._lane_tx[lane].size)
+                if count:
+                    self._transports[lane].statistics.record_many(count, count)
+            return
+        for row, lane in enumerate(self._live):
+            positions = self._lane_tx[lane]
+            if positions.size == 0:
+                continue
+            mask = self._transports[lane].send_mask(positions.size)
+            if mask.all():
+                delivered = positions
+            elif mask.any():
+                delivered = positions[mask]
+            else:
+                continue
+            self._recv[row, plan.tx_dest[delivered]] = self._v2f[
+                row, plan.tx_src[delivered]
+            ]
+
+    def _compact(self, keep: np.ndarray) -> None:
+        """Drop frozen lanes from the live state (boolean ``keep`` mask)."""
+        self._live = self._live[keep]
+        self._v2f = self._v2f[keep]
+        self._f2v = self._f2v[keep]
+        self._recv = self._recv[keep]
+        self._post = self._post[keep]
+        self._priors = self._priors[keep]
+        self._prior_edges = self._prior_edges[keep]
+        self._kernels = [
+            StackedFactorBatch(kernel.tables[keep]) for kernel in self._kernels
+        ]
+
+    # -- public API ---------------------------------------------------------------------
+
+    def run(self) -> Dict[str, Optional[EmbeddedResult]]:
+        """Iterate all attributes to convergence; one result per attribute.
+
+        Attributes without informative evidence map to ``None``.  Every
+        other attribute receives an :class:`EmbeddedResult` equal (to
+        floating-point accuracy) to what a sequential
+        ``EmbeddedMessagePassing(...).run()`` over its informative feedback
+        would return — iteration counts, convergence flags, histories and
+        transport statistics included.
+        """
+        results: Dict[str, Optional[EmbeddedResult]] = {
+            attribute: None for attribute in self.attributes
+        }
+        lane_count = len(self._lanes)
+        if lane_count == 0:
+            return results
+        options = self.options
+        quiet_needed = np.asarray(
+            [
+                required_quiet_rounds(transport.send_probability)
+                for transport in self._transports
+            ],
+            dtype=np.int64,
+        )
+        converged = np.zeros(lane_count, dtype=bool)
+        quiet = np.zeros(lane_count, dtype=np.int64)
+        rounds = np.zeros(lane_count, dtype=np.int64)
+        final_change = np.zeros(lane_count, dtype=float)
+        histories: Optional[List[List[np.ndarray]]] = (
+            [[] for _ in range(lane_count)] if options.record_history else None
+        )
+        for round_number in range(1, options.max_rounds + 1):
+            live = self._live
+            if live.size == 0:
+                break
+            # _run_round rebinds (never mutates) the posterior matrix, so
+            # views of the previous round's beliefs stay valid snapshots.
+            before = self._post[:, :, 0]
+            self._run_round()
+            after = self._post[:, :, 0]
+            if after.shape[1]:
+                change = np.abs(after - before).max(axis=1)
+            else:
+                change = np.zeros(live.size)
+            rounds[live] = round_number
+            final_change[live] = change
+            if histories is not None:
+                for row, lane in enumerate(live):
+                    histories[lane].append(after[row])
+            quiet[live] = np.where(change < options.tolerance, quiet[live] + 1, 0)
+            done = quiet[live] >= quiet_needed[live]
+            if done.any():
+                finished = live[done]
+                converged[finished] = True
+                self._final_post[finished] = after[done]
+                self._compact(~done)
+        self._final_post[self._live] = self._post[:, :, 0]
+        if options.strict and not converged.all():
+            stuck = ", ".join(
+                self._lanes[lane] for lane in np.flatnonzero(~converged)
+            )
+            raise ConvergenceError(
+                f"batched embedded message passing did not converge within "
+                f"{options.max_rounds} rounds for: {stuck}"
+            )
+        for lane, attribute in enumerate(self._lanes):
+            indices = self._active_indices[lane]
+            names = [self.plan.mapping_names[i] for i in indices]
+            posteriors = dict(
+                zip(names, self._final_post[lane, indices].tolist())
+            )
+            history: List[Dict[str, float]] = []
+            if histories is not None:
+                history = [
+                    dict(zip(names, snapshot[indices].tolist()))
+                    for snapshot in histories[lane]
+                ]
+            statistics = self._transports[lane].statistics
+            results[attribute] = EmbeddedResult(
+                posteriors=posteriors,
+                iterations=int(rounds[lane]),
+                converged=bool(converged[lane]),
+                final_change=float(final_change[lane]),
+                history=history,
+                messages_attempted=statistics.attempted,
+                messages_delivered=statistics.delivered,
+            )
+        return results

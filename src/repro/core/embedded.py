@@ -47,6 +47,39 @@ The Bernoulli keep/send decisions are drawn from the transport's single
 :meth:`MessageTransport.try_send`), so lossy runs with a shared seed make
 identical drop decisions and stay reproducible across backends.
 
+Backend / engine matrix
+-----------------------
+Three interchangeable executions of the same decentralised algorithm exist;
+all agree on posteriors to floating-point accuracy under shared seeds:
+
+===========================  ==========================  =======================================
+engine                       state                       selected when
+===========================  ==========================  =======================================
+``EmbeddedMessagePassing``   per-message dicts           ``backend="dicts"`` — the loop
+(``backend="dicts"``)                                    reference for parity tests and the
+                                                         embedded throughput benchmark.
+``EmbeddedMessagePassing``   ``(edges, 2)`` matrices     ``backend="arrays"`` — the default for
+(``backend="arrays"``)                                   single-attribute runs
+                                                         (``assess_attribute``, schedules,
+                                                         experiments driving one engine).
+``BatchedEmbeddedMessage-    ``(attributes, edges, 2)``  Multi-attribute assessor sweeps
+Passing``                    stacked matrices over one   (``assess_attributes`` /
+(:mod:`repro.core.batched`)  compiled                    ``assess_all_attributes`` / EM rounds)
+                             ``AssessmentPlan``          when ``use_batched_engine`` (default)
+                                                         and the structure cache are enabled;
+                                                         falls back to the sequential engine
+                                                         for structures beyond the compiled
+                                                         arity limit.
+===========================  ==========================  =======================================
+
+Rng-stream reproducibility contract: every engine consumes its transport's
+``random.Random`` uniforms in the same transmission order (structure →
+sender mapping → recipient), drawing *only* for informative transmissions.
+The batched engine keeps one independently seeded stream per attribute —
+exactly the fresh per-attribute transport the sequential assessor builds —
+so for a shared seed all three executions make identical drop decisions,
+lane for lane, and lossy posteriors match bit for bit in practice.
+
 Compiled-kernel equivalence contract
 ------------------------------------
 The factor→variable sweep of every round is routed through the same batched
@@ -139,12 +172,27 @@ class TransportStatistics:
             self.dropped += 1
 
     def record_many(self, attempted: int, delivered: int) -> None:
+        """Record a whole batch of attempts at once.
+
+        ``attempted=0`` is a valid no-op (an idle round of a quiet lane);
+        negative counts or ``delivered > attempted`` would corrupt the
+        tallies (and could drive :attr:`delivery_rate` outside [0, 1] or
+        into a division by zero), so they are rejected.
+        """
+        if attempted < 0 or delivered < 0 or delivered > attempted:
+            raise FeedbackError(
+                f"invalid transport batch: attempted={attempted}, "
+                f"delivered={delivered}"
+            )
+        if attempted == 0:
+            return
         self.attempted += attempted
         self.delivered += delivered
         self.dropped += attempted - delivered
 
     @property
     def delivery_rate(self) -> float:
+        """Fraction of attempted messages delivered (1.0 before any attempt)."""
         if self.attempted == 0:
             return 1.0
         return self.delivered / self.attempted

@@ -148,14 +148,17 @@ class EvolvingPDMS:
     # -- public API ----------------------------------------------------------------
 
     def apply_event(self, event: MappingEvent) -> AssessmentRound:
-        """Apply one event, re-assess the affected attributes, update priors."""
+        """Apply one event, re-assess the affected attributes, update priors.
+
+        The affected attributes are assessed in one batched pass (one
+        compiled plan, one stacked engine) rather than engine-per-attribute.
+        """
         affected = self._apply(event)
         assessor = MappingQualityAssessor(
             self.network, priors=self.priors, **self.assessor_kwargs
         )
         posteriors: Dict[Tuple[str, str], float] = {}
-        for attribute in affected:
-            assessment = assessor.assess_attribute(attribute)
+        for attribute, assessment in assessor.assess_attributes(affected).items():
             for mapping_name, posterior in assessment.posteriors.items():
                 posteriors[(mapping_name, attribute)] = posterior
         updated = assessor.update_priors(affected)

@@ -7,10 +7,13 @@ core contribution.  Given a PDMS network it
    through a :class:`~repro.core.analysis.NetworkStructureCache`, so the
    exponential structure enumeration runs once per topology version instead
    of once per attribute and per EM round,
-2. runs the decentralised embedded message passing per attribute
-   (:mod:`repro.core.embedded`, whose phases execute on stacked message
-   arrays and the compiled batched kernels of
-   :mod:`repro.factorgraph.compiled`),
+2. runs the decentralised embedded message passing — all attributes at once
+   on one compiled :class:`~repro.core.batched.AssessmentPlan` and stacked
+   :class:`~repro.core.batched.BatchedEmbeddedMessagePassing` engine for
+   multi-attribute sweeps, or per attribute through
+   :mod:`repro.core.embedded` (the parity reference, and the single-attribute
+   path), both executing on the compiled batched kernels of
+   :mod:`repro.factorgraph.compiled`,
 3. exposes the posterior correctness probabilities, both programmatically
    and as a quality oracle pluggable into the
    :class:`~repro.pdms.routing.QueryRouter`, and
@@ -31,11 +34,21 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
 
 from ..constants import DEFAULT_SEED
-from ..exceptions import ReproError
+from ..exceptions import FactorGraphError, ReproError
 from ..mapping.mapping import Mapping
 from ..pdms.network import PDMSNetwork
 from ..pdms.routing import QueryRouter, RoutingPolicy
-from .analysis import NetworkEvidence, NetworkStructureCache, analyze_network
+from .analysis import (
+    NetworkEvidence,
+    NetworkStructureCache,
+    analyze_network,
+    structure_signatures,
+)
+from .batched import (
+    AssessmentPlan,
+    BatchedEmbeddedMessagePassing,
+    compile_assessment_plan,
+)
 from .beliefs import PriorBeliefStore
 from .embedded import EmbeddedMessagePassing, EmbeddedOptions, EmbeddedResult, MessageTransport
 from .feedback import compensation_probability
@@ -90,6 +103,17 @@ class MappingQualityAssessor:
         through a :class:`~repro.core.analysis.NetworkStructureCache` and is
         amortised across attributes and EM rounds; ``False`` restores the
         probe-per-call behaviour (mainly useful for benchmarking the cache).
+    use_batched_engine:
+        When ``True`` (default), multi-attribute assessments
+        (:meth:`assess_attributes`, :meth:`assess_all_attributes`, the EM
+        loop of :meth:`update_priors`) compile the cached structures once
+        into an :class:`~repro.core.batched.AssessmentPlan` per network
+        version and run every attribute simultaneously on one
+        :class:`~repro.core.batched.BatchedEmbeddedMessagePassing` engine;
+        ``False`` restores the engine-per-attribute behaviour (the parity
+        reference, also used for benchmarking).  Requires the structure
+        cache; single-attribute :meth:`assess_attribute` always uses the
+        sequential engine.
     """
 
     def __init__(
@@ -103,6 +127,7 @@ class MappingQualityAssessor:
         options: Optional[EmbeddedOptions] = None,
         include_parallel_paths: Optional[bool] = None,
         use_structure_cache: bool = True,
+        use_batched_engine: bool = True,
     ) -> None:
         self.network = network
         # Note: an empty PriorBeliefStore is falsy (it defines __len__), so
@@ -121,10 +146,18 @@ class MappingQualityAssessor:
         # cycle evidence only.
         self.include_parallel_paths = include_parallel_paths
         self.use_structure_cache = use_structure_cache
+        self.use_batched_engine = use_batched_engine
         self.structure_cache = NetworkStructureCache(
             network, ttl=ttl, include_parallel_paths=include_parallel_paths
         )
         self._assessments: Dict[str, AttributeAssessment] = {}
+        self._plan: Optional[AssessmentPlan] = None
+        self._plan_key: Optional[Tuple[int, int, bool]] = None
+        #: How many times an :class:`AssessmentPlan` was compiled — exactly
+        #: once per (network version, ttl, parallel-path flag) when the
+        #: batched engine is in use, however many attributes and EM rounds
+        #: are assessed.
+        self.plan_compile_count = 0
 
     # -- inference --------------------------------------------------------------------------
 
@@ -243,12 +276,90 @@ class MappingQualityAssessor:
         values = [self.probability(mapping, attribute) for attribute in targets]
         return sum(values) / len(values)
 
+    def _assessment_plan(self) -> AssessmentPlan:
+        """The compiled plan for the current cached structures.
+
+        Compiled at most once per ``(network version, ttl, parallel-path
+        flag)`` — the same key the structure cache refreshes on — and reused
+        across attributes and EM rounds.  Raises
+        :class:`~repro.exceptions.FactorGraphError` for structures beyond
+        the compiled arity limit; callers fall back to the sequential
+        engine.
+        """
+        cycles, parallel_paths = self.structure_cache.structures()
+        key = self.structure_cache.key
+        if key == self._plan_key and self._plan is not None:
+            return self._plan
+        self._plan = compile_assessment_plan(
+            structure_signatures(cycles, parallel_paths)
+        )
+        self._plan_key = key
+        self.plan_compile_count += 1
+        return self._plan
+
     def assess_attributes(self, attributes: Iterable[str]) -> Dict[str, AttributeAssessment]:
-        """Assess several attributes (fine granularity, one run per attribute)."""
-        return {attribute: self.assess_attribute(attribute) for attribute in attributes}
+        """Assess several attributes (fine granularity).
+
+        With the batched engine (the default) every attribute runs
+        simultaneously on one stacked engine over the shared compiled plan;
+        otherwise one sequential engine is built per attribute.  Both paths
+        produce the same posteriors to floating-point accuracy.
+        """
+        attribute_list = list(attributes)
+        if not (self.use_batched_engine and self.use_structure_cache):
+            return {
+                attribute: self.assess_attribute(attribute)
+                for attribute in attribute_list
+            }
+        try:
+            plan = self._assessment_plan()
+        except FactorGraphError:
+            # Structures beyond the compiled arity limit: the sequential
+            # engine (which shares the limit today) will raise a descriptive
+            # error per attribute; future sparse kernels slot in here.
+            return {
+                attribute: self.assess_attribute(attribute)
+                for attribute in attribute_list
+            }
+        evidences = {
+            attribute: self.structure_cache.evidence_for(attribute)
+            for attribute in attribute_list
+        }
+        engine = BatchedEmbeddedMessagePassing(
+            plan,
+            {a: evidence.feedbacks for a, evidence in evidences.items()},
+            priors={
+                a: {m: self.priors.prior(m, a) for m in plan.mapping_names}
+                for a in evidences
+            },
+            deltas={a: self._delta_for(a) for a in evidences},
+            send_probability=self.send_probability,
+            seed=self.seed,
+            options=self.options,
+        )
+        results = engine.run()
+        assessments: Dict[str, AttributeAssessment] = {}
+        for attribute in attribute_list:
+            evidence = evidences[attribute]
+            result = results[attribute]
+            assessment = AttributeAssessment(
+                attribute=attribute,
+                evidence=evidence,
+                result=result,
+                posteriors=dict(result.posteriors) if result is not None else {},
+                unmappable=evidence.unmappable,
+            )
+            self._assessments[attribute] = assessment
+            assessments[attribute] = assessment
+        return assessments
 
     def assess_all_attributes(self) -> Dict[str, AttributeAssessment]:
-        """Assess every attribute appearing in any peer schema."""
+        """Assess every attribute appearing in any peer schema.
+
+        With the batched engine the factor tables and index plans are built
+        exactly once per network version, however many attributes the
+        universe holds.
+        """
         return self.assess_attributes(self.network.attribute_universe())
 
     def assessment(self, attribute: str) -> AttributeAssessment:
@@ -264,11 +375,13 @@ class MappingQualityAssessor:
         network version and re-probe automatically, but the per-attribute
         assessments still reflect the old evidence until re-assessed — and
         out-of-band surgery on network internals is invisible to the version
-        counter entirely.  This clears both the structure cache and the
-        assessment cache.
+        counter entirely.  This clears the structure cache, the compiled
+        assessment plan and the assessment cache.
         """
         self.structure_cache.invalidate()
         self._assessments.clear()
+        self._plan = None
+        self._plan_key = None
 
     # -- queries -----------------------------------------------------------------------------
 
@@ -322,10 +435,16 @@ class MappingQualityAssessor:
     def update_priors(self, attributes: Optional[Iterable[str]] = None) -> Dict[Tuple[str, str], float]:
         """Fold the cached posteriors into the prior store (EM step, §4.4).
 
+        Attributes not yet assessed are computed first — in one batched run
+        when the batched engine is enabled — so an EM round over many
+        attributes shares a single compiled plan and stacked engine.
         Returns the updated priors keyed by (mapping, attribute).
         """
         updated: Dict[Tuple[str, str], float] = {}
         targets = list(attributes) if attributes is not None else list(self._assessments)
+        missing = [a for a in targets if a not in self._assessments]
+        if missing:
+            self.assess_attributes(missing)
         for attribute in targets:
             assessment = self.assessment(attribute)
             for mapping_name, posterior in assessment.posteriors.items():

@@ -69,6 +69,9 @@ __all__ = [
     "run_embedded_throughput",
     "AssessorAmortizationResult",
     "run_assessor_amortization",
+    "BatchedAssessmentPoint",
+    "BatchedAssessmentResult",
+    "run_batched_assessment",
 ]
 
 
@@ -963,12 +966,16 @@ def run_embedded_throughput(
 
 @dataclass(frozen=True)
 class AssessorAmortizationResult:
-    """Cost of ``assess_all_attributes`` with and without the structure cache.
+    """Cost of ``assess_all_attributes`` across the three assessor modes.
 
-    The cache collapses the per-attribute cycle/parallel-path enumerations
-    into a single probe (``cached_probe_count`` must be 1); its wall-clock
-    effect depends on how much of the pipeline the probe dominates, so both
-    timings are reported alongside the probe counts.
+    The structure cache collapses the per-attribute cycle/parallel-path
+    enumerations into a single probe (``cached_probe_count`` must be 1); the
+    batched engine further collapses the per-attribute engine constructions
+    into one compiled plan (``batched_plan_compiles`` must be 1) and runs
+    every attribute on one stacked engine.  All three timings are full
+    passes including the probe, so the numbers compose: ``speedup`` is what
+    the cache buys over probe-per-attribute, ``batched_speedup`` what the
+    stacked engine buys on top of the cache.
     """
 
     peer_count: int
@@ -979,6 +986,10 @@ class AssessorAmortizationResult:
     cached_seconds: float
     uncached_seconds: float
     max_posterior_difference: float
+    batched_seconds: float = 0.0
+    batched_probe_count: int = 0
+    batched_plan_compiles: int = 0
+    batched_max_posterior_difference: float = 0.0
 
     @property
     def probe_amortization(self) -> float:
@@ -992,6 +1003,13 @@ class AssessorAmortizationResult:
             return float("inf")
         return self.uncached_seconds / self.cached_seconds
 
+    @property
+    def batched_speedup(self) -> float:
+        """Batched stacked engine vs sequential engines on the warm cache."""
+        if self.batched_seconds <= 0.0:
+            return float("inf")
+        return self.cached_seconds / self.batched_seconds
+
 
 def run_assessor_amortization(
     peer_count: int = 32,
@@ -1000,13 +1018,14 @@ def run_assessor_amortization(
     error_rate: float = 0.15,
     seed: Optional[int] = 0,
 ) -> AssessorAmortizationResult:
-    """Measure what the probe-once structure cache saves on a full assessment.
+    """Measure the probe-once cache and the batched engine on a full pass.
 
     Runs ``assess_all_attributes`` on the same generated scale-free PDMS
-    twice — once through the :class:`~repro.core.analysis.NetworkStructureCache`
-    (the default) and once with ``use_structure_cache=False`` (the PR 1
-    probe-per-attribute behaviour) — and compares probe counts, wall time
-    and posteriors.
+    three times — with ``use_structure_cache=False`` (the PR 1
+    probe-per-attribute behaviour), with the cache but sequential
+    per-attribute engines (``use_batched_engine=False``, the PR 2
+    behaviour), and with the batched all-attribute engine (the default) —
+    and compares probe counts, plan compiles, wall time and posteriors.
     """
     scenario = generate_scenario(
         topology="scale-free",
@@ -1019,7 +1038,12 @@ def run_assessor_amortization(
     attributes = network.attribute_universe()
 
     cached = MappingQualityAssessor(
-        network, delta=None, ttl=ttl, include_parallel_paths=False, seed=seed
+        network,
+        delta=None,
+        ttl=ttl,
+        include_parallel_paths=False,
+        seed=seed,
+        use_batched_engine=False,
     )
     start = time.perf_counter()
     cached_assessments = cached.assess_all_attributes()
@@ -1032,17 +1056,28 @@ def run_assessor_amortization(
         include_parallel_paths=False,
         seed=seed,
         use_structure_cache=False,
+        use_batched_engine=False,
     )
     start = time.perf_counter()
     uncached_assessments = uncached.assess_all_attributes()
     uncached_seconds = time.perf_counter() - start
 
+    batched = MappingQualityAssessor(
+        network, delta=None, ttl=ttl, include_parallel_paths=False, seed=seed
+    )
+    start = time.perf_counter()
+    batched_assessments = batched.assess_all_attributes()
+    batched_seconds = time.perf_counter() - start
+
     worst = 0.0
+    batched_worst = 0.0
     for attribute in attributes:
         cached_posteriors = cached_assessments[attribute].posteriors
         uncached_posteriors = uncached_assessments[attribute].posteriors
+        batched_posteriors = batched_assessments[attribute].posteriors
         for name, value in cached_posteriors.items():
             worst = max(worst, abs(value - uncached_posteriors[name]))
+            batched_worst = max(batched_worst, abs(value - batched_posteriors[name]))
 
     return AssessorAmortizationResult(
         peer_count=peer_count,
@@ -1054,4 +1089,150 @@ def run_assessor_amortization(
         cached_seconds=cached_seconds,
         uncached_seconds=uncached_seconds,
         max_posterior_difference=worst,
+        batched_seconds=batched_seconds,
+        batched_probe_count=batched.structure_cache.statistics.probes,
+        batched_plan_compiles=batched.plan_compile_count,
+        batched_max_posterior_difference=batched_worst,
+    )
+
+
+# ---------------------------------------------------------------------------
+# EX — batched assessment: one stacked engine vs engine-per-attribute sweeps
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchedAssessmentPoint:
+    """Timing of a multi-attribute sweep on both assessment engines.
+
+    Both assessors share a warm structure cache (the probe is excluded from
+    the timed region — it is identical on both sides), so the comparison
+    isolates what this optimisation targets: per-attribute engine
+    construction plus the message-passing rounds.  The posteriors of the two
+    paths must agree to floating-point accuracy under identical seeds.
+    """
+
+    peer_count: int
+    attribute_count: int
+    structure_count: int
+    mapping_count: int
+    sequential_seconds: float
+    batched_seconds: float
+    plan_compiles: int
+    max_posterior_difference: float
+
+    @property
+    def speedup(self) -> float:
+        if self.batched_seconds <= 0.0:
+            return float("inf")
+        return self.sequential_seconds / self.batched_seconds
+
+    @property
+    def sequential_attributes_per_second(self) -> float:
+        if self.sequential_seconds <= 0.0:
+            return float("inf")
+        return self.attribute_count / self.sequential_seconds
+
+    @property
+    def batched_attributes_per_second(self) -> float:
+        if self.batched_seconds <= 0.0:
+            return float("inf")
+        return self.attribute_count / self.batched_seconds
+
+
+@dataclass(frozen=True)
+class BatchedAssessmentResult:
+    """Sweep timings of both engines across network sizes."""
+
+    points: Tuple[BatchedAssessmentPoint, ...]
+    send_probability: float = 1.0
+
+    def point_for(self, peer_count: int) -> BatchedAssessmentPoint:
+        for point in self.points:
+            if point.peer_count == peer_count:
+                return point
+        raise KeyError(f"no batched assessment point for {peer_count} peers")
+
+
+def run_batched_assessment(
+    peer_counts: Sequence[int] = (16, 32),
+    attribute_count: int = 10,
+    ttl: int = 3,
+    repeats: int = 3,
+    send_probability: float = 1.0,
+    error_rate: float = 0.15,
+    seed: Optional[int] = 0,
+) -> BatchedAssessmentResult:
+    """Measure ``assess_all_attributes`` on the batched vs sequential engine.
+
+    For each peer count a scale-free PDMS is generated and the full
+    multi-attribute sweep is timed (best of ``repeats``, fresh assessor per
+    repetition, structure cache warmed outside the timed region) once with
+    one ``BatchedEmbeddedMessagePassing`` over the shared compiled plan and
+    once with a sequential ``EmbeddedMessagePassing`` per attribute.
+    ``send_probability < 1`` exercises the lossy path: both sides seed one
+    transport per attribute identically, so the posteriors must still agree.
+    """
+    points: List[BatchedAssessmentPoint] = []
+    for peer_count in peer_counts:
+        scenario = generate_scenario(
+            topology="scale-free",
+            peer_count=peer_count,
+            attribute_count=attribute_count,
+            error_rate=error_rate,
+            seed=peer_count,
+        )
+        network = scenario.network
+        attributes = network.attribute_universe()
+
+        def time_sweep(use_batched: bool):
+            best = float("inf")
+            assessor = None
+            assessments = None
+            for _ in range(max(1, repeats)):
+                assessor = MappingQualityAssessor(
+                    network,
+                    delta=None,
+                    ttl=ttl,
+                    include_parallel_paths=False,
+                    seed=seed,
+                    send_probability=send_probability,
+                    use_batched_engine=use_batched,
+                )
+                assessor.structure_cache.structures()
+                start = time.perf_counter()
+                assessments = assessor.assess_all_attributes()
+                best = min(best, time.perf_counter() - start)
+            return assessor, assessments, best
+
+        batched, batched_assessments, batched_seconds = time_sweep(True)
+        _, sequential_assessments, sequential_seconds = time_sweep(False)
+
+        worst = 0.0
+        for attribute in attributes:
+            sequential_posteriors = sequential_assessments[attribute].posteriors
+            batched_posteriors = batched_assessments[attribute].posteriors
+            for name, value in sequential_posteriors.items():
+                worst = max(worst, abs(value - batched_posteriors[name]))
+
+        cycles, parallel_paths = batched.structure_cache.structures()
+        mapping_names = {
+            name
+            for structure in (*cycles, *parallel_paths)
+            for name in structure.mapping_names
+        }
+        points.append(
+            BatchedAssessmentPoint(
+                peer_count=peer_count,
+                attribute_count=len(attributes),
+                structure_count=len(cycles) + len(parallel_paths),
+                mapping_count=len(mapping_names),
+                sequential_seconds=sequential_seconds,
+                batched_seconds=batched_seconds,
+                plan_compiles=batched.plan_compile_count,
+                max_posterior_difference=worst,
+            )
+        )
+    return BatchedAssessmentResult(
+        points=tuple(points), send_probability=send_probability
     )

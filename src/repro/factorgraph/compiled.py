@@ -58,43 +58,54 @@ __all__ = [
     "segment_products",
     "segment_exclusive_products",
     "FactorBatch",
+    "StackedFactorBatch",
     "CompiledFactorGraph",
     "compile_factor_graph",
 ]
 
 #: One einsum subscript letter per factor slot; ``z`` is reserved for the
-#: batch axis.  Factors of higher arity fall back to the loop engine.
+#: factor batch axis and ``A`` for the stacked (attribute) axis of
+#: :class:`StackedFactorBatch`.  Factors of higher arity fall back to the
+#: loop engine.
 _EINSUM_LETTERS = "abcdefghijklmnopqrstuvwxy"
+_STACK_LETTER = "A"
 MAX_COMPILED_ARITY = len(_EINSUM_LETTERS)
 
 
 def normalize_rows(matrix: np.ndarray) -> np.ndarray:
-    """Normalise every row of a non-negative matrix to sum to one.
+    """Normalise the last axis of a non-negative array to sum to one.
 
-    Rows that are identically zero (or non-finite, which can only arise from
-    degenerate factor tables) become uniform — the same policy as
-    :func:`repro.factorgraph.messages.normalize`, applied batch-wise.
+    Works on ``(rows, cardinality)`` matrices and on arbitrarily batched
+    stacks of them (e.g. the ``(attributes, rows, cardinality)`` state of the
+    batched embedded engine) — every vector along the last axis is scaled
+    independently.  Vectors that are identically zero (or non-finite, which
+    can only arise from degenerate factor tables) become uniform — the same
+    policy as :func:`repro.factorgraph.messages.normalize`, applied
+    batch-wise.
     """
     matrix = np.asarray(matrix, dtype=float)
-    totals = matrix.sum(axis=1, keepdims=True)
+    totals = matrix.sum(axis=-1, keepdims=True)
     bad = (totals <= 0.0) | ~np.isfinite(totals)
     safe_totals = np.where(bad, 1.0, totals)
     normalized = matrix / safe_totals
     if np.any(bad):
-        normalized = np.where(bad, 1.0 / matrix.shape[1], normalized)
+        normalized = np.where(bad, 1.0 / matrix.shape[-1], normalized)
     return normalized
 
 
 def segment_products(grouped: np.ndarray, segment_starts: np.ndarray) -> np.ndarray:
     """Per-segment row products of an already segment-grouped matrix.
 
-    ``grouped`` is an ``(rows, cardinality)`` matrix whose rows are sorted so
-    that each segment occupies a contiguous block starting at the offsets in
-    ``segment_starts``.  Returns one product row per segment.
+    ``grouped`` is an ``(rows, cardinality)`` matrix — or a batched
+    ``(..., rows, cardinality)`` stack of them sharing one segment layout —
+    whose rows are sorted so that each segment occupies a contiguous block
+    starting at the offsets in ``segment_starts``.  Returns one product row
+    per segment (per batch element).
     """
+    grouped = np.asarray(grouped, dtype=float)
     if len(segment_starts) == 0:
-        return np.empty((0,) + grouped.shape[1:], dtype=float)
-    return np.multiply.reduceat(grouped, segment_starts, axis=0)
+        return np.empty(grouped.shape[:-2] + (0,) + grouped.shape[-1:], dtype=float)
+    return np.multiply.reduceat(grouped, segment_starts, axis=-2)
 
 
 def segment_exclusive_products(
@@ -107,17 +118,20 @@ def segment_exclusive_products(
     Zero-aware: a zero entry elsewhere in the segment forces the product to
     zero without ever dividing by zero (factor tables with exact zeros —
     e.g. the paper's feedback CPTs with ``P(f+ | one error) = 0`` — would
-    otherwise trigger a 0/0).  ``grouped`` must already be segment-sorted;
-    ``segment_of_row`` maps each row to its segment index.
+    otherwise trigger a 0/0).  ``grouped`` must already be segment-sorted
+    along its second-to-last axis (leading axes are independent batch
+    dimensions sharing one segment layout); ``segment_of_row`` maps each row
+    to its segment index.
     """
+    grouped = np.asarray(grouped, dtype=float)
     zeros = grouped == 0.0
     safe = np.where(zeros, 1.0, grouped)
-    segment_product = np.multiply.reduceat(safe, segment_starts, axis=0)
+    segment_product = np.multiply.reduceat(safe, segment_starts, axis=-2)
     segment_zeros = np.add.reduceat(
-        zeros.astype(np.int64), segment_starts, axis=0
+        zeros.astype(np.int64), segment_starts, axis=-2
     )
-    product_here = segment_product[segment_of_row]
-    zeros_here = segment_zeros[segment_of_row]
+    product_here = np.take(segment_product, segment_of_row, axis=-2)
+    zeros_here = np.take(segment_zeros, segment_of_row, axis=-2)
     exclusive = np.where(zeros, product_here, product_here / safe)
     return np.where((zeros_here - zeros) > 0, 0.0, exclusive)
 
@@ -192,6 +206,97 @@ class FactorBatch:
                 )
             operands.append(matrix)
         return np.einsum(self._specs[target_slot], self.tables, *operands)
+
+
+class StackedFactorBatch:
+    """Same-shape factor tables stacked along a leading batch axis.
+
+    Where :class:`FactorBatch` evaluates one ``(factors, *shape)`` stack of
+    tables, this kernel evaluates a ``(stack, factors, *shape)`` array — one
+    table *per factor per stack element* — with a single ``einsum`` per
+    target slot.  It is the compiled core of the batched multi-attribute
+    embedded engine (:mod:`repro.core.batched`): the stack axis carries the
+    attributes, whose factor tables share a topology (which factors exist,
+    which variables they span) but differ in content (feedback sign and Δ
+    vary per attribute).
+
+    For every stack element the computation is exactly the per-factor
+    sum–product expression :meth:`FactorBatch.messages_toward` evaluates, so
+    slicing one stack element reproduces the single-attribute kernel.
+    """
+
+    def __init__(self, tables: np.ndarray) -> None:
+        tables = np.asarray(tables, dtype=float)
+        if tables.ndim < 3:
+            raise FactorGraphError(
+                f"StackedFactorBatch needs a (stack, factors, *shape) table "
+                f"array, got ndim={tables.ndim}"
+            )
+        self.tables = tables
+        self.stack = tables.shape[0]
+        self.size = tables.shape[1]
+        self.shape: Tuple[int, ...] = tables.shape[2:]
+        self.arity = len(self.shape)
+        if self.arity > MAX_COMPILED_ARITY:
+            raise FactorGraphError(
+                f"factor arity {self.arity} exceeds the compiled limit "
+                f"{MAX_COMPILED_ARITY}"
+            )
+        letters = _EINSUM_LETTERS[: self.arity]
+        prefix = _STACK_LETTER + "z"
+        self._specs: List[str] = []
+        for target in range(self.arity):
+            operands = ",".join(
+                prefix + letters[slot] for slot in range(self.arity) if slot != target
+            )
+            spec = prefix + letters
+            if operands:
+                spec += "," + operands
+            self._specs.append(spec + "->" + prefix + letters[target])
+
+    def messages_toward(
+        self,
+        target_slot: int,
+        incoming: Sequence[Optional[np.ndarray]],
+        stack: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched messages from every (stack element, factor) to a slot.
+
+        ``incoming`` holds one ``(stack, size, cardinality_of_slot)`` matrix
+        per slot (the entry at ``target_slot`` is ignored and may be
+        ``None``).  ``stack`` optionally restricts the evaluation to a
+        subset of stack elements (an index array; the incoming matrices must
+        then carry ``len(stack)`` leading rows) — a convenience for callers
+        that keep one full-size kernel while evaluating changing subsets.
+        (The batched embedded engine instead compacts converged lanes out of
+        its kernels entirely; see
+        ``repro.core.batched.BatchedEmbeddedMessagePassing._compact``.)
+        Returns the unnormalised ``(stack, size, cardinality_of_target)``
+        message array.
+        """
+        if not 0 <= target_slot < self.arity:
+            raise FactorGraphError(
+                f"target slot {target_slot} out of range for arity {self.arity}"
+            )
+        tables = self.tables if stack is None else self.tables[stack]
+        expected_stack = tables.shape[0]
+        operands = []
+        for slot in range(self.arity):
+            if slot == target_slot:
+                continue
+            matrix = incoming[slot]
+            if matrix is None:
+                raise FactorShapeError(
+                    f"missing incoming message matrix for slot {slot}"
+                )
+            matrix = np.asarray(matrix, dtype=float)
+            if matrix.shape != (expected_stack, self.size, self.shape[slot]):
+                raise FactorShapeError(
+                    f"incoming matrix for slot {slot} has shape {matrix.shape}, "
+                    f"expected {(expected_stack, self.size, self.shape[slot])}"
+                )
+            operands.append(matrix)
+        return np.einsum(self._specs[target_slot], tables, *operands)
 
 
 class CompiledFactorGraph:

@@ -40,12 +40,18 @@ class PDMSNetwork:
         ``auto_reverse`` is left on.
     """
 
+    #: Mutation-log entries kept for incremental consumers; older entries
+    #: are dropped and :meth:`mutations_since` reports the log as truncated.
+    MUTATION_LOG_LIMIT = 256
+
     def __init__(self, name: str = "pdms", directed: bool = True) -> None:
         self.name = name
         self.directed = directed
         self._peers: Dict[str, Peer] = {}
         self._mappings: Dict[str, Mapping] = {}
         self._version = 0
+        self._mutation_log: List[Tuple[int, str, str]] = []
+        self._mutation_floor = 0
 
     @property
     def version(self) -> int:
@@ -56,6 +62,33 @@ class PDMSNetwork:
         on this counter so a mutated network is re-probed automatically.
         """
         return self._version
+
+    def _record_mutation(self, kind: str, subject: str) -> None:
+        """Append one ``(version, kind, subject)`` entry to the bounded log."""
+        self._mutation_log.append((self._version, kind, subject))
+        if len(self._mutation_log) > self.MUTATION_LOG_LIMIT:
+            dropped_version, _, _ = self._mutation_log.pop(0)
+            self._mutation_floor = dropped_version
+
+    def mutations_since(
+        self, version: int
+    ) -> Optional[Tuple[Tuple[int, str, str], ...]]:
+        """Topology mutations applied after ``version``, oldest first.
+
+        Each entry is ``(version_after_mutation, kind, subject)`` with
+        ``kind`` one of ``"add_peer"``, ``"add_mapping"`` or
+        ``"remove_mapping"`` and ``subject`` the peer / mapping name.
+        Returns ``None`` when the bounded log no longer reaches back to
+        ``version`` — callers must then fall back to a full re-derivation.
+        :class:`repro.core.analysis.NetworkStructureCache` uses this to
+        refresh only the structures touching mutated mappings instead of
+        re-enumerating the whole network.
+        """
+        if version < self._mutation_floor:
+            return None
+        return tuple(
+            entry for entry in self._mutation_log if entry[0] > version
+        )
 
     # -- peers -----------------------------------------------------------------------
 
@@ -70,6 +103,7 @@ class PDMSNetwork:
             raise PDMSError(f"peer {peer.name!r} already exists in {self.name!r}")
         self._peers[peer.name] = peer
         self._version += 1
+        self._record_mutation("add_peer", peer.name)
         return peer
 
     def peer(self, name: str) -> Peer:
@@ -117,6 +151,7 @@ class PDMSNetwork:
         self._mappings[mapping.name] = mapping
         self._peers[mapping.source].add_outgoing_mapping(mapping)
         self._version += 1
+        self._record_mutation("add_mapping", mapping.name)
 
         reverse = (not self.directed) if bidirectional is None else bidirectional
         if reverse:
@@ -125,6 +160,7 @@ class PDMSNetwork:
                 self._mappings[reversed_mapping.name] = reversed_mapping
                 self._peers[reversed_mapping.source].add_outgoing_mapping(reversed_mapping)
                 self._version += 1
+                self._record_mutation("add_mapping", reversed_mapping.name)
         return mapping
 
     def mapping(self, name: str) -> Mapping:
@@ -140,6 +176,7 @@ class PDMSNetwork:
         del self._mappings[name]
         self._peers[mapping.source]._outgoing.pop(name, None)
         self._version += 1
+        self._record_mutation("remove_mapping", name)
         return mapping
 
     def has_mapping(self, name: str) -> bool:

@@ -15,6 +15,7 @@ objects in traversal order, ready to be fed to the feedback analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import PDMSError
@@ -44,7 +45,9 @@ class MappingCycle:
     def length(self) -> int:
         return len(self.mappings)
 
-    @property
+    # Cached: the evidence evaluation re-reads the names once per attribute
+    # (frozen dataclasses keep a __dict__, which cached_property writes to).
+    @cached_property
     def mapping_names(self) -> Tuple[str, ...]:
         return tuple(m.name for m in self.mappings)
 
@@ -73,7 +76,7 @@ class ParallelPaths:
         """All mappings involved, first path then second path."""
         return self.first + self.second
 
-    @property
+    @cached_property
     def mapping_names(self) -> Tuple[str, ...]:
         return tuple(m.name for m in self.mappings)
 

@@ -122,15 +122,97 @@ class TestNetworkStructureCache:
         # structurally unchanged — but it was re-derived from a fresh probe.
         assert len(after.feedbacks) == len(before.feedbacks)
 
-    def test_removed_mapping_triggers_reprobe(self):
+    def test_removed_mapping_refreshes_incrementally(self):
+        """A removal is served by filtering the cached structures — no full
+        re-enumeration — and still yields the exact fresh-probe set."""
         network = self._fresh_network()
         cache = NetworkStructureCache(network, ttl=4)
         before = cache.evidence_for("Creator")
         assert before.feedbacks
         network.remove_mapping("p2->p4")
         after = cache.evidence_for("Creator")
-        assert cache.statistics.probes == 2
+        assert cache.statistics.probes == 1
+        assert cache.statistics.partial_refreshes == 1
         assert len(after.feedbacks) < len(before.feedbacks)
+        fresh = analyze_network(network, "Creator", ttl=4)
+        assert {f.mapping_names for f in after.feedbacks} == {
+            f.mapping_names for f in fresh.feedbacks
+        }
+
+    def test_added_mapping_refreshes_incrementally_for_cycles(self):
+        from repro.mapping.mapping import Mapping
+
+        network = self._fresh_network()
+        cache = NetworkStructureCache(network, ttl=4, include_parallel_paths=False)
+        cache.evidence_for("Creator")
+        # A reverse mapping p4->p2 closes new cycles through the new edge.
+        network.add_mapping(
+            Mapping.from_pairs("p4", "p2", {"Creator": "Creator"}),
+            bidirectional=False,
+        )
+        after = cache.evidence_for("Creator")
+        assert cache.statistics.probes == 1
+        assert cache.statistics.partial_refreshes == 1
+        fresh = analyze_network(
+            network, "Creator", ttl=4, include_parallel_paths=False
+        )
+        # Incrementally found cycles may be rotated differently (they are
+        # discovered from the new mapping's source peer, like a real probe
+        # from that peer would); compare the rotation-invariant keys.
+        assert {c.canonical_key() for c in after.cycles} == {
+            c.canonical_key() for c in fresh.cycles
+        }
+
+    def test_added_mapping_with_parallel_paths_falls_back_to_full_probe(self):
+        from repro.mapping.mapping import Mapping
+
+        network = self._fresh_network()
+        cache = NetworkStructureCache(network, ttl=4, include_parallel_paths=True)
+        cache.evidence_for("Creator")
+        network.add_mapping(
+            Mapping.from_pairs("p4", "p2", {"Creator": "Creator"}),
+            bidirectional=False,
+        )
+        after = cache.evidence_for("Creator")
+        assert cache.statistics.probes == 2
+        assert cache.statistics.partial_refreshes == 0
+        fresh = analyze_network(
+            network, "Creator", ttl=4, include_parallel_paths=True
+        )
+        assert len(after.feedbacks) == len(fresh.feedbacks)
+
+    def test_added_peer_falls_back_to_full_probe(self):
+        from repro.pdms.peer import Peer
+        from repro.schema.schema import Schema
+
+        network = self._fresh_network()
+        cache = NetworkStructureCache(network, ttl=4)
+        cache.evidence_for("Creator")
+        network.add_peer(Peer("p9", Schema.from_names("p9", ["Creator"])))
+        cache.evidence_for("Creator")
+        assert cache.statistics.probes == 2
+        assert cache.statistics.partial_refreshes == 0
+        assert cache.statistics.full_refreshes == 2
+
+    def test_interleaved_mutations_replay_in_order(self):
+        from repro.mapping.mapping import Mapping
+
+        network = self._fresh_network()
+        cache = NetworkStructureCache(network, ttl=4, include_parallel_paths=False)
+        cache.evidence_for("Creator")
+        network.remove_mapping("p2->p4")
+        network.add_mapping(
+            Mapping.from_pairs("p4", "p2", {"Creator": "Creator"}),
+            bidirectional=False,
+        )
+        after = cache.evidence_for("Creator")
+        assert cache.statistics.partial_refreshes == 1
+        fresh = analyze_network(
+            network, "Creator", ttl=4, include_parallel_paths=False
+        )
+        assert {c.canonical_key() for c in after.cycles} == {
+            c.canonical_key() for c in fresh.cycles
+        }
 
     def test_invalidate_forces_reprobe(self):
         network = self._fresh_network()

@@ -1,0 +1,276 @@
+"""Unit tests for the batched multi-attribute assessment engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.batched import (
+    AssessmentPlan,
+    BatchedEmbeddedMessagePassing,
+    compile_assessment_plan,
+)
+from repro.core.embedded import EmbeddedOptions
+from repro.core.quality import MappingQualityAssessor
+from repro.exceptions import ConvergenceError, FactorGraphError, FeedbackError
+from repro.generators.paper import intro_example_network
+from repro.generators.scenarios import generate_scenario
+
+
+def _assessor_pair(network, **kwargs):
+    batched = MappingQualityAssessor(network, **kwargs)
+    sequential = MappingQualityAssessor(network, use_batched_engine=False, **kwargs)
+    return batched, sequential
+
+
+def _worst_difference(batched_assessments, sequential_assessments):
+    worst = 0.0
+    for attribute, sequential in sequential_assessments.items():
+        batched = batched_assessments[attribute]
+        assert set(batched.posteriors) == set(sequential.posteriors)
+        for name, value in sequential.posteriors.items():
+            worst = max(worst, abs(batched.posteriors[name] - value))
+    return worst
+
+
+class TestPlanCompilation:
+    def _intro_plan(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        return assessor._assessment_plan()
+
+    def test_plan_covers_every_structure_and_mapping(self):
+        plan = self._intro_plan()
+        assert plan.structure_count == len(plan.identifiers)
+        assert plan.structure_count > 0
+        covered = {name for names in plan.structure_mappings for name in names}
+        assert covered == set(plan.mapping_names)
+        # Every mapping is owned by its source peer.
+        for name in plan.mapping_names:
+            assert plan.owners[name] == name.split("->", 1)[0]
+
+    def test_edges_grouped_by_mapping(self):
+        plan = self._intro_plan()
+        # Contiguous segments: the mapping index may only change at a
+        # segment start.
+        changes = np.flatnonzero(plan.edge_mapping[1:] != plan.edge_mapping[:-1]) + 1
+        assert set(changes).issubset(set(plan.segment_starts.tolist()))
+        assert plan.segment_starts[0] == 0
+        assert len(plan.segment_starts) == plan.mapping_count
+
+    def test_transmissions_cross_owners_only(self):
+        plan = self._intro_plan()
+        for src, feedback_index in zip(plan.tx_src, plan.tx_feedback):
+            sender_mapping = plan.mapping_names[plan.edge_mapping[src]]
+            names = plan.structure_mappings[feedback_index]
+            assert sender_mapping in names
+
+    def test_arities_beyond_compiled_limit_rejected(self):
+        names = tuple(f"p{i}->p{i + 1}" for i in range(30))
+        with pytest.raises(FactorGraphError):
+            compile_assessment_plan([("f1", names)])
+
+    def test_structures_need_two_mappings(self):
+        with pytest.raises(FeedbackError):
+            compile_assessment_plan([("f1", ("a->b",))])
+
+
+class TestBatchedSequentialParity:
+    """The batched engine must replay the sequential per-attribute runs."""
+
+    def test_lossless_parity_on_intro_network(self):
+        network = intro_example_network(with_records=False)
+        attributes = network.attribute_universe()
+        batched, sequential = _assessor_pair(network, delta=0.1, ttl=4, seed=0)
+        b = batched.assess_attributes(attributes)
+        s = sequential.assess_attributes(attributes)
+        assert _worst_difference(b, s) <= 1e-9
+        for attribute in attributes:
+            assert b[attribute].converged == s[attribute].converged
+            assert b[attribute].iterations == s[attribute].iterations
+            assert b[attribute].unmappable == s[attribute].unmappable
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_lossy_parity_across_seeds(self, seed):
+        """Satellite: batched-vs-sequential parity under lossy transport."""
+        network = intro_example_network(with_records=False)
+        attributes = network.attribute_universe()
+        batched, sequential = _assessor_pair(
+            network, delta=0.1, ttl=4, seed=seed, send_probability=0.6
+        )
+        b = batched.assess_attributes(attributes)
+        s = sequential.assess_attributes(attributes)
+        assert _worst_difference(b, s) <= 1e-9
+        for attribute in attributes:
+            rb, rs = b[attribute].result, s[attribute].result
+            assert (rb is None) == (rs is None)
+            if rb is None:
+                continue
+            # Identical per-attribute rng streams: same attempts, same drops.
+            assert rb.messages_attempted == rs.messages_attempted
+            assert rb.messages_delivered == rs.messages_delivered
+            assert rb.iterations == rs.iterations
+
+    def test_lossy_parity_on_generated_scenario(self):
+        scenario = generate_scenario(
+            topology="scale-free",
+            peer_count=16,
+            attribute_count=8,
+            error_rate=0.2,
+            seed=7,
+        )
+        network = scenario.network
+        attributes = network.attribute_universe()
+        batched, sequential = _assessor_pair(
+            network,
+            delta=None,
+            ttl=3,
+            include_parallel_paths=False,
+            seed=5,
+            send_probability=0.7,
+        )
+        b = batched.assess_attributes(attributes)
+        s = sequential.assess_attributes(attributes)
+        assert _worst_difference(b, s) <= 1e-9
+
+    def test_history_parity(self):
+        network = intro_example_network(with_records=False)
+        batched, sequential = _assessor_pair(network, delta=0.1, ttl=4, seed=0)
+        b = batched.assess_attributes(["Creator"])["Creator"]
+        s = sequential.assess_attributes(["Creator"])["Creator"]
+        assert b.result is not None and s.result is not None
+        assert len(b.result.history) == len(s.result.history)
+        for batched_round, sequential_round in zip(
+            b.result.history, s.result.history
+        ):
+            assert batched_round.keys() == sequential_round.keys()
+            for name, value in sequential_round.items():
+                assert batched_round[name] == pytest.approx(value, abs=1e-9)
+
+    def test_attribute_without_informative_feedback_gets_none_result(self):
+        network = intro_example_network(with_records=False)
+        # CreatedOn exists only at p4 — no cycle pushes it all the way
+        # around, so every structure is neutral for it.
+        batched, sequential = _assessor_pair(network, delta=0.1, ttl=4)
+        b = batched.assess_attributes(["CreatedOn"])["CreatedOn"]
+        s = sequential.assess_attributes(["CreatedOn"])["CreatedOn"]
+        assert (b.result is None) == (s.result is None)
+        assert b.posteriors == s.posteriors
+
+
+class TestPlanReuse:
+    def test_plan_compiled_once_across_attributes_and_em_rounds(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        for _ in range(3):
+            assessor.assess_all_attributes()
+            assessor.update_priors()
+        assert assessor.plan_compile_count == 1
+        assert assessor.structure_cache.statistics.probes == 1
+
+    def test_remove_mapping_then_batched_reassessment(self):
+        """Satellite: cache invalidation on remove_mapping feeds the batched
+        engine a consistent, freshly compiled plan."""
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4, seed=0)
+        before = assessor.assess_all_attributes()
+        assert "p2->p4" in before["Creator"].posteriors
+
+        network.remove_mapping("p2->p4")
+        after = assessor.assess_all_attributes()
+        assert assessor.plan_compile_count == 2
+        # The removed mapping disappears from the inference problem…
+        assert "p2->p4" not in after["Creator"].posteriors
+        # …and the batched posteriors still match a sequential assessor
+        # built fresh on the mutated network.
+        fresh = MappingQualityAssessor(
+            network, delta=0.1, ttl=4, seed=0, use_batched_engine=False
+        ).assess_all_attributes()
+        assert _worst_difference(after, fresh) <= 1e-9
+
+    def test_invalidate_clears_plan(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        assessor.assess_all_attributes()
+        assessor.invalidate()
+        assessor.assess_all_attributes()
+        assert assessor.plan_compile_count == 2
+
+
+class TestEngineValidation:
+    def _plan_and_evidence(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        plan = assessor._assessment_plan()
+        evidence = assessor.structure_cache.evidence_for("Creator")
+        return plan, evidence
+
+    def test_misaligned_feedback_set_rejected(self):
+        plan, evidence = self._plan_and_evidence()
+        with pytest.raises(FeedbackError):
+            BatchedEmbeddedMessagePassing(
+                plan, {"Creator": evidence.feedbacks[:-1]}
+            )
+
+    def test_invalid_delta_rejected(self):
+        plan, evidence = self._plan_and_evidence()
+        with pytest.raises(FeedbackError):
+            BatchedEmbeddedMessagePassing(
+                plan, {"Creator": evidence.feedbacks}, deltas=1.5
+            )
+
+    def test_invalid_prior_rejected(self):
+        plan, evidence = self._plan_and_evidence()
+        with pytest.raises(FeedbackError):
+            BatchedEmbeddedMessagePassing(
+                plan,
+                {"Creator": evidence.feedbacks},
+                priors={"Creator": {"p2->p4": 2.0}},
+            )
+
+    def test_flat_mapping_keyed_priors_rejected(self):
+        """The sequential engine's flat {mapping: prior} shape must not be
+        silently misread as attribute-keyed (degrading every prior to 0.5)."""
+        plan, evidence = self._plan_and_evidence()
+        with pytest.raises(FeedbackError, match="keyed by attribute"):
+            BatchedEmbeddedMessagePassing(
+                plan, {"Creator": evidence.feedbacks}, priors={"p2->p4": 0.9}
+            )
+
+    def test_strict_mode_raises_on_non_convergence(self):
+        plan, evidence = self._plan_and_evidence()
+        engine = BatchedEmbeddedMessagePassing(
+            plan,
+            {"Creator": evidence.feedbacks},
+            priors=0.5,
+            options=EmbeddedOptions(max_rounds=1, tolerance=1e-12, strict=True),
+        )
+        with pytest.raises(ConvergenceError, match="Creator"):
+            engine.run()
+
+    def test_scalar_prior_and_delta_broadcast(self):
+        plan, evidence = self._plan_and_evidence()
+        engine = BatchedEmbeddedMessagePassing(
+            plan, {"Creator": evidence.feedbacks}, priors=0.5, deltas=0.1
+        )
+        results = engine.run()
+        assert results["Creator"] is not None
+        assert results["Creator"].posteriors["p2->p4"] < 0.5
+        assert results["Creator"].posteriors["p2->p3"] > 0.5
+
+
+class TestAssessorFallbacks:
+    def test_disabled_structure_cache_falls_back_to_sequential(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(
+            network, delta=0.1, ttl=4, use_structure_cache=False
+        )
+        assessments = assessor.assess_attributes(["Creator", "Title"])
+        assert set(assessments) == {"Creator", "Title"}
+        assert assessor.plan_compile_count == 0
+
+    def test_batched_assessments_feed_probability_queries(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        assessor.assess_all_attributes()
+        assert assessor.probability("p2->p4", "Creator") < 0.5
+        assert assessor.probability("p2->p3", "Creator") > 0.5
+        assert assessor.flagged_mappings("Creator", theta=0.5) == ("p2->p4",)

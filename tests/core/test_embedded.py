@@ -348,6 +348,45 @@ class TestPriorValidation:
         assert engine._prior_vectors["p2->p3"][0] == pytest.approx(1.0)
 
 
+class TestTransportStatistics:
+    def test_record_many_with_zero_attempts_is_a_noop(self):
+        """Regression: an idle batch must leave the tallies (and the
+        delivery rate) well-defined instead of risking a 0/0."""
+        from repro.core.embedded import TransportStatistics
+
+        stats = TransportStatistics()
+        stats.record_many(0, 0)
+        assert stats.attempted == 0
+        assert stats.delivered == 0
+        assert stats.dropped == 0
+        assert stats.delivery_rate == 1.0
+
+    def test_record_many_rejects_invalid_batches(self):
+        from repro.core.embedded import TransportStatistics
+
+        stats = TransportStatistics()
+        with pytest.raises(FeedbackError):
+            stats.record_many(-1, 0)
+        with pytest.raises(FeedbackError):
+            stats.record_many(2, 3)
+        with pytest.raises(FeedbackError):
+            stats.record_many(2, -1)
+        # Nothing was recorded by the rejected calls.
+        assert stats.attempted == 0
+
+    def test_record_many_accumulates(self):
+        from repro.core.embedded import TransportStatistics
+
+        stats = TransportStatistics()
+        stats.record_many(10, 7)
+        stats.record_many(0, 0)
+        stats.record_many(5, 5)
+        assert stats.attempted == 15
+        assert stats.delivered == 12
+        assert stats.dropped == 3
+        assert stats.delivery_rate == pytest.approx(0.8)
+
+
 class TestResultAccessors:
     def test_unknown_mapping_raises_descriptive_error(self):
         engine = EmbeddedMessagePassing(intro_example_feedbacks(), priors=0.5)

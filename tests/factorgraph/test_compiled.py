@@ -16,8 +16,11 @@ from repro.exceptions import FactorGraphError, FactorShapeError, VariableDomainE
 from repro.factorgraph.compiled import (
     CompiledFactorGraph,
     FactorBatch,
+    StackedFactorBatch,
     compile_factor_graph,
     normalize_rows,
+    segment_exclusive_products,
+    segment_products,
 )
 from repro.factorgraph.factors import Factor, observation_factor, prior_factor
 from repro.factorgraph.graph import FactorGraph
@@ -231,3 +234,93 @@ class TestNormalizeRows:
         normalized = normalize_rows(matrix)
         assert normalized[0] == pytest.approx([0.5, 0.5])
         assert normalized[1] == pytest.approx([0.5, 0.5])
+
+    def test_batched_stack_normalizes_per_slice(self):
+        rng = np.random.default_rng(3)
+        stacked = rng.uniform(0.0, 1.0, size=(4, 6, 2))
+        stacked[1, 2] = 0.0  # a zero vector inside one slice
+        normalized = normalize_rows(stacked)
+        assert normalized.shape == stacked.shape
+        assert normalized.sum(axis=-1) == pytest.approx(np.ones((4, 6)))
+        for index in range(stacked.shape[0]):
+            assert normalized[index] == pytest.approx(
+                normalize_rows(stacked[index]), abs=1e-15
+            )
+
+
+class TestBatchedSegmentKernels:
+    """The segment kernels accept a leading batch axis per slice."""
+
+    def _layout(self):
+        segment_of_row = np.array([0, 0, 0, 1, 1, 2], dtype=np.int64)
+        segment_starts = np.array([0, 3, 5], dtype=np.int64)
+        return segment_starts, segment_of_row
+
+    def test_segment_products_match_per_slice(self):
+        starts, _ = self._layout()
+        rng = np.random.default_rng(7)
+        stacked = rng.uniform(0.1, 1.0, size=(5, 6, 2))
+        batched = segment_products(stacked, starts)
+        assert batched.shape == (5, 3, 2)
+        for index in range(stacked.shape[0]):
+            assert batched[index] == pytest.approx(
+                segment_products(stacked[index], starts), abs=1e-15
+            )
+
+    def test_segment_exclusive_products_match_per_slice(self):
+        starts, segment_of_row = self._layout()
+        rng = np.random.default_rng(11)
+        stacked = rng.uniform(0.1, 1.0, size=(5, 6, 2))
+        stacked[2, 1, 0] = 0.0  # exercise the zero-aware path in one slice
+        batched = segment_exclusive_products(stacked, starts, segment_of_row)
+        assert batched.shape == stacked.shape
+        for index in range(stacked.shape[0]):
+            assert batched[index] == pytest.approx(
+                segment_exclusive_products(stacked[index], starts, segment_of_row),
+                abs=1e-15,
+            )
+
+
+class TestStackedFactorBatch:
+    def test_matches_factor_batch_per_slice(self):
+        """Each stack element must reproduce the single-attribute kernel."""
+        x, y, z = (BinaryVariable(n) for n in "xyz")
+        rng = np.random.default_rng(0)
+        tables = rng.uniform(0.1, 1.0, size=(3, 4, 2, 2, 2))
+        stacked = StackedFactorBatch(tables)
+        incoming = [rng.uniform(0.1, 1.0, size=(3, 4, 2)) for _ in range(3)]
+        for target in range(3):
+            out = stacked.messages_toward(target, incoming)
+            assert out.shape == (3, 4, 2)
+            for index in range(3):
+                factors = [
+                    Factor(f"f{i}", (x, y, z), tables[index, i]) for i in range(4)
+                ]
+                reference = FactorBatch(factors).messages_toward(
+                    target, [matrix[index] for matrix in incoming]
+                )
+                assert out[index] == pytest.approx(reference, abs=1e-12)
+
+    def test_stack_selection(self):
+        """``stack=`` restricts the evaluation to a subset of stack rows."""
+        rng = np.random.default_rng(1)
+        tables = rng.uniform(0.1, 1.0, size=(4, 2, 2, 2))
+        stacked = StackedFactorBatch(tables)
+        selection = np.array([1, 3])
+        incoming = [rng.uniform(0.1, 1.0, size=(2, 2, 2)) for _ in range(2)]
+        out = stacked.messages_toward(0, incoming, stack=selection)
+        reference = StackedFactorBatch(tables[selection]).messages_toward(
+            0, incoming
+        )
+        assert out == pytest.approx(reference, abs=1e-15)
+
+    def test_rejects_flat_tables_and_bad_shapes(self):
+        with pytest.raises(FactorGraphError):
+            StackedFactorBatch(np.ones((2, 2)))
+        stacked = StackedFactorBatch(np.ones((2, 3, 2, 2)))
+        with pytest.raises(FactorShapeError):
+            stacked.messages_toward(0, [None, np.ones((2, 2, 2))])
+        with pytest.raises(FactorShapeError):
+            stacked.messages_toward(1, [None, None])
+        with pytest.raises(FactorGraphError):
+            stacked.messages_toward(5, [None, np.ones((2, 3, 2))])

@@ -138,3 +138,49 @@ class TestPDMSNetwork:
     def test_len_and_iter(self, network):
         assert len(network) == 3
         assert {peer.name for peer in network} == {"p1", "p2", "p3"}
+
+
+class TestMutationLog:
+    def test_mutations_since_reports_peer_and_mapping_changes(self, network):
+        start = network.version
+        network.add_mapping(Mapping.from_pairs("p1", "p2", {"Creator": "Creator"}))
+        network.add_peer(Peer("p4", schema("p4")))
+        network.remove_mapping("p1->p2")
+        mutations = network.mutations_since(start)
+        assert [(kind, subject) for _, kind, subject in mutations] == [
+            ("add_mapping", "p1->p2"),
+            ("add_peer", "p4"),
+            ("remove_mapping", "p1->p2"),
+        ]
+        # Versions in the log are strictly increasing past the start.
+        versions = [version for version, _, _ in mutations]
+        assert versions == sorted(versions)
+        assert all(version > start for version in versions)
+
+    def test_mutations_since_current_version_is_empty(self, network):
+        network.add_mapping(Mapping.from_pairs("p1", "p2", {"Creator": "Creator"}))
+        assert network.mutations_since(network.version) == ()
+
+    def test_bidirectional_add_logs_both_directions(self):
+        net = PDMSNetwork("undirected", directed=False)
+        net.add_peer(Peer("a", schema("a")))
+        net.add_peer(Peer("b", schema("b")))
+        start = net.version
+        net.add_mapping(Mapping.from_pairs("a", "b", {"Creator": "Creator"}))
+        kinds = [(k, s) for _, k, s in net.mutations_since(start)]
+        assert ("add_mapping", "a->b") in kinds
+        assert ("add_mapping", "b->a") in kinds
+
+    def test_truncated_log_reports_none(self, network):
+        start = network.version
+        limit = PDMSNetwork.MUTATION_LOG_LIMIT
+        for index in range(limit + 10):
+            network.add_mapping(
+                Mapping.from_pairs(
+                    "p1", "p2", {"Creator": "Creator"}, label=f"m{index}"
+                )
+            )
+            network.remove_mapping(f"p1->p2#m{index}")
+        assert network.mutations_since(start) is None
+        # Recent history is still reachable.
+        assert network.mutations_since(network.version) == ()

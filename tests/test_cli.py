@@ -77,7 +77,9 @@ class TestCommands:
     def test_amortization_command(self, capsys):
         assert main(["amortization", "--peers", "8", "--attributes", "6"]) == 0
         output = capsys.readouterr().out
-        assert "probes (cached)" in output
+        assert "cached + sequential" in output
+        assert "cached + batched" in output
+        assert "plan compiles" in output
 
     def test_scenario_command(self, capsys):
         assert main(["scenario", "--peers", "6", "--attributes", "6", "--seed", "3"]) == 0
