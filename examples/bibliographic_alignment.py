@@ -40,15 +40,15 @@ def main() -> None:
     for (source, target), count in worst_pairs.most_common(5):
         print(f"  {source} -> {target}: {count} wrong correspondences")
 
-    # 3. Every peer assesses its own outgoing mappings, attribute by
-    #    attribute, from its purely local view of the network.
+    # 3. Every peer assesses its own outgoing mappings from its purely
+    #    local view of the network — all origins batched per attribute into
+    #    one stacked per-origin run (probing each neighbourhood once).
     assessor = MappingQualityAssessor(
         scenario.network, delta=0.1, ttl=3, include_parallel_paths=False
     )
     posteriors = {}
-    for peer in scenario.network.peers:
-        for attribute in peer.schema.attribute_names:
-            local = assessor.assess_local(peer.name, attribute)
+    for attribute in scenario.network.attribute_universe():
+        for local in assessor.assess_local_all(attribute).values():
             for mapping_name, posterior in local.items():
                 if (mapping_name, attribute) in scenario.ground_truth:
                     posteriors[(mapping_name, attribute)] = posterior

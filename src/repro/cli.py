@@ -32,6 +32,7 @@ from .evaluation.experiments import (
     run_engine_throughput,
     run_fault_tolerance,
     run_intro_example,
+    run_local_assessment,
     run_real_world,
     run_relative_error,
     run_schedule_comparison,
@@ -85,18 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
     throughput = subparsers.add_parser(
         "throughput",
         help="throughput of the inference engines (centralised sum-product "
-        "backends, or embedded dict vs array state with --mode embedded)",
+        "backends, embedded dict vs array state with --mode embedded, or "
+        "the batched per-origin decentralised view with --mode local)",
     )
     throughput.add_argument(
         "--sizes", type=int, nargs="+", default=None,
         help="peer counts of the generated scale-free networks "
-        "(default 8 16 32 64 128; 8 16 32 64 in embedded mode)",
+        "(default 8 16 32 64 128; 8 16 32 64 in embedded mode; "
+        "8 16 32 in local mode)",
     )
     throughput.add_argument(
-        "--mode", choices=("sum-product", "embedded"), default="sum-product",
+        "--mode", choices=("sum-product", "embedded", "local"),
+        default="sum-product",
         help="'sum-product' times the centralised loop vs vectorized "
         "backends; 'embedded' times decentralised rounds on the dict vs "
-        "array state backends",
+        "array state backends; 'local' times the all-origins §4.5 decision "
+        "batched (one block-diagonal stacked engine) vs engine-per-origin",
     )
     throughput.add_argument("--ttl", type=int, default=3)
     throughput.add_argument("--repeats", type=int, default=3)
@@ -111,8 +116,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     throughput.add_argument(
         "--send-probability", type=float, default=None,
-        help="embedded mode only: transport reliability of the timed runs "
-        "(default 1.0)",
+        help="embedded and local modes: transport reliability of the timed "
+        "runs (default 1.0)",
     )
 
     amortization = subparsers.add_parser(
@@ -255,6 +260,8 @@ def _render_schedules() -> str:
 def _render_throughput(args: argparse.Namespace) -> str:
     if args.mode == "embedded":
         return _render_embedded_throughput(args)
+    if args.mode == "local":
+        return _render_local_throughput(args)
     sizes = tuple(args.sizes) if args.sizes else (8, 16, 32, 64, 128)
     result = run_engine_throughput(
         peer_counts=sizes,
@@ -318,6 +325,47 @@ def _render_embedded_throughput(args: argparse.Namespace) -> str:
         title=(
             "Embedded throughput — dict vs array state backends "
             f"(P(send)={send_probability})"
+        ),
+    )
+
+
+def _render_local_throughput(args: argparse.Namespace) -> str:
+    sizes = tuple(args.sizes) if args.sizes else (8, 16, 32)
+    send_probability = (
+        args.send_probability if args.send_probability is not None else 1.0
+    )
+    result = run_local_assessment(
+        peer_counts=sizes,
+        ttl=args.ttl,
+        repeats=args.repeats,
+        send_probability=send_probability,
+    )
+    rows = [
+        (
+            point.peer_count,
+            point.origin_count,
+            point.structure_count,
+            f"{point.sequential_seconds * 1e3:.1f}",
+            f"{point.batched_seconds * 1e3:.1f}",
+            f"{point.speedup:.1f}x",
+            f"{point.max_posterior_difference:.1e}",
+        )
+        for point in result.points
+    ]
+    return format_table(
+        (
+            "peers",
+            "origins",
+            "structures",
+            "sequential ms",
+            "batched ms",
+            "speedup",
+            "max |Δposterior|",
+        ),
+        rows,
+        title=(
+            "Local assessment throughput — batched per-origin lanes vs "
+            f"engine-per-origin (P(send)={send_probability})"
         ),
     )
 
@@ -417,17 +465,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "throughput":
-        # Reject flags that belong to the other mode instead of silently
+        # Reject flags that belong to another mode instead of silently
         # ignoring them.
-        if args.mode == "embedded" and args.max_iterations is not None:
+        if args.mode != "sum-product" and args.max_iterations is not None:
             parser.error("--max-iterations only applies to --mode sum-product")
-        if args.mode == "sum-product":
-            for option, value in (
-                ("--rounds", args.rounds),
-                ("--send-probability", args.send_probability),
-            ):
-                if value is not None:
-                    parser.error(f"{option} only applies to --mode embedded")
+        if args.mode != "embedded" and args.rounds is not None:
+            parser.error("--rounds only applies to --mode embedded")
+        if args.mode == "sum-product" and args.send_probability is not None:
+            parser.error(
+                "--send-probability only applies to --mode embedded or local"
+            )
     if args.command == "intro":
         output = _render_intro()
     elif args.command == "convergence":

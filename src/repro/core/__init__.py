@@ -21,6 +21,7 @@ from .feedback import (
     positive_feedback_probability,
 )
 from .analysis import (
+    NeighborhoodStructureCache,
     NetworkEvidence,
     NetworkStructureCache,
     StructureCacheStatistics,
@@ -36,8 +37,10 @@ from .pdms_factor_graph import (
 )
 from .local_graph import LocalFactorGraph, build_local_graphs, mapping_owner
 from .batched import (
+    AssessmentLane,
     AssessmentPlan,
     BatchedEmbeddedMessagePassing,
+    BlockedEmbeddedMessagePassing,
     compile_assessment_plan,
 )
 from .embedded import (
@@ -60,6 +63,7 @@ __all__ = [
     "feedback_from_cycle",
     "feedback_from_parallel_paths",
     "positive_feedback_probability",
+    "NeighborhoodStructureCache",
     "NetworkEvidence",
     "NetworkStructureCache",
     "StructureCacheStatistics",
@@ -74,8 +78,10 @@ __all__ = [
     "LocalFactorGraph",
     "build_local_graphs",
     "mapping_owner",
+    "AssessmentLane",
     "AssessmentPlan",
     "BatchedEmbeddedMessagePassing",
+    "BlockedEmbeddedMessagePassing",
     "compile_assessment_plan",
     "EmbeddedMessagePassing",
     "EmbeddedOptions",

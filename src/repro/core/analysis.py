@@ -21,6 +21,14 @@ closure of the traversed correspondences — depends on the attribute.
 per-attribute :class:`NetworkEvidence` by re-evaluating the cached
 structures, so assessing N attributes (or N EM rounds) costs one
 exponential enumeration instead of N.
+
+:class:`NeighborhoodStructureCache` is the same idea for the fully
+decentralised view of §4.5: each *origin*'s local structures — the cycles
+through it and the parallel paths departing from it, exactly what the peer's
+own probes can discover — are cached per ``(origin, network version, ttl,
+include_parallel_paths)``, so per-peer assessments over many origins,
+attributes and EM rounds run exactly one neighbourhood probe per origin and
+topology version.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from ..pdms.probing import (
     find_all_cycles,
     find_all_parallel_paths,
     find_cycles_through,
+    find_parallel_paths_from,
     probe_neighborhood,
 )
 from .feedback import Feedback, FeedbackKind, feedback_from_cycle, feedback_from_parallel_paths
@@ -45,6 +54,7 @@ __all__ = [
     "NetworkEvidence",
     "StructureCacheStatistics",
     "NetworkStructureCache",
+    "NeighborhoodStructureCache",
     "analyze_network",
     "analyze_neighborhood",
     "structure_signatures",
@@ -338,6 +348,222 @@ class NetworkStructureCache:
         self._key = None
         self._cycles = ()
         self._parallel_paths = ()
+
+
+@dataclass
+class _NeighborhoodEntry:
+    """Cached local view of one origin: its structures at one cache key."""
+
+    key: Tuple[int, int, bool]
+    cycles: Tuple[MappingCycle, ...]
+    parallel_paths: Tuple[ParallelPaths, ...]
+
+
+class NeighborhoodStructureCache:
+    """Probe-once cache of every peer's *local* structure view (§4.5).
+
+    Where :class:`NetworkStructureCache` caches the global structure set,
+    this cache keeps one entry per *origin*: the cycles through the origin
+    and the parallel paths departing from it — exactly the evidence the
+    peer's own TTL-bounded probes can discover.  Entries are keyed on
+    ``(network version, ttl, include_parallel_paths)`` and refreshed lazily,
+    so assessing the decentralised view over many origins, attributes and EM
+    rounds costs exactly one neighbourhood probe per ``(origin, network
+    version)``.
+
+    Incremental maintenance
+    -----------------------
+    Mirrors :class:`NetworkStructureCache`, replayed per origin from the
+    network's mutation log:
+
+    * ``remove_mapping`` filters each origin's cached cycles and parallel
+      paths (exact);
+    * ``add_mapping`` enumerates the cycles *through the new edge* once
+      (every genuinely new cycle must contain the new mapping), then grafts
+      onto each cached origin the new cycles passing through it, rotated to
+      start at that origin — the orientation its own probe would report.
+      Parallel-path additions cannot be derived locally, so mapping adds
+      fall back to a full per-origin re-probe when parallel paths are
+      enabled;
+    * ``add_peer`` (or a truncated log) always falls back to a full
+      re-probe of the origin on its next lookup.
+
+    As with the global cache, incrementally appended cycles are numbered
+    after the surviving ones, so feedback identifiers may differ from what a
+    fresh probe would produce; the structure *set* is identical.
+    """
+
+    def __init__(
+        self,
+        network: PDMSNetwork,
+        ttl: int = 6,
+        include_parallel_paths: Optional[bool] = None,
+    ) -> None:
+        self.network = network
+        self.ttl = ttl
+        self.include_parallel_paths = include_parallel_paths
+        self.statistics = StructureCacheStatistics()
+        self._entries: Dict[str, _NeighborhoodEntry] = {}
+        # Cycles through a freshly added mapping, shared across the origins
+        # replaying the same log entry at the same topology version.
+        self._added_cycles_memo: Dict[Tuple[int, str, int], Tuple[MappingCycle, ...]] = {}
+        # The unmappable-mapping scan is origin-independent; share it across
+        # the per-origin evidence_for calls of one (attribute, version).
+        self._unmappable_memo: Dict[Tuple[str, int], Tuple[str, ...]] = {}
+
+    def _resolved_include_parallel_paths(self) -> bool:
+        if self.include_parallel_paths is None:
+            return self.network.directed
+        return self.include_parallel_paths
+
+    def current_key(self) -> Tuple[int, int, bool]:
+        """The ``(version, ttl, include_parallel_paths)`` key a lookup made
+        now would be served under (consumers key derived state on this)."""
+        return (
+            self.network.version,
+            self.ttl,
+            self._resolved_include_parallel_paths(),
+        )
+
+    def structures_for(
+        self, origin: str
+    ) -> Tuple[Tuple[MappingCycle, ...], Tuple[ParallelPaths, ...]]:
+        """``origin``'s local cycles and parallel paths, probing at most once
+        per topology version (and only partially when the log allows)."""
+        key = self.current_key()
+        entry = self._entries.get(origin)
+        if entry is not None and entry.key == key:
+            self.statistics.hits += 1
+            return entry.cycles, entry.parallel_paths
+        self.statistics.misses += 1
+        if entry is not None and self._refresh_incrementally(entry, origin, key):
+            self.statistics.partial_refreshes += 1
+            entry.key = key
+            return entry.cycles, entry.parallel_paths
+        self.statistics.probes += 1
+        self.statistics.full_refreshes += 1
+        cycles = find_cycles_through(self.network, origin, ttl=self.ttl)
+        parallel_paths = (
+            find_parallel_paths_from(self.network, origin, ttl=self.ttl)
+            if key[2]
+            else ()
+        )
+        self._entries[origin] = _NeighborhoodEntry(key, cycles, parallel_paths)
+        return cycles, parallel_paths
+
+    def _cycles_through_added(self, entry_version: int, name: str) -> Tuple[MappingCycle, ...]:
+        """All cycles containing the freshly added mapping ``name``.
+
+        Enumerated once per (log entry, current topology version) from the
+        mapping's source peer — every cycle containing the mapping passes
+        through it — and shared across the origins replaying the same entry.
+        """
+        memo_key = (entry_version, name, self.network.version)
+        cached = self._added_cycles_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        mapping = self.network.mapping(name)
+        cycles = tuple(
+            cycle
+            for cycle in find_cycles_through(
+                self.network, mapping.source, ttl=self.ttl
+            )
+            if name in cycle.mapping_names
+        )
+        if len(self._added_cycles_memo) > 64:
+            self._added_cycles_memo.clear()
+        self._added_cycles_memo[memo_key] = cycles
+        return cycles
+
+    @staticmethod
+    def _rotate_to(cycle: MappingCycle, origin: str) -> Optional[MappingCycle]:
+        """``cycle`` re-oriented to start at ``origin`` (``None`` when the
+        cycle does not pass through it)."""
+        for index, mapping in enumerate(cycle.mappings):
+            if mapping.source == origin:
+                if index == 0 and cycle.origin == origin:
+                    return cycle
+                return MappingCycle(
+                    origin=origin,
+                    mappings=cycle.mappings[index:] + cycle.mappings[:index],
+                )
+        return None
+
+    def _refresh_incrementally(
+        self, entry: _NeighborhoodEntry, origin: str, key: Tuple[int, int, bool]
+    ) -> bool:
+        """Replay the mutation log onto one origin's entry when possible."""
+        if entry.key[1:] != key[1:]:
+            return False
+        mutations = self.network.mutations_since(entry.key[0])
+        if mutations is None or not mutations:
+            return False
+        kinds = {kind for _, kind, _ in mutations}
+        if "add_peer" in kinds:
+            return False
+        if key[2] and "add_mapping" in kinds:
+            return False
+        cycles = list(entry.cycles)
+        parallel_paths = list(entry.parallel_paths)
+        seen: Optional[set] = None
+        for version, kind, name in mutations:
+            if kind == "remove_mapping":
+                cycles = [c for c in cycles if name not in c.mapping_names]
+                parallel_paths = [
+                    p for p in parallel_paths if name not in p.mapping_names
+                ]
+                seen = None
+            elif kind == "add_mapping":
+                if not self.network.has_mapping(name):
+                    # Added and removed again later in the log; the removal
+                    # entry keeps the cached set consistent.
+                    continue
+                if seen is None:
+                    seen = {cycle.canonical_key() for cycle in cycles}
+                for cycle in self._cycles_through_added(version, name):
+                    local = self._rotate_to(cycle, origin)
+                    if local is None:
+                        continue
+                    cycle_key = local.canonical_key()
+                    if cycle_key in seen:
+                        continue
+                    seen.add(cycle_key)
+                    cycles.append(local)
+            else:  # pragma: no cover - defensive: unknown mutation kind
+                return False
+        entry.cycles = tuple(cycles)
+        entry.parallel_paths = tuple(parallel_paths)
+        return True
+
+    def evidence_for(self, origin: str, attribute: str) -> NetworkEvidence:
+        """``origin``'s per-attribute local evidence from the cached view.
+
+        Equivalent to :func:`analyze_neighborhood` — same structures, same
+        feedback identifiers — but the neighbourhood probe is amortised
+        across attributes and EM rounds.
+        """
+        cycles, parallel_paths = self.structures_for(origin)
+        feedbacks = _evidence_from_structures(cycles, parallel_paths, attribute)
+        memo_key = (attribute, self.network.version)
+        unmappable = self._unmappable_memo.get(memo_key)
+        if unmappable is None:
+            unmappable = _unmappable_mappings(self.network, attribute)
+            if len(self._unmappable_memo) > 256:
+                self._unmappable_memo.clear()
+            self._unmappable_memo[memo_key] = unmappable
+        return NetworkEvidence(
+            attribute=attribute,
+            feedbacks=tuple(feedbacks),
+            unmappable=unmappable,
+            cycles=cycles,
+            parallel_paths=parallel_paths,
+        )
+
+    def invalidate(self) -> None:
+        """Drop every origin's cached view; the next lookups re-probe."""
+        self._entries.clear()
+        self._added_cycles_memo.clear()
+        self._unmappable_memo.clear()
 
 
 def analyze_network(

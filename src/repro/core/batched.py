@@ -15,38 +15,57 @@ This module splits that work along the topology/evidence boundary:
   :class:`AssessmentPlan` — everything in ``EmbeddedMessagePassing.__init__``
   / ``_init_array_state`` / ``_compile_array_batches`` that depends only on
   which structures exist and which peers own their mappings.
-* :class:`BatchedEmbeddedMessagePassing` binds one plan to the per-attribute
-  evidence (feedback kinds, priors, Δ) and runs **all attributes
-  simultaneously** on stacked ``(attributes, edges, 2)`` message matrices:
-  phase 1 is one zero-aware segment product over the stacked
-  factor→variable state, phase 2 one Bernoulli mask per attribute over the
-  shared transmission list, phase 3 one
+* :class:`BatchedEmbeddedMessagePassing` binds one plan to per-**lane**
+  evidence and runs **all lanes simultaneously** on stacked
+  ``(lanes, edges, 2)`` message matrices: phase 1 is one zero-aware segment
+  product over the stacked factor→variable state, phase 2 one Bernoulli
+  mask per lane over the shared transmission list, phase 3 one
   :class:`~repro.factorgraph.compiled.StackedFactorBatch` einsum per arity
-  bucket and target slot.  Per-attribute convergence masking freezes
-  finished attributes so they stop contributing work.
+  bucket and target slot.  Per-lane convergence masking freezes finished
+  lanes so they stop contributing work.
 
-Equivalence with the per-attribute engine
------------------------------------------
-The stacked state covers *all* structures, not only the ones informative for
-a given attribute.  Structures that are neutral for an attribute carry an
-all-ones factor table, whose sum–product messages are exactly uniform; a
-uniform factor→variable row scales both belief components by the same power
-of two, so every shared message — and therefore every posterior — matches
-the sequential ``backend="arrays"`` engine to floating-point accuracy (the
-parity tests pin the agreement well below ``1e-9``, lossless and lossy).
-Mappings whose evidence is entirely neutral for an attribute are masked out
-of that attribute's result, mirroring the sequential engine's restriction to
-informative feedback.
+A lane is any ``(evidence subset, priors, Δ, rng stream)`` tuple
+(:class:`AssessmentLane`) bound to a subset of the plan's structures:
+
+* the multi-attribute assessor makes one lane per *attribute*, each
+  covering the full structure list (the classic keyword constructor);
+* the decentralised per-peer view of §4.5 makes one lane per *origin* on a
+  plan concatenating every origin's local structure block over per-origin
+  mapping instances.  Such lanes are *disjoint*, so stacking them on a
+  dense lane axis would waste an L× factor of permanently-uniform rows;
+  :class:`BlockedEmbeddedMessagePassing` packs them block-diagonally into
+  one shared row space instead, keeping per-lane rng streams, convergence
+  counters and results while a round costs one set of numpy calls over the
+  blocks' combined rows.  (:meth:`BatchedEmbeddedMessagePassing.from_lanes`
+  remains the general executor for arbitrary — possibly overlapping — lane
+  subsets.)
+
+Equivalence with the sequential engine
+--------------------------------------
+The stacked state covers *all* plan structures, not only the ones a lane
+binds informative evidence to.  Structures that are neutral for (or outside
+the evidence subset of) a lane carry an all-ones factor table, whose
+sum–product messages are exactly uniform; a uniform factor→variable row
+scales both belief components by the same power of two, so every shared
+message — and therefore every posterior — matches the sequential
+``backend="arrays"`` engine run on the lane's informative evidence alone, to
+floating-point accuracy (the parity tests pin the agreement well below
+``1e-9``, lossless and lossy).  Mappings not constrained by any informative
+structure of a lane are masked out of that lane's result, mirroring the
+sequential engine's restriction to informative feedback.
 
 Reproducibility contract
 ------------------------
 The sequential assessor builds one freshly seeded
-:class:`~repro.core.embedded.MessageTransport` per attribute.  The batched
-engine keeps that contract: each attribute draws its Bernoulli keep/send
-masks from its **own** ``random.Random`` stream (seeded identically to the
-sequential run), and only for the transmissions of its *informative*
-structures, in the same transmission order — so lossy batched runs replay
-the sequential drop decisions exactly, attempt counts included.
+:class:`~repro.core.embedded.MessageTransport` per call — per attribute for
+the global sweeps, per origin for ``assess_local``.  The batched engine
+keeps that contract: each lane draws its Bernoulli keep/send masks from its
+**own** ``random.Random`` stream (seeded identically to the sequential
+run), and only for the transmissions of its *informative* structures, in
+the same transmission order — each lane's structure indices are strictly
+increasing in plan order and each structure keeps the lane's own traversal
+orientation — so lossy batched runs replay the sequential drop decisions
+exactly, attempt counts included.
 """
 
 from __future__ import annotations
@@ -77,8 +96,10 @@ from .feedback import Feedback, FeedbackKind
 from .local_graph import mapping_owner
 
 __all__ = [
+    "AssessmentLane",
     "AssessmentPlan",
     "BatchedEmbeddedMessagePassing",
+    "BlockedEmbeddedMessagePassing",
     "compile_assessment_plan",
 ]
 
@@ -90,6 +111,77 @@ _KIND_CODES = {
     FeedbackKind.POSITIVE: _KIND_POSITIVE,
     FeedbackKind.NEGATIVE: _KIND_NEGATIVE,
 }
+
+
+def _validated_lane_codes(
+    plan: "AssessmentPlan", lane: "AssessmentLane"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate one lane's evidence against the plan.
+
+    Shared by both batched engines so they accept exactly the same lanes.
+    Returns ``(indices, codes)``: the lane's plan structure indices and a
+    full-width ``(structure_count,)`` kind-code vector, neutral outside the
+    lane's subset.
+    """
+    feedback_list = tuple(lane.feedbacks)
+    if lane.structure_indices is None:
+        indices = np.arange(plan.structure_count, dtype=np.int64)
+    else:
+        indices = np.asarray(lane.structure_indices, dtype=np.int64)
+        if indices.size and (
+            indices[0] < 0
+            or indices[-1] >= plan.structure_count
+            or (np.diff(indices) <= 0).any()
+        ):
+            raise FeedbackError(
+                f"lane {lane.key!r} structure indices must be strictly "
+                f"increasing within the plan's {plan.structure_count} "
+                f"structures"
+            )
+    if len(feedback_list) != indices.size:
+        raise FeedbackError(
+            f"lane {lane.key!r} supplies {len(feedback_list)} feedbacks "
+            f"for {indices.size} plan structures"
+        )
+    codes = np.zeros(plan.structure_count, dtype=np.int8)
+    for index, feedback in zip(indices, feedback_list):
+        if (
+            feedback.identifier != plan.identifiers[index]
+            or feedback.mapping_names != plan.structure_mappings[index]
+        ):
+            raise FeedbackError(
+                f"feedback {feedback.identifier!r} of lane {lane.key!r} "
+                f"does not match plan structure {plan.identifiers[index]!r}"
+            )
+        codes[index] = _KIND_CODES[feedback.kind]
+    return indices, codes
+
+
+def _lane_result(
+    plan: "AssessmentPlan",
+    active_indices: np.ndarray,
+    final_values: np.ndarray,
+    snapshots: Sequence[np.ndarray],
+    statistics,
+    iterations: int,
+    converged: bool,
+    final_change: float,
+) -> EmbeddedResult:
+    """Assemble one lane's :class:`EmbeddedResult` (shared by both engines).
+
+    ``final_values`` and each history ``snapshot`` are already sliced to
+    the lane's ``active_indices``.
+    """
+    names = [plan.mapping_names[i] for i in active_indices]
+    return EmbeddedResult(
+        posteriors=dict(zip(names, final_values.tolist())),
+        iterations=iterations,
+        converged=converged,
+        final_change=final_change,
+        history=[dict(zip(names, snapshot.tolist())) for snapshot in snapshots],
+        messages_attempted=statistics.attempted,
+        messages_delivered=statistics.delivered,
+    )
 
 
 @dataclass(frozen=True)
@@ -299,8 +391,58 @@ def compile_assessment_plan(
     )
 
 
+@dataclass(frozen=True)
+class AssessmentLane:
+    """One inference lane of the stacked engine.
+
+    A lane binds an evidence subset to its priors, Δ and rng stream.  The
+    multi-attribute assessor builds one lane per attribute over the full
+    plan; the decentralised view builds one lane per origin over that
+    origin's block of plan structures.
+
+    Parameters
+    ----------
+    key:
+        Result key of the lane (attribute name, origin peer, ...); must be
+        unique within one engine.
+    feedbacks:
+        The lane's evidence, aligned index for index with
+        ``structure_indices`` (neutral feedbacks included — they mask
+        themselves out via all-ones factor tables).
+    structure_indices:
+        The plan structure indices ``feedbacks`` binds to, **strictly
+        increasing** so the lane consumes its rng stream in the plan's
+        transmission order (the order the sequential engine walks).
+        ``None`` binds the full plan, index for index.
+    priors:
+        ``None`` (0.5 everywhere), a single float, or a ``{mapping name:
+        prior}`` dict — whatever the sequential engine accepts.
+    delta:
+        Error-compensation probability Δ of the lane's factor tables.
+        ``None`` means unspecified, which is an error only if the lane
+        turns out to have informative evidence (mirroring the keyword
+        constructor, which never required a Δ for all-neutral attributes).
+    transport:
+        Optional explicit :class:`MessageTransport`; when ``None`` the
+        engine seeds a fresh one per lane (matching the sequential
+        assessor's per-call transports).
+    """
+
+    key: str
+    feedbacks: Tuple[Feedback, ...]
+    structure_indices: Optional[Tuple[int, ...]] = None
+    priors: object = None
+    delta: Optional[float] = 0.1
+    transport: Optional[MessageTransport] = None
+
+
 class BatchedEmbeddedMessagePassing:
-    """All-attribute embedded message passing on one compiled plan.
+    """All-lane embedded message passing on one compiled plan.
+
+    The keyword constructor is the multi-attribute entry point (one lane per
+    attribute, full plan alignment); :meth:`from_lanes` is the general one
+    (any evidence subsets, e.g. one lane per origin for the decentralised
+    per-peer view).
 
     Parameters
     ----------
@@ -323,7 +465,7 @@ class BatchedEmbeddedMessagePassing:
         attribute (matching the sequential assessor); pass ``transports`` to
         supply them explicitly.
     options:
-        Iteration control, shared by all attributes.
+        Iteration control, shared by all lanes.
     """
 
     def __init__(
@@ -337,56 +479,104 @@ class BatchedEmbeddedMessagePassing:
         transports: Optional[TMapping[str, MessageTransport]] = None,
         options: Optional[EmbeddedOptions] = None,
     ) -> None:
+        if isinstance(priors, PriorBeliefStore):
+            raise FeedbackError(
+                "pass per-attribute prior dicts, not a PriorBeliefStore"
+            )
+        if priors is not None and not isinstance(priors, (bool, int, float)):
+            # The sequential engine takes a flat {mapping: prior} dict; this
+            # engine needs one prior set *per attribute*.  Reading a flat
+            # dict as attribute-keyed would silently degrade every prior to
+            # the 0.5 default, so reject the shape explicitly.
+            misread = [key for key in priors if key in plan.mapping_index]
+            if misread:
+                raise FeedbackError(
+                    f"priors must be keyed by attribute, but "
+                    f"{misread[0]!r} is a mapping name; pass "
+                    f"{{attribute: {{mapping: prior}}}} instead"
+                )
+        lanes: List[AssessmentLane] = []
+        for attribute, feedbacks in feedback_sets.items():
+            per_attribute = priors
+            if priors is not None and not isinstance(priors, (int, float)):
+                per_attribute = priors.get(attribute)
+            lanes.append(
+                AssessmentLane(
+                    key=attribute,
+                    feedbacks=tuple(feedbacks),
+                    structure_indices=None,
+                    priors=per_attribute,
+                    delta=self._resolve_delta(deltas, attribute),
+                    transport=transports.get(attribute) if transports else None,
+                )
+            )
+        self._setup(plan, lanes, send_probability, seed, options)
+
+    @classmethod
+    def from_lanes(
+        cls,
+        plan: AssessmentPlan,
+        lanes: Sequence[AssessmentLane],
+        send_probability: float = DEFAULT_SEND_PROBABILITY,
+        seed: Optional[int] = DEFAULT_SEED,
+        options: Optional[EmbeddedOptions] = None,
+    ) -> "BatchedEmbeddedMessagePassing":
+        """Build an engine from explicit lanes (evidence subsets).
+
+        ``send_probability`` / ``seed`` configure the per-lane transports of
+        lanes that do not carry an explicit one — each lane gets its own
+        freshly seeded rng stream, exactly like the sequential assessor's
+        per-call transports.
+        """
+        engine = object.__new__(cls)
+        engine._setup(plan, list(lanes), send_probability, seed, options)
+        return engine
+
+    def _setup(
+        self,
+        plan: AssessmentPlan,
+        lanes: List[AssessmentLane],
+        send_probability: float,
+        seed: Optional[int],
+        options: Optional[EmbeddedOptions],
+    ) -> None:
         self.plan = plan
         self.options = options or EmbeddedOptions()
-        self.attributes: Tuple[str, ...] = tuple(feedback_sets)
+        self.lane_keys: Tuple[str, ...] = tuple(lane.key for lane in lanes)
+        #: Historical alias of :attr:`lane_keys` (attribute names when built
+        #: through the keyword constructor).
+        self.attributes = self.lane_keys
+        if len(set(self.lane_keys)) != len(self.lane_keys):
+            raise FeedbackError(
+                f"duplicate lane keys: {sorted(self.lane_keys)}"
+            )
 
         kinds: Dict[str, np.ndarray] = {}
-        for attribute, feedbacks in feedback_sets.items():
-            feedback_list = tuple(feedbacks)
-            if len(feedback_list) != plan.structure_count:
-                raise FeedbackError(
-                    f"attribute {attribute!r} supplies {len(feedback_list)} "
-                    f"feedbacks for a plan of {plan.structure_count} structures"
-                )
-            codes = np.empty(plan.structure_count, dtype=np.int8)
-            for index, feedback in enumerate(feedback_list):
-                if (
-                    feedback.identifier != plan.identifiers[index]
-                    or feedback.mapping_names != plan.structure_mappings[index]
-                ):
-                    raise FeedbackError(
-                        f"feedback {feedback.identifier!r} of attribute "
-                        f"{attribute!r} does not match plan structure "
-                        f"{plan.identifiers[index]!r}"
-                    )
-                codes[index] = _KIND_CODES[feedback.kind]
-            kinds[attribute] = codes
+        for lane in lanes:
+            _, codes = _validated_lane_codes(plan, lane)
+            kinds[lane.key] = codes
 
-        # Lanes: attributes with at least one informative structure.
-        self._lanes: Tuple[str, ...] = tuple(
-            a for a in self.attributes if (kinds[a] != _KIND_NEUTRAL).any()
-        )
-        lane_count = len(self._lanes)
+        # Live lanes: those with at least one informative structure.
+        live_lanes = [
+            lane for lane in lanes if (kinds[lane.key] != _KIND_NEUTRAL).any()
+        ]
+        self._lanes: Tuple[str, ...] = tuple(lane.key for lane in live_lanes)
+        lane_count = len(live_lanes)
         self._kind_matrix = (
-            np.stack([kinds[a] for a in self._lanes])
+            np.stack([kinds[lane.key] for lane in live_lanes])
             if lane_count
             else np.zeros((0, plan.structure_count), dtype=np.int8)
         )
 
         self._deltas = np.asarray(
-            [self._resolve_delta(deltas, a) for a in self._lanes], dtype=float
+            [self._check_delta(lane.delta, lane.key) for lane in live_lanes],
+            dtype=float,
         )
-        self._priors = self._stack_priors(priors)
-        if transports is not None:
-            self._transports = [
-                transports.get(a) or MessageTransport(send_probability, seed=seed)
-                for a in self._lanes
-            ]
-        else:
-            self._transports = [
-                MessageTransport(send_probability, seed=seed) for _ in self._lanes
-            ]
+        self._priors = self._stack_priors([lane.priors for lane in live_lanes])
+        self._transports = [
+            lane.transport or MessageTransport(send_probability, seed=seed)
+            for lane in live_lanes
+        ]
         self._lossless = all(
             transport.send_probability >= 1.0 for transport in self._transports
         )
@@ -446,54 +636,47 @@ class BatchedEmbeddedMessagePassing:
     # -- construction helpers ----------------------------------------------------------
 
     @staticmethod
-    def _resolve_delta(deltas, attribute: str) -> float:
+    def _resolve_delta(deltas, attribute: str) -> Optional[float]:
+        """The Δ spec of one attribute; ``None`` when the dict lacks it.
+
+        A missing Δ only becomes an error if the lane turns out to have
+        informative evidence (:meth:`_check_delta` in ``_setup``), matching
+        the historical behaviour of resolving Δ for live lanes only.
+        """
         if isinstance(deltas, (int, float)) and not isinstance(deltas, bool):
-            value = float(deltas)
-        else:
-            try:
-                value = float(deltas[attribute])
-            except (KeyError, TypeError) as error:
-                raise FeedbackError(
-                    f"no Δ supplied for attribute {attribute!r}"
-                ) from error
+            return float(deltas)
+        try:
+            return float(deltas[attribute])
+        except (KeyError, TypeError):
+            return None
+
+    @staticmethod
+    def _check_delta(value: Optional[float], key: str) -> float:
+        if value is None:
+            raise FeedbackError(f"no Δ supplied for attribute {key!r}")
+        value = float(value)
         if not 0.0 <= value <= 1.0:
             raise FeedbackError(f"Δ must be in [0, 1], got {value}")
         return value
 
-    def _stack_priors(self, priors) -> np.ndarray:
-        """One clipped ``(lanes, mappings, 2)`` prior matrix."""
-        if isinstance(priors, PriorBeliefStore):
-            raise FeedbackError(
-                "pass per-attribute prior dicts, not a PriorBeliefStore"
-            )
-        if priors is not None and not isinstance(priors, (bool, int, float)):
-            # The sequential engine takes a flat {mapping: prior} dict; this
-            # engine needs one prior set *per attribute*.  Reading a flat
-            # dict as attribute-keyed would silently degrade every prior to
-            # the 0.5 default, so reject the shape explicitly.
-            misread = [
-                key for key in priors if key in self.plan.mapping_index
-            ]
-            if misread:
-                raise FeedbackError(
-                    f"priors must be keyed by attribute, but "
-                    f"{misread[0]!r} is a mapping name; pass "
-                    f"{{attribute: {{mapping: prior}}}} instead"
-                )
+    def _stack_priors(self, prior_specs: Sequence[object]) -> np.ndarray:
+        """One clipped ``(lanes, mappings, 2)`` prior matrix from the live
+        lanes' prior specs (``None`` / float / ``{mapping: prior}``)."""
         validate = EmbeddedMessagePassing._validate_prior
-        correct = np.empty((len(self._lanes), self.plan.mapping_count))
-        for lane, attribute in enumerate(self._lanes):
-            per_attribute = priors
-            if priors is not None and not isinstance(priors, (int, float)):
-                per_attribute = priors.get(attribute)
-            if per_attribute is None:
+        correct = np.empty((len(prior_specs), self.plan.mapping_count))
+        for lane, spec in enumerate(prior_specs):
+            if spec is None:
                 correct[lane] = 0.5
-            elif isinstance(per_attribute, (bool, int, float)):
+            elif isinstance(spec, (bool, int, float)):
                 # bools are rejected by the shared validator, like the
                 # sequential engine does.
-                correct[lane] = validate(per_attribute, "*")
+                correct[lane] = validate(spec, "*")
+            elif isinstance(spec, PriorBeliefStore):
+                raise FeedbackError(
+                    "pass per-lane prior dicts, not a PriorBeliefStore"
+                )
             else:
-                get = per_attribute.get
+                get = spec.get
                 correct[lane] = [
                     validate(get(name, 0.5), name)
                     for name in self.plan.mapping_names
@@ -664,24 +847,368 @@ class BatchedEmbeddedMessagePassing:
             )
         for lane, attribute in enumerate(self._lanes):
             indices = self._active_indices[lane]
-            names = [self.plan.mapping_names[i] for i in indices]
-            posteriors = dict(
-                zip(names, self._final_post[lane, indices].tolist())
+            results[attribute] = _lane_result(
+                self.plan,
+                indices,
+                self._final_post[lane, indices],
+                [snapshot[indices] for snapshot in histories[lane]]
+                if histories is not None
+                else (),
+                self._transports[lane].statistics,
+                int(rounds[lane]),
+                bool(converged[lane]),
+                float(final_change[lane]),
             )
-            history: List[Dict[str, float]] = []
-            if histories is not None:
-                history = [
-                    dict(zip(names, snapshot[indices].tolist()))
-                    for snapshot in histories[lane]
+        return results
+
+
+class BlockedEmbeddedMessagePassing:
+    """Disjoint-lane embedded message passing packed into one shared state.
+
+    :class:`BatchedEmbeddedMessagePassing` stacks L lanes on ``(L, edges,
+    2)`` state, every lane spanning every plan structure — the right layout
+    when lanes share structures (multi-attribute sweeps over one topology).
+    The per-origin decentralised view of §4.5 is the opposite regime: each
+    lane binds a *disjoint* block of structures over its own per-origin
+    mapping instances, so stacked lanes would carry an L× dead weight of
+    permanently-uniform rows.  This engine packs such disjoint lanes
+    block-diagonally into one shared row space: per-round work covers the
+    *sum* of the blocks — the per-origin sequential engines' combined
+    problem size — in one fixed set of numpy calls, while each lane keeps
+    its own rng stream, convergence counter, history and transport
+    statistics, so every lane's result equals its sequential run bit for
+    bit.  A converged lane stops exchanging messages and its result is
+    snapshotted, but its rows still ride the phase-1/3 sweeps until the
+    last lane converges (compacting frozen blocks out is a known next
+    lever, see ROADMAP).
+
+    Parameters
+    ----------
+    plan:
+        A **block-diagonal** compiled plan: every mapping must appear only
+        in the structures of a single lane's block (callers rename mapping
+        instances per lane — e.g. ``"origin::mapping"`` — and pass explicit
+        owners to :func:`compile_assessment_plan`).
+    lanes:
+        :class:`AssessmentLane` entries whose ``structure_indices`` are
+        strictly increasing and pairwise disjoint across lanes.  Lane priors
+        are read per mapping instance of the lane's block.
+    send_probability / seed / options:
+        As in :meth:`BatchedEmbeddedMessagePassing.from_lanes`.
+    """
+
+    def __init__(
+        self,
+        plan: AssessmentPlan,
+        lanes: Sequence[AssessmentLane],
+        send_probability: float = DEFAULT_SEND_PROBABILITY,
+        seed: Optional[int] = DEFAULT_SEED,
+        options: Optional[EmbeddedOptions] = None,
+    ) -> None:
+        self.plan = plan
+        self.options = options or EmbeddedOptions()
+        lanes = list(lanes)
+        self.lane_keys: Tuple[str, ...] = tuple(lane.key for lane in lanes)
+        if len(set(self.lane_keys)) != len(self.lane_keys):
+            raise FeedbackError(f"duplicate lane keys: {sorted(self.lane_keys)}")
+        lane_count = len(lanes)
+        structure_count = plan.structure_count
+
+        # Kind codes and the structure → lane assignment (disjoint blocks).
+        structure_lane = np.full(structure_count, -1, dtype=np.int64)
+        kind_codes = np.zeros(structure_count, dtype=np.int8)
+        lane_indices: List[np.ndarray] = []
+        for lane_id, lane in enumerate(lanes):
+            indices, codes = _validated_lane_codes(plan, lane)
+            if indices.size and (structure_lane[indices] != -1).any():
+                raise FeedbackError(
+                    f"lane {lane.key!r} overlaps another lane's structures; "
+                    "the blocked engine needs disjoint blocks (use "
+                    "BatchedEmbeddedMessagePassing.from_lanes for "
+                    "overlapping lanes)"
+                )
+            structure_lane[indices] = lane_id
+            kind_codes[indices] = codes[indices]
+            lane_indices.append(indices)
+
+        # Block-diagonality: no mapping instance may span two lanes (its
+        # segment products would couple the blocks).
+        mapping_lane = np.full(plan.mapping_count, -1, dtype=np.int64)
+        for structure_index, names in enumerate(plan.structure_mappings):
+            lane_id = structure_lane[structure_index]
+            for name in names:
+                mapping_id = plan.mapping_index[name]
+                if mapping_lane[mapping_id] == -1:
+                    mapping_lane[mapping_id] = lane_id
+                elif mapping_lane[mapping_id] != lane_id:
+                    raise FeedbackError(
+                        f"mapping {name!r} appears in structures of two "
+                        "lanes; the blocked engine needs a block-diagonal "
+                        "plan (rename per-lane mapping instances)"
+                    )
+        self._mapping_lane = mapping_lane
+        self._kind_codes = kind_codes
+
+        # Live lanes (≥1 informative structure) — needed before Δ
+        # resolution, which is only required for them.
+        informative = kind_codes != _KIND_NEUTRAL
+        self._lane_informative = np.asarray(
+            [bool(informative[indices].any()) for indices in lane_indices],
+            dtype=bool,
+        )
+
+        # Per-structure Δ (the owning lane's), per-mapping priors.
+        lane_deltas = np.asarray(
+            [
+                BatchedEmbeddedMessagePassing._check_delta(lane.delta, lane.key)
+                if self._lane_informative[lane_id]
+                else 0.0
+                for lane_id, lane in enumerate(lanes)
+            ],
+            dtype=float,
+        )
+        structure_delta = np.where(
+            structure_lane >= 0, lane_deltas[structure_lane], 0.0
+        ) if structure_count else np.zeros(0)
+        validate = EmbeddedMessagePassing._validate_prior
+        correct = np.full(plan.mapping_count, 0.5)
+        for mapping_id, name in enumerate(plan.mapping_names):
+            lane_id = mapping_lane[mapping_id]
+            if lane_id < 0:
+                continue
+            spec = lanes[lane_id].priors
+            if spec is None:
+                continue
+            if isinstance(spec, PriorBeliefStore):
+                raise FeedbackError(
+                    "pass per-lane prior dicts, not a PriorBeliefStore"
+                )
+            if isinstance(spec, (bool, int, float)):
+                correct[mapping_id] = validate(spec, name)
+            else:
+                correct[mapping_id] = validate(spec.get(name, 0.5), name)
+        self._priors = np.clip(
+            np.stack((correct, 1.0 - correct), axis=-1), 1e-9, 1.0
+        )
+
+        self._transports = [
+            lane.transport or MessageTransport(send_probability, seed=seed)
+            for lane in lanes
+        ]
+
+        # Per-lane informative transmissions, in plan (= rng) order.
+        if plan.tx_feedback.size:
+            tx_lane = structure_lane[plan.tx_feedback]
+            tx_informative = informative[plan.tx_feedback]
+        else:
+            tx_lane = np.zeros(0, dtype=np.int64)
+            tx_informative = np.zeros(0, dtype=bool)
+        self._lane_tx = [
+            np.flatnonzero((tx_lane == lane_id) & tx_informative)
+            for lane_id in range(lane_count)
+        ]
+
+        # Per-lane active mappings: constrained by ≥1 informative structure.
+        self._active_indices: List[np.ndarray] = []
+        for lane_id in range(lane_count):
+            active = np.zeros(plan.mapping_count, dtype=bool)
+            for structure_index in lane_indices[lane_id][
+                informative[lane_indices[lane_id]]
+            ]:
+                for name in plan.structure_mappings[structure_index]:
+                    active[plan.mapping_index[name]] = True
+            self._active_indices.append(np.flatnonzero(active))
+
+        # Per-structure factor tables, stacked with a unit lane axis so the
+        # shared StackedFactorBatch kernel applies unchanged.
+        self._kernels: List[StackedFactorBatch] = []
+        for batch in plan.batches:
+            kind_b = kind_codes[batch.feedback_indices]
+            counts = batch.incorrect_counts
+            delta_shaped = structure_delta[batch.feedback_indices].reshape(
+                (len(batch.feedback_indices),) + (1,) * batch.arity
+            )
+            positive = np.where(
+                counts == 0, 1.0, np.where(counts == 1, 0.0, delta_shaped)
+            )
+            kind_shaped = kind_b.reshape(kind_b.shape + (1,) * batch.arity)
+            tables = np.where(
+                kind_shaped == _KIND_POSITIVE,
+                positive,
+                np.where(kind_shaped == _KIND_NEGATIVE, 1.0 - positive, 1.0),
+            )
+            self._kernels.append(StackedFactorBatch(tables[None]))
+
+        # Shared block-diagonal state (unit lane axis).
+        self._prior_edges = self._priors[plan.edge_mapping][None]
+        self._v2f = np.full((1, plan.edge_count, 2), 0.5)
+        self._f2v = np.full((1, plan.edge_count, 2), 0.5)
+        self._recv = np.full((1, plan.recv_count, 2), 0.5)
+        self._post = normalize_rows(
+            self._priors[None] * segment_products(self._f2v, plan.segment_starts)
+        )
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def mapping_names(self) -> Tuple[str, ...]:
+        return self.plan.mapping_names
+
+    def transport_for(self, key: str) -> MessageTransport:
+        """The per-lane transport (for statistics inspection)."""
+        try:
+            lane_id = self.lane_keys.index(key)
+        except ValueError:
+            known = ", ".join(self.lane_keys) or "<none>"
+            raise FeedbackError(
+                f"no transport for lane {key!r} (known: {known})"
+            ) from None
+        return self._transports[lane_id]
+
+    # -- the three phases over the shared state -----------------------------------------
+
+    def _run_round(self, sending: Sequence[int]) -> None:
+        """One full round; ``sending`` lists the lane ids still exchanging."""
+        plan = self.plan
+        exclusive = segment_exclusive_products(
+            self._f2v, plan.segment_starts, plan.edge_mapping
+        )
+        self._v2f = normalize_rows(self._prior_edges * exclusive)
+        self._exchange(sending)
+        if plan.recv_count:
+            pool = np.concatenate((self._v2f, self._recv), axis=1)
+        else:
+            pool = self._v2f
+        for batch, kernel in zip(plan.batches, self._kernels):
+            for target in range(batch.arity):
+                incoming = [
+                    None if ids is None else pool[:, ids]
+                    for ids in batch.gather[target]
                 ]
-            statistics = self._transports[lane].statistics
-            results[attribute] = EmbeddedResult(
-                posteriors=posteriors,
-                iterations=int(rounds[lane]),
-                converged=bool(converged[lane]),
-                final_change=float(final_change[lane]),
-                history=history,
-                messages_attempted=statistics.attempted,
-                messages_delivered=statistics.delivered,
+                fresh = normalize_rows(kernel.messages_toward(target, incoming))
+                self._f2v[:, batch.scatter[target]] = fresh
+        self._post = normalize_rows(
+            self._priors[None]
+            * segment_products(self._f2v, plan.segment_starts)
+        )
+
+    def _exchange(self, sending: Sequence[int]) -> None:
+        plan = self.plan
+        for lane_id in sending:
+            positions = self._lane_tx[lane_id]
+            if positions.size == 0:
+                continue
+            transport = self._transports[lane_id]
+            if transport.send_probability >= 1.0:
+                self._recv[0, plan.tx_dest[positions]] = self._v2f[
+                    0, plan.tx_src[positions]
+                ]
+                transport.statistics.record_many(
+                    int(positions.size), int(positions.size)
+                )
+                continue
+            mask = transport.send_mask(positions.size)
+            if mask.all():
+                delivered = positions
+            elif mask.any():
+                delivered = positions[mask]
+            else:
+                continue
+            self._recv[0, plan.tx_dest[delivered]] = self._v2f[
+                0, plan.tx_src[delivered]
+            ]
+
+    # -- public API ---------------------------------------------------------------------
+
+    def run(self) -> Dict[str, Optional[EmbeddedResult]]:
+        """Iterate all lanes to their own convergence; one result per lane.
+
+        Lanes without informative evidence map to ``None``.  Every other
+        lane receives an :class:`EmbeddedResult` equal to what a sequential
+        ``EmbeddedMessagePassing(...).run()`` over its informative feedback
+        would return — iteration counts, convergence flags, histories and
+        transport statistics included.  Because the blocks are disjoint, a
+        frozen lane's block simply stops exchanging messages; its result is
+        the snapshot taken the round it converged.
+        """
+        results: Dict[str, Optional[EmbeddedResult]] = {
+            key: None for key in self.lane_keys
+        }
+        lane_count = len(self.lane_keys)
+        live = [
+            lane_id
+            for lane_id in range(lane_count)
+            if self._lane_informative[lane_id]
+        ]
+        if not live:
+            return results
+        options = self.options
+        quiet_needed = np.asarray(
+            [
+                required_quiet_rounds(transport.send_probability)
+                for transport in self._transports
+            ],
+            dtype=np.int64,
+        )
+        converged = np.zeros(lane_count, dtype=bool)
+        quiet = np.zeros(lane_count, dtype=np.int64)
+        rounds = np.zeros(lane_count, dtype=np.int64)
+        final_change = np.zeros(lane_count, dtype=float)
+        histories: Optional[List[List[np.ndarray]]] = (
+            [[] for _ in range(lane_count)] if options.record_history else None
+        )
+        final_post = self._post[0, :, 0].copy()
+        for round_number in range(1, options.max_rounds + 1):
+            if not live:
+                break
+            before = self._post[0, :, 0]
+            self._run_round(live)
+            after = self._post[0, :, 0]
+            still_live: List[int] = []
+            for lane_id in live:
+                indices = self._active_indices[lane_id]
+                change = (
+                    float(np.abs(after[indices] - before[indices]).max())
+                    if indices.size
+                    else 0.0
+                )
+                rounds[lane_id] = round_number
+                final_change[lane_id] = change
+                if histories is not None:
+                    histories[lane_id].append(after[indices])
+                quiet[lane_id] = quiet[lane_id] + 1 if change < options.tolerance else 0
+                if quiet[lane_id] >= quiet_needed[lane_id]:
+                    converged[lane_id] = True
+                    final_post[indices] = after[indices]
+                else:
+                    still_live.append(lane_id)
+            live = still_live
+        for lane_id in live:
+            indices = self._active_indices[lane_id]
+            final_post[indices] = self._post[0, indices, 0]
+        if options.strict and not converged[self._lane_informative].all():
+            stuck = ", ".join(
+                self.lane_keys[lane_id]
+                for lane_id in np.flatnonzero(
+                    self._lane_informative & ~converged
+                )
+            )
+            raise ConvergenceError(
+                f"blocked embedded message passing did not converge within "
+                f"{options.max_rounds} rounds for: {stuck}"
+            )
+        for lane_id, key in enumerate(self.lane_keys):
+            if not self._lane_informative[lane_id]:
+                continue
+            indices = self._active_indices[lane_id]
+            results[key] = _lane_result(
+                self.plan,
+                indices,
+                final_post[indices],
+                histories[lane_id] if histories is not None else (),
+                self._transports[lane_id].statistics,
+                int(rounds[lane_id]),
+                bool(converged[lane_id]),
+                float(final_change[lane_id]),
             )
         return results

@@ -49,7 +49,7 @@ identical drop decisions and stay reproducible across backends.
 
 Backend / engine matrix
 -----------------------
-Three interchangeable executions of the same decentralised algorithm exist;
+Four interchangeable executions of the same decentralised algorithm exist;
 all agree on posteriors to floating-point accuracy under shared seeds:
 
 ===========================  ==========================  =======================================
@@ -60,24 +60,39 @@ engine                       state                       selected when
                                                          embedded throughput benchmark.
 ``EmbeddedMessagePassing``   ``(edges, 2)`` matrices     ``backend="arrays"`` — the default for
 (``backend="arrays"``)                                   single-attribute runs
-                                                         (``assess_attribute``, schedules,
+                                                         (``assess_attribute``,
+                                                         ``assess_local``, schedules,
                                                          experiments driving one engine).
-``BatchedEmbeddedMessage-    ``(attributes, edges, 2)``  Multi-attribute assessor sweeps
+``BatchedEmbeddedMessage-    ``(lanes, edges, 2)``       Multi-attribute assessor sweeps
 Passing``                    stacked matrices over one   (``assess_attributes`` /
 (:mod:`repro.core.batched`)  compiled                    ``assess_all_attributes`` / EM rounds)
                              ``AssessmentPlan``          when ``use_batched_engine`` (default)
                                                          and the structure cache are enabled;
-                                                         falls back to the sequential engine
-                                                         for structures beyond the compiled
-                                                         arity limit.
+                                                         one lane per attribute over the full
+                                                         structure list (``from_lanes`` binds
+                                                         arbitrary evidence subsets); falls
+                                                         back to the sequential engine for
+                                                         structures beyond the compiled arity
+                                                         limit.
+``BlockedEmbeddedMessage-    block-diagonal shared       Per-origin decentralised sweeps
+Passing``                    rows over a per-origin      (``assess_locals`` /
+(:mod:`repro.core.batched`)  instance                    ``assess_local_all``): lanes bind
+                             ``AssessmentPlan``          *disjoint* structure blocks (one per
+                                                         origin), so they pack into one shared
+                                                         row space — per-round work equals the
+                                                         sequential engines' total — while
+                                                         keeping per-lane rng streams and
+                                                         convergence counters.
 ===========================  ==========================  =======================================
 
 Rng-stream reproducibility contract: every engine consumes its transport's
 ``random.Random`` uniforms in the same transmission order (structure →
 sender mapping → recipient), drawing *only* for informative transmissions.
-The batched engine keeps one independently seeded stream per attribute —
-exactly the fresh per-attribute transport the sequential assessor builds —
-so for a shared seed all three executions make identical drop decisions,
+The batched engines keep one independently seeded stream per lane — exactly
+the fresh per-call transport the sequential assessor builds per attribute
+(global sweeps) or per origin (local sweeps); per-origin lanes additionally
+keep each origin's own structure enumeration order and cycle orientation —
+so for a shared seed all four executions make identical drop decisions,
 lane for lane, and lossy posteriors match bit for bit in practice.
 
 Compiled-kernel equivalence contract

@@ -72,12 +72,21 @@ class MappingEvent:
 
 @dataclass
 class AssessmentRound:
-    """What one event did to the beliefs."""
+    """What one event did to the beliefs.
+
+    ``local_posteriors`` is populated only when the evolving PDMS tracks
+    the decentralised view: per affected attribute, each origin peer's own
+    §4.5 decision over its outgoing mappings, computed in one batched
+    per-origin run.
+    """
 
     event: MappingEvent
     assessed_attributes: Tuple[str, ...]
     posteriors: Dict[Tuple[str, str], float]
     updated_priors: Dict[Tuple[str, str], float]
+    local_posteriors: Dict[str, Dict[str, Dict[str, float]]] = field(
+        default_factory=dict
+    )
 
 
 class EvolvingPDMS:
@@ -89,6 +98,13 @@ class EvolvingPDMS:
         The live network; events mutate it in place.
     priors:
         Shared prior store; created fresh (maximum entropy) when omitted.
+    track_local_views:
+        When ``True``, every round additionally runs the batched
+        decentralised assessment
+        (:meth:`~repro.core.quality.MappingQualityAssessor.assess_local_all`)
+        for the affected attributes — the traffic model of a live PDMS,
+        where each peer re-judges its own mappings after churn — and records
+        the per-origin views in :attr:`AssessmentRound.local_posteriors`.
     assessor_kwargs:
         Extra keyword arguments forwarded to every
         :class:`~repro.core.quality.MappingQualityAssessor` built after an
@@ -99,10 +115,12 @@ class EvolvingPDMS:
         self,
         network: PDMSNetwork,
         priors: Optional[PriorBeliefStore] = None,
+        track_local_views: bool = False,
         **assessor_kwargs,
     ) -> None:
         self.network = network
         self.priors = priors if priors is not None else PriorBeliefStore()
+        self.track_local_views = track_local_views
         self.assessor_kwargs = assessor_kwargs
         self.history: List[AssessmentRound] = []
 
@@ -161,12 +179,19 @@ class EvolvingPDMS:
         for attribute, assessment in assessor.assess_attributes(affected).items():
             for mapping_name, posterior in assessment.posteriors.items():
                 posteriors[(mapping_name, attribute)] = posterior
+        local_posteriors: Dict[str, Dict[str, Dict[str, float]]] = {}
+        if self.track_local_views:
+            # Every peer re-judges its own mappings after the event — one
+            # stacked per-origin run per affected attribute.
+            for attribute in affected:
+                local_posteriors[attribute] = assessor.assess_local_all(attribute)
         updated = assessor.update_priors(affected)
         round_record = AssessmentRound(
             event=event,
             assessed_attributes=tuple(affected),
             posteriors=posteriors,
             updated_priors=updated,
+            local_posteriors=local_posteriors,
         )
         self.history.append(round_record)
         return round_record

@@ -26,6 +26,17 @@ of §3.2.1); mappings with no evidence at all fall back to their prior.
 Topology mutations bump :attr:`~repro.pdms.network.PDMSNetwork.version` and
 re-probe automatically; call :meth:`MappingQualityAssessor.invalidate` after
 out-of-band network surgery.
+
+Besides the global (experimenter's) view, the assessor exposes the fully
+decentralised per-peer decision of §4.5: :meth:`assess_local` judges one
+origin's own outgoing mappings from the evidence its own probes can see,
+and :meth:`assess_locals` / :meth:`assess_local_all` run that decision for
+many origins at once — one neighbourhood probe per (origin, network
+version) through a :class:`~repro.core.analysis.NeighborhoodStructureCache`
+and one block-diagonal
+:class:`~repro.core.batched.BlockedEmbeddedMessagePassing` run with one
+disjoint lane per origin.  Both views share the same resolution order
+(⊥ rule → posterior → prior).
 """
 
 from __future__ import annotations
@@ -34,19 +45,22 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
 
 from ..constants import DEFAULT_SEED
-from ..exceptions import FactorGraphError, ReproError
+from ..exceptions import FactorGraphError, FeedbackError, ReproError
 from ..mapping.mapping import Mapping
 from ..pdms.network import PDMSNetwork
 from ..pdms.routing import QueryRouter, RoutingPolicy
 from .analysis import (
+    NeighborhoodStructureCache,
     NetworkEvidence,
     NetworkStructureCache,
     analyze_network,
     structure_signatures,
 )
 from .batched import (
+    AssessmentLane,
     AssessmentPlan,
     BatchedEmbeddedMessagePassing,
+    BlockedEmbeddedMessagePassing,
     compile_assessment_plan,
 )
 from .beliefs import PriorBeliefStore
@@ -150,6 +164,9 @@ class MappingQualityAssessor:
         self.structure_cache = NetworkStructureCache(
             network, ttl=ttl, include_parallel_paths=include_parallel_paths
         )
+        self.neighborhood_cache = NeighborhoodStructureCache(
+            network, ttl=ttl, include_parallel_paths=include_parallel_paths
+        )
         self._assessments: Dict[str, AttributeAssessment] = {}
         self._plan: Optional[AssessmentPlan] = None
         self._plan_key: Optional[Tuple[int, int, bool]] = None
@@ -158,6 +175,19 @@ class MappingQualityAssessor:
         #: batched engine is in use, however many attributes and EM rounds
         #: are assessed.
         self.plan_compile_count = 0
+        # Compiled plan of the decentralised per-origin view: one block of
+        # structures per origin, keyed on (cache key, origins tuple).
+        self._local_plan: Optional[AssessmentPlan] = None
+        self._local_plan_key: Optional[Tuple] = None
+        self._local_blocks: Dict[str, Tuple[int, ...]] = {}
+        #: :class:`AssessmentPlan` compiles of the local view — once per
+        #: (network version, ttl, parallel-path flag, origins) however many
+        #: attributes and EM rounds are assessed locally.
+        self.local_plan_compile_count = 0
+        # Cached per-attribute local views backing the local routing oracle,
+        # keyed on the neighbourhood cache key so topology mutations refresh
+        # them automatically.
+        self._local_views: Dict[str, Tuple[Tuple, Dict[str, Dict[str, float]]]] = {}
 
     # -- inference --------------------------------------------------------------------------
 
@@ -214,48 +244,234 @@ class MappingQualityAssessor:
         self._assessments[attribute] = assessment
         return assessment
 
-    def assess_local(self, origin: str, attribute: str) -> Dict[str, float]:
-        """Posteriors for ``origin``'s own outgoing mappings, from its local view.
+    def _resolve_local_view(
+        self,
+        origin: str,
+        attribute: str,
+        unmappable: Sequence[str],
+        posteriors: TMapping[str, float],
+    ) -> Dict[str, float]:
+        """The §4.5 decision over ``origin``'s own outgoing mappings.
 
-        This is the fully decentralised, per-peer decision of §4.5: only the
-        cycles and parallel paths discovered by probing from ``origin`` are
-        used, and only the posteriors of the origin's *own* outgoing mappings
-        are returned.  Use this (rather than :meth:`assess_attribute`) when
-        peers use heterogeneous attribute names, e.g. the EON ontology
-        network — the attribute is interpreted in the origin's schema.
+        Applies the module's resolution order to every own mapping for which
+        the attribute is in scope: the ⊥ rule first (the origin's schema
+        declares the attribute but the mapping provides no correspondence →
+        0.0), then the posterior from the embedded run, then the prior
+        belief.  Shared by the sequential and the batched local paths so
+        both return identical mapping sets and values.
         """
+        unmappable_set = set(unmappable)
+        view: Dict[str, float] = {}
+        for mapping in self.network.peer(origin).outgoing_mappings:
+            name = mapping.name
+            if name in unmappable_set:
+                view[name] = 0.0
+            elif name in posteriors:
+                view[name] = posteriors[name]
+            elif mapping.maps_attribute(attribute):
+                view[name] = self.priors.prior(name, attribute)
+        return view
+
+    def _local_evidence(self, origin: str, attribute: str) -> NetworkEvidence:
+        if self.use_structure_cache:
+            return self.neighborhood_cache.evidence_for(origin, attribute)
         from .analysis import analyze_neighborhood
 
-        local_evidence = analyze_neighborhood(
+        return analyze_neighborhood(
             self.network,
             origin,
             attribute,
             ttl=self.ttl,
             include_parallel_paths=self.include_parallel_paths,
         )
-        informative = local_evidence.informative_feedbacks
-        own_mappings = {m.name for m in self.network.peer(origin).outgoing_mappings}
-        if not informative:
-            return {
-                name: self.priors.prior(name, attribute)
-                for name in own_mappings
-                if self.network.mapping(name).maps_attribute(attribute)
-            }
-        mapping_names = {m for f in informative for m in f.mapping_names}
-        prior_map = {m: self.priors.prior(m, attribute) for m in mapping_names}
-        engine = EmbeddedMessagePassing(
-            informative,
-            priors=prior_map,
-            delta=self._delta_for(attribute),
-            transport=MessageTransport(self.send_probability, seed=self.seed),
-            options=self.options,
+
+    def assess_local(self, origin: str, attribute: str) -> Dict[str, float]:
+        """Posteriors for ``origin``'s own outgoing mappings, from its local view.
+
+        This is the fully decentralised, per-peer decision of §4.5: only the
+        cycles and parallel paths discovered by probing from ``origin`` are
+        used, and only the origin's *own* outgoing mappings are judged.  Use
+        this (rather than :meth:`assess_attribute`) when peers use
+        heterogeneous attribute names, e.g. the EON ontology network — the
+        attribute is interpreted in the origin's schema.
+
+        The returned dict follows the module's resolution order for every
+        own mapping in scope: 0.0 under the ⊥ rule, the posterior where the
+        local run produced one, the prior belief otherwise.  The probe is
+        served by the per-origin neighbourhood cache (at most one
+        enumeration per origin and topology version); batch over origins
+        with :meth:`assess_locals` / :meth:`assess_local_all`.
+        """
+        evidence = self._local_evidence(origin, attribute)
+        informative = evidence.informative_feedbacks
+        posteriors: Dict[str, float] = {}
+        if informative:
+            mapping_names = {m for f in informative for m in f.mapping_names}
+            prior_map = {m: self.priors.prior(m, attribute) for m in mapping_names}
+            engine = EmbeddedMessagePassing(
+                informative,
+                priors=prior_map,
+                delta=self._delta_for(attribute),
+                transport=MessageTransport(self.send_probability, seed=self.seed),
+                options=self.options,
+            )
+            posteriors = engine.run().posteriors
+        return self._resolve_local_view(
+            origin, attribute, evidence.unmappable, posteriors
         )
-        result = engine.run()
-        return {
-            name: value
-            for name, value in result.posteriors.items()
-            if name in own_mappings
+
+    @staticmethod
+    def _instance_name(origin: str, mapping_name: str) -> str:
+        """Per-origin mapping instance name of the block-diagonal local plan.
+
+        Instances are only ever mapped back by stripping the known origin
+        prefix (never by parsing); pathological peer names that make two
+        distinct (origin, mapping) pairs collide surface as the blocked
+        engine's block-diagonality error rather than silent misbinding.
+        """
+        return f"{origin}::{mapping_name}"
+
+    def _local_assessment_plan(
+        self, origins: Sequence[str]
+    ) -> Tuple[AssessmentPlan, Dict[str, Tuple[int, ...]]]:
+        """Compiled plan of the per-origin view: one structure block per
+        origin, concatenated in origin order.
+
+        Mapping names are replaced by per-origin *instances*
+        (``origin::mapping``) so the blocks are disjoint — each origin's
+        local inference is an independent subproblem, exactly as in the
+        per-call sequential engines — and the
+        :class:`~repro.core.batched.BlockedEmbeddedMessagePassing` engine
+        can pack them block-diagonally.  Compiled at most once per
+        ``(network version, ttl, parallel-path flag, origins)`` and reused
+        across attributes and EM rounds.  Each origin's block keeps its own
+        probe enumeration order and cycle orientation, so per-origin lanes
+        consume their rng streams exactly like the sequential per-call
+        engines.
+        """
+        origins = tuple(origins)
+        key = self.neighborhood_cache.current_key() + (origins,)
+        if key == self._local_plan_key and self._local_plan is not None:
+            return self._local_plan, self._local_blocks
+        from .local_graph import mapping_owner
+
+        signatures: List[Tuple[str, Tuple[str, ...]]] = []
+        owners: Dict[str, str] = {}
+        blocks: Dict[str, Tuple[int, ...]] = {}
+        for origin in origins:
+            cycles, parallel_paths = self.neighborhood_cache.structures_for(origin)
+            block = structure_signatures(cycles, parallel_paths)
+            start = len(signatures)
+            for identifier, names in block:
+                instances = tuple(
+                    self._instance_name(origin, name) for name in names
+                )
+                for instance, name in zip(instances, names):
+                    owners.setdefault(instance, mapping_owner(name))
+                signatures.append((identifier, instances))
+            blocks[origin] = tuple(range(start, start + len(block)))
+        plan = compile_assessment_plan(signatures, owners=owners)
+        self._local_plan = plan
+        self._local_blocks = blocks
+        self._local_plan_key = key
+        self.local_plan_compile_count += 1
+        return plan, blocks
+
+    def assess_locals(
+        self, origins: Iterable[str], attribute: str
+    ) -> Dict[str, Dict[str, float]]:
+        """The §4.5 decision of several origins in one stacked run.
+
+        Semantically identical to ``{o: assess_local(o, attribute) for o in
+        origins}`` — every peer judges only its own outgoing mappings from
+        the structures its own probes discover — but with the batched engine
+        (the default) all origins run simultaneously as disjoint lanes of
+        one block-diagonal
+        :class:`~repro.core.batched.BlockedEmbeddedMessagePassing` over one
+        compiled per-origin plan, each lane drawing from its own rng stream
+        seeded like the sequential per-call transports (so lossy runs replay
+        bit for bit).  Probing is amortised to one neighbourhood enumeration
+        per (origin, network version).
+        """
+        from dataclasses import replace
+
+        origin_list = list(dict.fromkeys(origins))
+        if not (self.use_batched_engine and self.use_structure_cache):
+            return {
+                origin: self.assess_local(origin, attribute)
+                for origin in origin_list
+            }
+        try:
+            plan, blocks = self._local_assessment_plan(origin_list)
+        except FactorGraphError:
+            # Structures beyond the compiled arity limit: the sequential
+            # engine (which shares the limit today) raises a descriptive
+            # error per origin; future sparse kernels slot in here.
+            return {
+                origin: self.assess_local(origin, attribute)
+                for origin in origin_list
+            }
+        evidences = {
+            origin: self.neighborhood_cache.evidence_for(origin, attribute)
+            for origin in origin_list
         }
+        delta = self._delta_for(attribute)
+        lanes = []
+        for origin in origin_list:
+            # Per-lane priors keyed by the lane's own mapping instances —
+            # built alongside the renaming so no instance name is parsed.
+            lane_priors: Dict[str, float] = {}
+            feedbacks = []
+            for feedback in evidences[origin].feedbacks:
+                instances = tuple(
+                    self._instance_name(origin, name)
+                    for name in feedback.mapping_names
+                )
+                for instance, name in zip(instances, feedback.mapping_names):
+                    if instance not in lane_priors:
+                        lane_priors[instance] = self.priors.prior(
+                            name, attribute
+                        )
+                feedbacks.append(replace(feedback, mapping_names=instances))
+            lanes.append(
+                AssessmentLane(
+                    key=origin,
+                    feedbacks=tuple(feedbacks),
+                    structure_indices=blocks[origin],
+                    priors=lane_priors,
+                    delta=delta,
+                    transport=MessageTransport(
+                        self.send_probability, seed=self.seed
+                    ),
+                )
+            )
+        engine = BlockedEmbeddedMessagePassing(plan, lanes, options=self.options)
+        results = engine.run()
+        views: Dict[str, Dict[str, float]] = {}
+        for origin in origin_list:
+            result = results[origin]
+            prefix_length = len(origin) + 2
+            posteriors = (
+                {
+                    instance[prefix_length:]: value
+                    for instance, value in result.posteriors.items()
+                }
+                if result is not None
+                else {}
+            )
+            views[origin] = self._resolve_local_view(
+                origin, attribute, evidences[origin].unmappable, posteriors
+            )
+        return views
+
+    def assess_local_all(self, attribute: str) -> Dict[str, Dict[str, float]]:
+        """Every peer's own-mapping posteriors for ``attribute``, batched.
+
+        One compiled per-origin plan, one stacked engine run — the traffic
+        model of a live PDMS, where *all* peers assess their mappings, not
+        just an experimenter's global index.
+        """
+        return self.assess_locals(self.network.peer_names, attribute)
 
     def assess_mapping(self, mapping_name: str, attributes: Optional[Iterable[str]] = None) -> float:
         """Coarse-granularity quality of a whole mapping (§4.1).
@@ -268,11 +484,27 @@ class MappingQualityAssessor:
         but right for ten others therefore degrades gracefully instead of
         being written off entirely; use :meth:`probability` directly when a
         per-attribute decision is needed.
+
+        A mapping with no correspondences at all scores 0.0 (the coarse ⊥
+        case); passing an explicitly empty ``attributes`` iterable raises
+        :class:`~repro.exceptions.FeedbackError` rather than inventing an
+        attribute name.
         """
         mapping = self.network.mapping(mapping_name)
-        targets = list(attributes) if attributes is not None else list(mapping.source_attributes)
-        if not targets:
-            return self.priors.prior(mapping_name, "*")
+        if attributes is None:
+            targets = list(mapping.source_attributes)
+            if not targets:
+                # A mapping providing no correspondence at all preserves
+                # nothing — the coarse analogue of the ⊥ rule.
+                return 0.0
+        else:
+            targets = list(attributes)
+            if not targets:
+                raise FeedbackError(
+                    f"assess_mapping({mapping_name!r}) needs at least one "
+                    "attribute; pass attributes=None to average over all "
+                    "mapped attributes"
+                )
         values = [self.probability(mapping, attribute) for attribute in targets]
         return sum(values) / len(values)
 
@@ -375,13 +607,19 @@ class MappingQualityAssessor:
         network version and re-probe automatically, but the per-attribute
         assessments still reflect the old evidence until re-assessed — and
         out-of-band surgery on network internals is invisible to the version
-        counter entirely.  This clears the structure cache, the compiled
-        assessment plan and the assessment cache.
+        counter entirely.  This clears the structure caches (global and
+        per-origin), the compiled assessment plans (global and local), the
+        assessment cache and the cached local views.
         """
         self.structure_cache.invalidate()
+        self.neighborhood_cache.invalidate()
         self._assessments.clear()
         self._plan = None
         self._plan_key = None
+        self._local_plan = None
+        self._local_plan_key = None
+        self._local_blocks = {}
+        self._local_views.clear()
 
     # -- queries -----------------------------------------------------------------------------
 
@@ -408,14 +646,26 @@ class MappingQualityAssessor:
         return self.probability(mapping, attribute) <= theta
 
     def flagged_mappings(self, attribute: str, theta: float = 0.5) -> Tuple[str, ...]:
-        """Mappings flagged as erroneous for ``attribute`` at threshold θ."""
+        """Mappings flagged as erroneous for ``attribute`` at threshold θ.
+
+        Consistent with :meth:`is_erroneous` over the *full* mapping set of
+        the network: every mapping for which the attribute is in scope —
+        it maps the attribute, or its source schema declares it (the ⊥
+        case) — is judged by :meth:`probability`, so mappings without
+        posterior evidence are flagged on their prior exactly as
+        :meth:`is_erroneous` flags them, instead of silently escaping the
+        scan.
+        """
+        if not 0.0 <= theta <= 1.0:
+            raise ReproError(f"theta must be in [0, 1], got {theta}")
         assessment = self.assessment(attribute)
+        unmappable = set(assessment.unmappable)
         flagged = [
-            name
-            for name, posterior in assessment.posteriors.items()
-            if posterior <= theta
+            mapping.name
+            for mapping in self.network.mappings
+            if (mapping.name in unmappable or mapping.maps_attribute(attribute))
+            and self.probability(mapping, attribute) <= theta
         ]
-        flagged.extend(n for n in assessment.unmappable if n not in flagged)
         return tuple(sorted(flagged))
 
     # -- integration -----------------------------------------------------------------------------
@@ -432,6 +682,51 @@ class MappingQualityAssessor:
         """A query router wired to this assessor's quality oracle."""
         return QueryRouter(self.network, policy=policy, quality_oracle=self.as_oracle())
 
+    def local_probability(self, mapping: Mapping | str, attribute: str) -> float:
+        """P(attribute preserved) as judged by the mapping's *own* peer.
+
+        The decentralised counterpart of :meth:`probability`: the answer
+        comes from the source peer's local view (§4.5) — the batched
+        :meth:`assess_local_all` run for the attribute, computed lazily once
+        per attribute and topology version (a version bump refreshes the
+        cached views automatically; :meth:`invalidate` drops them for
+        out-of-band mutations) — not from the global evidence index.  The
+        resolution order is shared with the local views: ⊥ rule, local
+        posterior, prior.
+        """
+        mapping_obj = (
+            self.network.mapping(mapping) if isinstance(mapping, str) else mapping
+        )
+        key = self.neighborhood_cache.current_key()
+        cached = self._local_views.get(attribute)
+        if cached is None or cached[0] != key:
+            views = self.assess_local_all(attribute)
+            self._local_views[attribute] = (key, views)
+        else:
+            views = cached[1]
+        view = views.get(mapping_obj.source, {})
+        if mapping_obj.name in view:
+            return view[mapping_obj.name]
+        if not mapping_obj.maps_attribute(attribute):
+            return 0.0
+        return self.priors.prior(mapping_obj.name, attribute)
+
+    def as_local_oracle(self):
+        """Quality oracle answering each hop from the forwarding peer's own
+        local view — what a truly decentralised router consults."""
+
+        def oracle(mapping: Mapping, attribute: str) -> float:
+            return self.local_probability(mapping, attribute)
+
+        return oracle
+
+    def local_router(self, policy: Optional[RoutingPolicy] = None) -> QueryRouter:
+        """A query router whose forwarding decisions use each peer's own
+        decentralised assessment (backed by the batched local view)."""
+        return QueryRouter(
+            self.network, policy=policy, quality_oracle=self.as_local_oracle()
+        )
+
     def update_priors(self, attributes: Optional[Iterable[str]] = None) -> Dict[Tuple[str, str], float]:
         """Fold the cached posteriors into the prior store (EM step, §4.4).
 
@@ -439,7 +734,13 @@ class MappingQualityAssessor:
         when the batched engine is enabled — so an EM round over many
         attributes shares a single compiled plan and stacked engine.
         Returns the updated priors keyed by (mapping, attribute).
+
+        The cached local views backing :meth:`local_probability` are
+        dropped: their prior-fallback entries were baked in from the
+        pre-update store and would otherwise diverge from
+        :meth:`probability`'s live prior reads after the EM step.
         """
+        self._local_views.clear()
         updated: Dict[Tuple[str, str], float] = {}
         targets = list(attributes) if attributes is not None else list(self._assessments)
         missing = [a for a in targets if a not in self._assessments]

@@ -72,6 +72,9 @@ __all__ = [
     "BatchedAssessmentPoint",
     "BatchedAssessmentResult",
     "run_batched_assessment",
+    "LocalAssessmentPoint",
+    "LocalAssessmentResult",
+    "run_local_assessment",
 ]
 
 
@@ -1234,5 +1237,160 @@ def run_batched_assessment(
             )
         )
     return BatchedAssessmentResult(
+        points=tuple(points), send_probability=send_probability
+    )
+
+
+# ---------------------------------------------------------------------------
+# EX — decentralised assessment: batched per-origin lanes vs engine-per-origin
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocalAssessmentPoint:
+    """Timing of the all-origins §4.5 decision on both assessment engines.
+
+    Both assessors share a warm per-origin neighbourhood cache (the probes
+    are excluded from the timed region — they are identical on both sides),
+    so the comparison isolates what the batching targets: per-origin engine
+    construction plus the message-passing rounds.  The local views of the
+    two paths must agree to floating-point accuracy under identical seeds.
+    """
+
+    peer_count: int
+    origin_count: int
+    attribute: str
+    structure_count: int
+    mapping_count: int
+    sequential_seconds: float
+    batched_seconds: float
+    plan_compiles: int
+    probes: int
+    max_posterior_difference: float
+
+    @property
+    def speedup(self) -> float:
+        if self.batched_seconds <= 0.0:
+            return float("inf")
+        return self.sequential_seconds / self.batched_seconds
+
+    @property
+    def sequential_origins_per_second(self) -> float:
+        if self.sequential_seconds <= 0.0:
+            return float("inf")
+        return self.origin_count / self.sequential_seconds
+
+    @property
+    def batched_origins_per_second(self) -> float:
+        if self.batched_seconds <= 0.0:
+            return float("inf")
+        return self.origin_count / self.batched_seconds
+
+
+@dataclass(frozen=True)
+class LocalAssessmentResult:
+    """All-origins local-assessment timings across network sizes."""
+
+    points: Tuple[LocalAssessmentPoint, ...]
+    send_probability: float = 1.0
+
+    def point_for(self, peer_count: int) -> LocalAssessmentPoint:
+        for point in self.points:
+            if point.peer_count == peer_count:
+                return point
+        raise EvaluationError(
+            f"no local assessment point for {peer_count} peers"
+        )
+
+
+def run_local_assessment(
+    peer_counts: Sequence[int] = (16, 32),
+    attribute_count: int = 10,
+    ttl: int = 3,
+    repeats: int = 3,
+    send_probability: float = 1.0,
+    error_rate: float = 0.15,
+    seed: Optional[int] = 0,
+) -> LocalAssessmentResult:
+    """Measure ``assess_local_all`` batched vs per-origin sequential engines.
+
+    For each peer count a scale-free PDMS is generated and the full
+    all-origins decentralised decision for one attribute is timed (best of
+    ``repeats``, fresh assessor per repetition, per-origin neighbourhood
+    cache warmed outside the timed region) once as one stacked
+    per-origin-lane :class:`~repro.core.batched.BatchedEmbeddedMessagePassing`
+    run and once as one sequential ``EmbeddedMessagePassing`` per origin.
+    ``send_probability < 1`` exercises the lossy path: both sides seed one
+    transport per origin identically, so the local views must still agree.
+    """
+    points: List[LocalAssessmentPoint] = []
+    for peer_count in peer_counts:
+        scenario = generate_scenario(
+            topology="scale-free",
+            peer_count=peer_count,
+            attribute_count=attribute_count,
+            error_rate=error_rate,
+            seed=peer_count,
+        )
+        network = scenario.network
+        attribute = network.attribute_universe()[0]
+
+        def time_local_sweep(use_batched: bool):
+            best = float("inf")
+            assessor = None
+            views = None
+            for _ in range(max(1, repeats)):
+                assessor = MappingQualityAssessor(
+                    network,
+                    delta=None,
+                    ttl=ttl,
+                    include_parallel_paths=False,
+                    seed=seed,
+                    send_probability=send_probability,
+                    use_batched_engine=use_batched,
+                )
+                for origin in network.peer_names:
+                    assessor.neighborhood_cache.structures_for(origin)
+                start = time.perf_counter()
+                views = assessor.assess_local_all(attribute)
+                best = min(best, time.perf_counter() - start)
+            return assessor, views, best
+
+        batched, batched_views, batched_seconds = time_local_sweep(True)
+        _, sequential_views, sequential_seconds = time_local_sweep(False)
+
+        worst = 0.0
+        for origin, sequential_view in sequential_views.items():
+            batched_view = batched_views[origin]
+            if set(batched_view) != set(sequential_view):
+                raise EvaluationError(
+                    f"local views of origin {origin!r} disagree on the "
+                    f"judged mapping set"
+                )
+            for name, value in sequential_view.items():
+                worst = max(worst, abs(value - batched_view[name]))
+
+        structure_count = sum(
+            len(cycles) + len(paths)
+            for cycles, paths in (
+                batched.neighborhood_cache.structures_for(origin)
+                for origin in network.peer_names
+            )
+        )
+        points.append(
+            LocalAssessmentPoint(
+                peer_count=peer_count,
+                origin_count=len(network.peer_names),
+                attribute=attribute,
+                structure_count=structure_count,
+                mapping_count=len(network.mapping_names),
+                sequential_seconds=sequential_seconds,
+                batched_seconds=batched_seconds,
+                plan_compiles=batched.local_plan_compile_count,
+                probes=batched.neighborhood_cache.statistics.probes,
+                max_posterior_difference=worst,
+            )
+        )
+    return LocalAssessmentResult(
         points=tuple(points), send_probability=send_probability
     )

@@ -217,6 +217,40 @@ class TestEngineValidation:
                 plan, {"Creator": evidence.feedbacks}, deltas=1.5
             )
 
+    def test_missing_delta_for_neutral_attribute_tolerated(self):
+        """A deltas dict only needs entries for attributes with informative
+        evidence; all-neutral lanes construct fine and yield None results."""
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        plan = assessor._assessment_plan()
+        neutral = assessor.structure_cache.evidence_for("Unmapped").feedbacks
+        assert all(not feedback.is_informative for feedback in neutral)
+        engine = BatchedEmbeddedMessagePassing(
+            plan,
+            {
+                "Creator": assessor.structure_cache.evidence_for(
+                    "Creator"
+                ).feedbacks,
+                # "Unmapped" exists in no schema: neutral everywhere, and
+                # no Δ supplied for it.
+                "Unmapped": neutral,
+            },
+            deltas={"Creator": 0.1},
+        )
+        results = engine.run()
+        assert results["Unmapped"] is None
+        assert results["Creator"] is not None
+        with pytest.raises(FeedbackError, match="no Δ supplied"):
+            BatchedEmbeddedMessagePassing(
+                plan,
+                {
+                    "Creator": assessor.structure_cache.evidence_for(
+                        "Creator"
+                    ).feedbacks
+                },
+                deltas={},
+            )
+
     def test_invalid_prior_rejected(self):
         plan, evidence = self._plan_and_evidence()
         with pytest.raises(FeedbackError):

@@ -1,0 +1,571 @@
+"""Tests for the batched per-origin decentralised assessment (§4.5).
+
+Covers the batched-vs-sequential local parity across seeds (lossless and
+lossy), the per-origin neighbourhood cache (probe once per origin and
+network version, incremental refreshes), the blocked engine's validation,
+and the local-view correctness fixes (⊥ rule, prior fallback, θ-flagging,
+empty-attributes coarse assessment).
+"""
+
+import pytest
+
+from repro.core.analysis import NeighborhoodStructureCache, analyze_neighborhood
+from repro.core.batched import (
+    AssessmentLane,
+    BatchedEmbeddedMessagePassing,
+    BlockedEmbeddedMessagePassing,
+)
+from repro.core.beliefs import PriorBeliefStore
+from repro.core.evolution import EvolvingPDMS, MappingEvent, MappingEventKind
+from repro.core.quality import MappingQualityAssessor
+from repro.exceptions import FeedbackError
+from repro.generators.paper import INTRO_SCHEMA_CONCEPTS, intro_example_network
+from repro.generators.scenarios import generate_scenario
+from repro.mapping.mapping import Mapping
+from repro.pdms.peer import Peer
+from repro.pdms.routing import RoutingPolicy
+from repro.schema.schema import Schema
+
+
+def _assessor_pair(network, **kwargs):
+    batched = MappingQualityAssessor(network, **kwargs)
+    sequential = MappingQualityAssessor(network, use_batched_engine=False, **kwargs)
+    return batched, sequential
+
+
+def _worst_view_difference(batched_views, sequential_views):
+    assert set(batched_views) == set(sequential_views)
+    worst = 0.0
+    for origin, sequential_view in sequential_views.items():
+        batched_view = batched_views[origin]
+        assert set(batched_view) == set(sequential_view), origin
+        for name, value in sequential_view.items():
+            worst = max(worst, abs(batched_view[name] - value))
+    return worst
+
+
+def _dangling_network(default_prior=0.8):
+    """Intro network plus a dangling p3→p5 mapping with no evidence."""
+    network = intro_example_network(with_records=False)
+    network.add_peer(Peer("p5", Schema.from_names("p5", ["Creator", "Title"])))
+    network.add_mapping(
+        Mapping.from_pairs("p3", "p5", {"Creator": "Creator", "Title": "Title"}),
+        bidirectional=False,
+    )
+    priors = PriorBeliefStore(default_prior=default_prior)
+    return network, priors
+
+
+class TestBatchedLocalParity:
+    """assess_locals must replay the (fixed) sequential per-origin runs."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lossless_parity_on_intro_network(self, seed):
+        network = intro_example_network(with_records=False)
+        batched, sequential = _assessor_pair(network, delta=0.1, ttl=4, seed=seed)
+        b = batched.assess_local_all("Creator")
+        s = sequential.assess_local_all("Creator")
+        assert set(b) == set(network.peer_names)
+        assert _worst_view_difference(b, s) <= 1e-9
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_lossy_parity_across_seeds(self, seed):
+        network = intro_example_network(with_records=False)
+        batched, sequential = _assessor_pair(
+            network, delta=0.1, ttl=4, seed=seed, send_probability=0.6
+        )
+        b = batched.assess_local_all("Creator")
+        s = sequential.assess_local_all("Creator")
+        assert _worst_view_difference(b, s) <= 1e-9
+
+    @pytest.mark.parametrize("seed", [3, 5, 9])
+    def test_lossy_parity_on_generated_scenario(self, seed):
+        scenario = generate_scenario(
+            topology="scale-free",
+            peer_count=16,
+            attribute_count=8,
+            error_rate=0.2,
+            seed=7,
+        )
+        network = scenario.network
+        attribute = network.attribute_universe()[0]
+        batched, sequential = _assessor_pair(
+            network,
+            delta=None,
+            ttl=3,
+            include_parallel_paths=False,
+            seed=seed,
+            send_probability=0.7,
+        )
+        b = batched.assess_locals(network.peer_names, attribute)
+        s = sequential.assess_locals(network.peer_names, attribute)
+        assert _worst_view_difference(b, s) <= 1e-9
+
+    def test_subset_of_origins(self):
+        network = intro_example_network(with_records=False)
+        batched, sequential = _assessor_pair(network, delta=0.1, ttl=4, seed=0)
+        origins = ("p2", "p4")
+        b = batched.assess_locals(origins, "Creator")
+        s = {o: sequential.assess_local(o, "Creator") for o in origins}
+        assert _worst_view_difference(b, s) <= 1e-9
+
+    def test_matches_single_assess_local(self):
+        """The batched view of one origin equals its assess_local call."""
+        network = intro_example_network(with_records=False)
+        batched, sequential = _assessor_pair(
+            network, delta=0.1, ttl=4, seed=2, send_probability=0.8
+        )
+        b = batched.assess_local_all("Creator")["p2"]
+        s = sequential.assess_local("p2", "Creator")
+        assert set(b) == set(s)
+        for name, value in s.items():
+            assert b[name] == pytest.approx(value, abs=1e-9)
+
+    def test_blocked_engine_matches_general_lane_engine(self):
+        """The block-diagonal packing is an execution detail: the general
+        stacked lane engine produces the same results on the same lanes."""
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(
+            network, delta=0.1, ttl=4, seed=1, send_probability=0.7
+        )
+        plan, blocks = assessor._local_assessment_plan(network.peer_names)
+        from dataclasses import replace
+
+        from repro.core.embedded import MessageTransport
+
+        def lanes():
+            built = []
+            for origin in network.peer_names:
+                evidence = assessor.neighborhood_cache.evidence_for(
+                    origin, "Creator"
+                )
+                feedbacks = tuple(
+                    replace(
+                        feedback,
+                        mapping_names=tuple(
+                            f"{origin}::{name}"
+                            for name in feedback.mapping_names
+                        ),
+                    )
+                    for feedback in evidence.feedbacks
+                )
+                built.append(
+                    AssessmentLane(
+                        key=origin,
+                        feedbacks=feedbacks,
+                        structure_indices=blocks[origin],
+                        priors=None,
+                        delta=0.1,
+                        transport=MessageTransport(0.7, seed=1),
+                    )
+                )
+            return built
+
+        blocked = BlockedEmbeddedMessagePassing(plan, lanes()).run()
+        general = BatchedEmbeddedMessagePassing.from_lanes(plan, lanes()).run()
+        assert set(blocked) == set(general)
+        for key, general_result in general.items():
+            blocked_result = blocked[key]
+            assert (blocked_result is None) == (general_result is None)
+            if general_result is None:
+                continue
+            assert blocked_result.iterations == general_result.iterations
+            assert blocked_result.converged == general_result.converged
+            assert (
+                blocked_result.messages_attempted
+                == general_result.messages_attempted
+            )
+            assert set(blocked_result.posteriors) == set(general_result.posteriors)
+            for name, value in general_result.posteriors.items():
+                assert blocked_result.posteriors[name] == pytest.approx(
+                    value, abs=1e-9
+                )
+
+
+class TestProbeOnce:
+    def test_one_probe_per_origin_across_attributes_and_rounds(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4, seed=0)
+        for _ in range(3):
+            assessor.assess_local_all("Creator")
+            assessor.assess_local_all("Title")
+        statistics = assessor.neighborhood_cache.statistics
+        assert statistics.probes == len(network.peer_names)
+        assert assessor.local_plan_compile_count == 1
+
+    def test_sequential_path_shares_the_cache(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(
+            network, delta=0.1, ttl=4, use_batched_engine=False
+        )
+        for _ in range(2):
+            for origin in network.peer_names:
+                assessor.assess_local(origin, "Creator")
+        assert assessor.neighborhood_cache.statistics.probes == len(
+            network.peer_names
+        )
+
+    def test_disabled_cache_probes_per_call(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(
+            network, delta=0.1, ttl=4, use_structure_cache=False
+        )
+        assessor.assess_local("p2", "Creator")
+        assessor.assess_local("p2", "Creator")
+        assert assessor.neighborhood_cache.statistics.probes == 0
+
+    def test_mutation_reprobes_once_per_new_version(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4, seed=0)
+        before = assessor.assess_local_all("Creator")
+        assert "p2->p4" in before["p2"]
+        network.remove_mapping("p2->p4")
+        after = assessor.assess_local_all("Creator")
+        assert "p2->p4" not in after["p2"]
+        statistics = assessor.neighborhood_cache.statistics
+        # The removal is replayed incrementally: no second full probe.
+        assert statistics.probes == len(network.peer_names)
+        assert statistics.partial_refreshes == len(network.peer_names)
+        assert assessor.local_plan_compile_count == 2
+        # The refreshed views match a fresh sequential assessor.
+        fresh = MappingQualityAssessor(
+            network, delta=0.1, ttl=4, seed=0, use_batched_engine=False
+        ).assess_local_all("Creator")
+        assert _worst_view_difference(after, fresh) <= 1e-9
+
+
+class TestNeighborhoodCache:
+    def _canonical(self, cycles):
+        return {cycle.canonical_key() for cycle in cycles}
+
+    def test_matches_analyze_neighborhood(self):
+        network = intro_example_network(with_records=False)
+        cache = NeighborhoodStructureCache(network, ttl=4)
+        for origin in network.peer_names:
+            cached = cache.evidence_for(origin, "Creator")
+            fresh = analyze_neighborhood(network, origin, "Creator", ttl=4)
+            assert [f.identifier for f in cached.feedbacks] == [
+                f.identifier for f in fresh.feedbacks
+            ]
+            assert [f.kind for f in cached.feedbacks] == [
+                f.kind for f in fresh.feedbacks
+            ]
+            assert cached.unmappable == fresh.unmappable
+
+    def test_remove_mapping_refreshes_incrementally(self):
+        network = intro_example_network(with_records=False)
+        cache = NeighborhoodStructureCache(network, ttl=4)
+        for origin in network.peer_names:
+            cache.structures_for(origin)
+        network.remove_mapping("p2->p4")
+        for origin in network.peer_names:
+            cycles, _ = cache.structures_for(origin)
+            expected, _ = (
+                NeighborhoodStructureCache(network, ttl=4).structures_for(origin)
+            )
+            assert self._canonical(cycles) == self._canonical(expected)
+        assert cache.statistics.partial_refreshes == len(network.peer_names)
+        assert cache.statistics.probes == len(network.peer_names)
+
+    def test_add_mapping_enumerates_only_new_cycles(self):
+        network = intro_example_network(with_records=False)
+        cache = NeighborhoodStructureCache(
+            network, ttl=4, include_parallel_paths=False
+        )
+        for origin in network.peer_names:
+            cache.structures_for(origin)
+        network.add_mapping(
+            Mapping.from_pairs(
+                "p4",
+                "p2",
+                {concept: concept for concept in INTRO_SCHEMA_CONCEPTS},
+            ),
+            bidirectional=False,
+        )
+        for origin in network.peer_names:
+            cycles, _ = cache.structures_for(origin)
+            expected, _ = NeighborhoodStructureCache(
+                network, ttl=4, include_parallel_paths=False
+            ).structures_for(origin)
+            assert self._canonical(cycles) == self._canonical(expected)
+        assert cache.statistics.partial_refreshes == len(network.peer_names)
+        # Incrementally grafted cycles start at the origin, like a probe's.
+        for origin in network.peer_names:
+            cycles, _ = cache.structures_for(origin)
+            for cycle in cycles:
+                assert cycle.mappings[0].source == origin
+
+    def test_add_peer_falls_back_to_full_probe(self):
+        network = intro_example_network(with_records=False)
+        cache = NeighborhoodStructureCache(network, ttl=4)
+        cache.structures_for("p2")
+        network.add_peer(Peer("p9", Schema.from_names("p9", ["Creator"])))
+        cache.structures_for("p2")
+        assert cache.statistics.probes == 2
+        assert cache.statistics.partial_refreshes == 0
+
+
+class TestLocalViewResolutionOrder:
+    """Regression tests for the assess_local correctness fixes."""
+
+    def test_prior_fallback_with_informative_evidence(self):
+        """An own mapping without informative evidence is no longer dropped
+        from the local view — it falls back to its prior."""
+        network, priors = _dangling_network(default_prior=0.8)
+        for assessor in _assessor_pair(network, priors=priors, delta=0.1, ttl=4):
+            local = assessor.assess_locals(["p3"], "Creator")["p3"]
+            # p3->p4 sits in informative cycles; p3->p5 has no evidence.
+            assert local["p3->p4"] > 0.5
+            assert local["p3->p5"] == pytest.approx(0.8)
+
+    def test_bottom_rule_applies_with_informative_evidence(self):
+        """An own mapping whose source schema declares the attribute but
+        that provides no correspondence scores 0.0, not its prior — even
+        when the origin has informative evidence for other mappings."""
+        network = intro_example_network(with_records=False)
+        network.remove_mapping("p2->p4")
+        incomplete = Mapping.from_pairs(
+            "p2",
+            "p4",
+            {
+                concept: concept
+                for concept in INTRO_SCHEMA_CONCEPTS
+                if concept != "Creator"
+            },
+        )
+        network.add_mapping(incomplete, bidirectional=False)
+        for assessor in _assessor_pair(network, delta=0.1, ttl=4):
+            local = assessor.assess_locals(["p2"], "Creator")["p2"]
+            assert local["p2->p4"] == 0.0
+            assert local["p2->p3"] > 0.5
+            assert assessor.probability("p2->p4", "Creator") == 0.0
+
+    def test_bottom_rule_applies_without_evidence(self):
+        """The no-evidence branch also applies the ⊥ rule instead of
+        silently dropping unmappable own mappings."""
+        network = intro_example_network(with_records=False)
+        network.add_peer(Peer("p6", Schema.from_names("p6", ["Creator", "Title"])))
+        network.add_mapping(
+            Mapping.from_pairs("p6", "p1", {"Title": "Title"}),
+            bidirectional=False,
+        )
+        for assessor in _assessor_pair(network, delta=0.1, ttl=4):
+            local = assessor.assess_locals(["p6"], "Creator")["p6"]
+            assert local == {"p6->p1": 0.0}
+            title_view = assessor.assess_local("p6", "Title")
+            assert title_view["p6->p1"] == pytest.approx(0.5)
+
+    def test_no_evidence_branch_returns_priors(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=1)
+        local = assessor.assess_locals(["p2"], "Creator")["p2"]
+        assert set(local) == {"p2->p1", "p2->p3", "p2->p4"}
+        assert all(value == pytest.approx(0.5) for value in local.values())
+
+
+class TestThetaConsistency:
+    """Regression: flagged_mappings must agree with is_erroneous."""
+
+    def test_prior_below_theta_is_flagged(self):
+        network, priors = _dangling_network(default_prior=0.3)
+        assessor = MappingQualityAssessor(network, priors=priors, delta=0.1, ttl=4)
+        assessor.assess_attribute("Creator")
+        assert assessor.is_erroneous("p3->p5", "Creator", theta=0.5)
+        assert "p3->p5" in assessor.flagged_mappings("Creator", theta=0.5)
+
+    def test_prior_above_theta_is_not_flagged(self):
+        network, priors = _dangling_network(default_prior=0.8)
+        assessor = MappingQualityAssessor(network, priors=priors, delta=0.1, ttl=4)
+        assert not assessor.is_erroneous("p3->p5", "Creator", theta=0.5)
+        assert "p3->p5" not in assessor.flagged_mappings("Creator", theta=0.5)
+
+    def test_unmappable_mapping_is_flagged(self):
+        network = intro_example_network(with_records=False)
+        network.add_peer(Peer("p6", Schema.from_names("p6", ["Creator", "Title"])))
+        network.add_mapping(
+            Mapping.from_pairs("p6", "p1", {"Title": "Title"}),
+            bidirectional=False,
+        )
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        flagged = assessor.flagged_mappings("Creator", theta=0.5)
+        assert "p6->p1" in flagged
+        assert assessor.is_erroneous("p6->p1", "Creator", theta=0.5)
+
+    def test_decisions_agree_over_the_full_mapping_set(self):
+        network, priors = _dangling_network(default_prior=0.3)
+        assessor = MappingQualityAssessor(network, priors=priors, delta=0.1, ttl=4)
+        flagged = set(assessor.flagged_mappings("Creator", theta=0.5))
+        for mapping in network.mappings:
+            in_scope = mapping.maps_attribute("Creator") or mapping.name in (
+                assessor.assessment("Creator").unmappable
+            )
+            if not in_scope:
+                continue
+            assert (
+                mapping.name in flagged
+            ) == assessor.is_erroneous(mapping, "Creator", theta=0.5)
+
+    def test_invalid_theta_rejected(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            assessor.flagged_mappings("Creator", theta=-0.1)
+
+
+class TestAssessMappingEmptyAttributes:
+    """Regression: no fabricated "*" attribute key."""
+
+    def test_explicit_empty_iterable_raises(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=3)
+        with pytest.raises(FeedbackError, match="at least one attribute"):
+            assessor.assess_mapping("p2->p3", attributes=())
+
+    def test_mapping_without_correspondences_scores_zero(self):
+        network = intro_example_network(with_records=False)
+        network.add_mapping(Mapping(source="p3", target="p1"), bidirectional=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=3)
+        assert assessor.assess_mapping("p3->p1") == 0.0
+
+
+class TestBlockedEngineValidation:
+    def _plan_and_lane(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        plan, blocks = assessor._local_assessment_plan(network.peer_names)
+        return network, assessor, plan, blocks
+
+    def test_overlapping_lanes_rejected(self):
+        from dataclasses import replace
+
+        network, assessor, plan, blocks = self._plan_and_lane()
+        origin = network.peer_names[0]
+        evidence = assessor.neighborhood_cache.evidence_for(origin, "Creator")
+        feedbacks = tuple(
+            replace(
+                feedback,
+                mapping_names=tuple(
+                    f"{origin}::{name}" for name in feedback.mapping_names
+                ),
+            )
+            for feedback in evidence.feedbacks
+        )
+        lane = AssessmentLane(
+            key=origin, feedbacks=feedbacks, structure_indices=blocks[origin]
+        )
+        clone = AssessmentLane(
+            key="clone", feedbacks=feedbacks, structure_indices=blocks[origin]
+        )
+        with pytest.raises(FeedbackError, match="overlaps"):
+            BlockedEmbeddedMessagePassing(plan, [lane, clone])
+
+    def test_non_block_diagonal_plan_rejected(self):
+        """A plan whose mappings span two lanes' structures is refused."""
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
+        shared_plan = assessor._assessment_plan()
+        evidence = assessor.structure_cache.evidence_for("Creator")
+        half = shared_plan.structure_count // 2
+        first = AssessmentLane(
+            key="first",
+            feedbacks=tuple(evidence.feedbacks[:half]),
+            structure_indices=tuple(range(half)),
+        )
+        second = AssessmentLane(
+            key="second",
+            feedbacks=tuple(evidence.feedbacks[half:]),
+            structure_indices=tuple(range(half, shared_plan.structure_count)),
+        )
+        with pytest.raises(FeedbackError, match="block-diagonal"):
+            BlockedEmbeddedMessagePassing(shared_plan, [first, second])
+
+
+class TestEvolutionAndRoutingWiring:
+    def test_evolving_pdms_tracks_local_views(self):
+        network = intro_example_network(with_records=False)
+        pdms = EvolvingPDMS(
+            network, track_local_views=True, delta=0.1, ttl=4, seed=0
+        )
+        round_record = pdms.apply_event(
+            MappingEvent(
+                kind=MappingEventKind.CORRUPT_CORRESPONDENCE,
+                mapping_name="p2->p3",
+                attribute="Title",
+                new_target="Medium",
+            )
+        )
+        assert "Title" in round_record.local_posteriors
+        views = round_record.local_posteriors["Title"]
+        assert set(views) == set(network.peer_names)
+        # p2's own view notices its freshly corrupted mapping.
+        assert views["p2"]["p2->p3"] < 0.5
+
+    def test_evolving_pdms_default_skips_local_views(self):
+        network = intro_example_network(with_records=False)
+        pdms = EvolvingPDMS(network, delta=0.1, ttl=4, seed=0)
+        round_record = pdms.apply_event(
+            MappingEvent(
+                kind=MappingEventKind.REMOVE_MAPPING, mapping_name="p2->p4"
+            )
+        )
+        assert round_record.local_posteriors == {}
+
+    def test_local_oracle_blocks_faulty_mapping(self):
+        network = intro_example_network(with_records=True)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4, seed=0)
+        assert assessor.local_probability("p2->p4", "Creator") < 0.5
+        assert assessor.local_probability("p2->p3", "Creator") > 0.5
+
+        from repro.pdms.query import Query, substring_predicate
+
+        router = assessor.local_router(policy=RoutingPolicy(default_threshold=0.5))
+        query = Query.select_project(
+            "p2",
+            project=["Creator"],
+            where={"Subject": substring_predicate("river")},
+        )
+        trace = router.route(query)
+        assert "p2->p4" in {hop.mapping_name for hop in trace.blocked_hops}
+
+    def test_local_oracle_refreshes_on_topology_mutation(self):
+        """Regression: the local routing oracle must not serve views of a
+        stale topology version after a tracked mutation."""
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4, seed=0)
+        assert assessor.local_probability("p2->p4", "Creator") < 0.5
+        network.remove_mapping("p2->p4")
+        # The mapping is gone: its own peer no longer reports it at all, so
+        # the oracle falls through to the ⊥/prior resolution of the fresh
+        # view instead of the stale posterior.
+        fresh = assessor.assess_local_all("Creator")
+        assert "p2->p4" not in fresh["p2"]
+        assert assessor.local_probability("p2->p3", "Creator") == pytest.approx(
+            fresh["p2"]["p2->p3"]
+        )
+
+    def test_local_oracle_refreshes_after_prior_update(self):
+        """Regression: EM prior updates drop the cached local views, so the
+        local oracle's prior-fallback entries track the live store."""
+        network, priors = _dangling_network(default_prior=0.8)
+        assessor = MappingQualityAssessor(network, priors=priors, delta=0.1, ttl=4)
+        assert assessor.local_probability("p3->p5", "Creator") == pytest.approx(0.8)
+        assessor.assess_attribute("Creator")
+        assessor.update_priors(["Creator"])
+        # p3->p5 has no posterior, but other priors moved; the oracle must
+        # agree with the global resolution for the fallback entry.
+        assert assessor.local_probability("p3->p5", "Creator") == pytest.approx(
+            assessor.probability("p3->p5", "Creator")
+        )
+
+    def test_local_views_cached_until_invalidate(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4, seed=0)
+        assessor.local_probability("p2->p4", "Creator")
+        probes = assessor.neighborhood_cache.statistics.probes
+        assessor.local_probability("p2->p3", "Creator")
+        assert assessor.neighborhood_cache.statistics.probes == probes
+        assessor.invalidate()
+        assessor.local_probability("p2->p4", "Creator")
+        assert assessor.neighborhood_cache.statistics.probes == 2 * probes
