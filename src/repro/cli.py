@@ -22,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .constants import DEFAULT_TTL
 from .core.quality import MappingQualityAssessor
 from .evaluation.experiments import (
     run_assessor_amortization,
@@ -33,6 +34,7 @@ from .evaluation.experiments import (
     run_fault_tolerance,
     run_intro_example,
     run_local_assessment,
+    run_long_cycle_throughput,
     run_real_world,
     run_relative_error,
     run_schedule_comparison,
@@ -42,6 +44,12 @@ from .evaluation.reporting import format_comparison, format_table
 from .generators.scenarios import generate_scenario
 
 __all__ = ["build_parser", "main"]
+
+#: Probe TTL of the generated throughput networks.  Deliberately shallower
+#: than the assessor's :data:`~repro.constants.DEFAULT_TTL`: the timed
+#: workloads only need enough structures to saturate the engines, not the
+#: full exponential enumeration.
+THROUGHPUT_DEFAULT_TTL = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,24 +94,33 @@ def build_parser() -> argparse.ArgumentParser:
     throughput = subparsers.add_parser(
         "throughput",
         help="throughput of the inference engines (centralised sum-product "
-        "backends, embedded dict vs array state with --mode embedded, or "
-        "the batched per-origin decentralised view with --mode local)",
+        "backends, embedded dict vs array state with --mode embedded, "
+        "the batched per-origin decentralised view with --mode local, or "
+        "the count-space kernels on long mapping rings with "
+        "--mode long-cycle)",
     )
     throughput.add_argument(
         "--sizes", type=int, nargs="+", default=None,
         help="peer counts of the generated scale-free networks "
         "(default 8 16 32 64 128; 8 16 32 64 in embedded mode; "
-        "8 16 32 in local mode)",
+        "8 16 32 in local mode); in long-cycle mode the *cycle lengths* "
+        "of the generated mapping rings (default 20 30 40)",
     )
     throughput.add_argument(
-        "--mode", choices=("sum-product", "embedded", "local"),
+        "--mode", choices=("sum-product", "embedded", "local", "long-cycle"),
         default="sum-product",
         help="'sum-product' times the centralised loop vs vectorized "
         "backends; 'embedded' times decentralised rounds on the dict vs "
         "array state backends; 'local' times the all-origins §4.5 decision "
-        "batched (one block-diagonal stacked engine) vs engine-per-origin",
+        "batched (one block-diagonal stacked engine) vs engine-per-origin; "
+        "'long-cycle' times the count-space kernels against the loop "
+        "reference on rings far beyond the dense arity limit",
     )
-    throughput.add_argument("--ttl", type=int, default=3)
+    throughput.add_argument(
+        "--ttl", type=int, default=None,
+        help="probe TTL of the generated networks (default 3; not "
+        "applicable in long-cycle mode, which always probes the full ring)",
+    )
     throughput.add_argument("--repeats", type=int, default=3)
     throughput.add_argument(
         "--max-iterations", type=int, default=None,
@@ -137,7 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--attributes", type=int, default=10)
     scenario.add_argument("--error-rate", type=float, default=0.2)
     scenario.add_argument("--theta", type=float, default=0.5)
-    scenario.add_argument("--ttl", type=int, default=3)
+    scenario.add_argument("--ttl", type=int, default=DEFAULT_TTL)
     scenario.add_argument("--seed", type=int, default=0)
 
     return parser
@@ -262,10 +279,12 @@ def _render_throughput(args: argparse.Namespace) -> str:
         return _render_embedded_throughput(args)
     if args.mode == "local":
         return _render_local_throughput(args)
+    if args.mode == "long-cycle":
+        return _render_long_cycle_throughput(args)
     sizes = tuple(args.sizes) if args.sizes else (8, 16, 32, 64, 128)
     result = run_engine_throughput(
         peer_counts=sizes,
-        ttl=args.ttl,
+        ttl=args.ttl if args.ttl is not None else THROUGHPUT_DEFAULT_TTL,
         max_iterations=args.max_iterations if args.max_iterations is not None else 50,
         repeats=args.repeats,
     )
@@ -294,7 +313,7 @@ def _render_embedded_throughput(args: argparse.Namespace) -> str:
     )
     result = run_embedded_throughput(
         peer_counts=sizes,
-        ttl=args.ttl,
+        ttl=args.ttl if args.ttl is not None else THROUGHPUT_DEFAULT_TTL,
         rounds=args.rounds if args.rounds is not None else 25,
         repeats=args.repeats,
         send_probability=send_probability,
@@ -336,7 +355,7 @@ def _render_local_throughput(args: argparse.Namespace) -> str:
     )
     result = run_local_assessment(
         peer_counts=sizes,
-        ttl=args.ttl,
+        ttl=args.ttl if args.ttl is not None else THROUGHPUT_DEFAULT_TTL,
         repeats=args.repeats,
         send_probability=send_probability,
     )
@@ -366,6 +385,43 @@ def _render_local_throughput(args: argparse.Namespace) -> str:
         title=(
             "Local assessment throughput — batched per-origin lanes vs "
             f"engine-per-origin (P(send)={send_probability})"
+        ),
+    )
+
+
+def _render_long_cycle_throughput(args: argparse.Namespace) -> str:
+    lengths = tuple(args.sizes) if args.sizes else (20, 30, 40)
+    result = run_long_cycle_throughput(
+        cycle_lengths=lengths, repeats=args.repeats
+    )
+    rows = [
+        (
+            point.cycle_length,
+            point.ring_count,
+            point.edge_count,
+            f"{point.loop_messages_per_second:,.0f}",
+            f"{point.vectorized_messages_per_second:,.0f}",
+            f"{point.speedup:.1f}x",
+            f"{point.max_marginal_difference:.1e}",
+            point.count_kernel_buckets,
+        )
+        for point in result.points
+    ]
+    return format_table(
+        (
+            "cycle length",
+            "rings",
+            "edges",
+            "loop msg/s",
+            "count-kernel msg/s",
+            "speedup",
+            "max |Δmarginal|",
+            "count buckets",
+        ),
+        rows,
+        title=(
+            "Long-cycle throughput — count-space kernels vs loop reference "
+            "(structures far beyond the dense arity limit)"
         ),
     )
 
@@ -471,9 +527,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--max-iterations only applies to --mode sum-product")
         if args.mode != "embedded" and args.rounds is not None:
             parser.error("--rounds only applies to --mode embedded")
-        if args.mode == "sum-product" and args.send_probability is not None:
+        if args.mode in ("sum-product", "long-cycle") and args.send_probability is not None:
             parser.error(
                 "--send-probability only applies to --mode embedded or local"
+            )
+        if args.mode == "long-cycle" and args.ttl is not None:
+            parser.error(
+                "--ttl does not apply to --mode long-cycle (each ring is "
+                "probed with its full cycle length)"
             )
     if args.command == "intro":
         output = _render_intro()

@@ -26,9 +26,12 @@ __all__ = [
     "DEFAULT_DAMPING",
     "DEFAULT_SEND_PROBABILITY",
     "DEFAULT_SEED",
+    "DEFAULT_TTL",
     "DEFAULT_BACKEND",
     "BACKEND_LOOPS",
     "BACKEND_VECTORIZED",
+    "MAX_COMPILED_ARITY",
+    "COUNT_KERNEL_MIN_ARITY",
 ]
 
 #: Hard cap on synchronous rounds, shared by the centralised and embedded runs.
@@ -45,6 +48,31 @@ DEFAULT_SEND_PROBABILITY: float = 1.0
 
 #: Seed of the fallback random source used when none is supplied.
 DEFAULT_SEED: int = 0
+
+#: Default Time-To-Live (maximum number of mapping hops) of the probe phase
+#: discovering cycles and parallel paths (§3.2.1).  Shared by the probing
+#: entry points of :mod:`repro.pdms.probing`, both structure caches of
+#: :mod:`repro.core.analysis` and the quality assessor, so every layer
+#: bounds the exponential enumeration identically unless told otherwise.
+DEFAULT_TTL: int = 6
+
+#: Largest factor arity the *dense* einsum kernels compile — one lowercase
+#: subscript letter per slot (``a``–``y``; ``z`` and ``A`` are reserved for
+#: the batch/stack axes), so exactly 25.  Historically the docstrings said
+#: "26 letters" while the checks said "arity > 25"; this constant is now the
+#: single source of truth (``repro.factorgraph.compiled`` asserts its
+#: alphabet matches).  Count-symmetric factors (the paper's feedback CPTs)
+#: are not bound by it: they compile through the count-space kernels at any
+#: arity.
+MAX_COMPILED_ARITY: int = 25
+
+#: Crossover arity between the dense einsum kernels and the count-space
+#: kernels for count-symmetric feedback factors.  Below it the dense
+#: ``(2,)**arity`` tables win (one einsum per sweep, tiny tables); from it
+#: on the count-space kernels run the same sum–product sweep in O(arity²)
+#: time and O(arity) table memory per structure, removing the exponential
+#: cliff for long cycles and parallel paths.
+COUNT_KERNEL_MIN_ARITY: int = 10
 
 #: Reference edge-by-edge Python implementation.
 BACKEND_LOOPS: str = "loops"

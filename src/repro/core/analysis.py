@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..constants import DEFAULT_TTL
 from ..exceptions import FeedbackError
 from ..mapping.mapping import Mapping
 from ..pdms.network import PDMSNetwork
@@ -47,6 +48,7 @@ from ..pdms.probing import (
     find_cycles_through,
     find_parallel_paths_from,
     probe_neighborhood,
+    validate_ttl,
 )
 from .feedback import Feedback, FeedbackKind, feedback_from_cycle, feedback_from_parallel_paths
 
@@ -223,11 +225,13 @@ class NetworkStructureCache:
     def __init__(
         self,
         network: PDMSNetwork,
-        ttl: int = 6,
+        ttl: int = DEFAULT_TTL,
         include_parallel_paths: Optional[bool] = None,
     ) -> None:
         self.network = network
-        self.ttl = ttl
+        # Fail fast: a nonsense ttl would otherwise only surface at the
+        # first (possibly much later) probe.
+        self.ttl = validate_ttl(ttl)
         self.include_parallel_paths = include_parallel_paths
         self.statistics = StructureCacheStatistics()
         self._key: Optional[Tuple[int, int, bool]] = None
@@ -396,11 +400,13 @@ class NeighborhoodStructureCache:
     def __init__(
         self,
         network: PDMSNetwork,
-        ttl: int = 6,
+        ttl: int = DEFAULT_TTL,
         include_parallel_paths: Optional[bool] = None,
     ) -> None:
         self.network = network
-        self.ttl = ttl
+        # Fail fast: a nonsense ttl would otherwise only surface at the
+        # first (possibly much later) probe.
+        self.ttl = validate_ttl(ttl)
         self.include_parallel_paths = include_parallel_paths
         self.statistics = StructureCacheStatistics()
         self._entries: Dict[str, _NeighborhoodEntry] = {}
@@ -569,7 +575,7 @@ class NeighborhoodStructureCache:
 def analyze_network(
     network: PDMSNetwork,
     attribute: str,
-    ttl: int = 6,
+    ttl: int = DEFAULT_TTL,
     include_parallel_paths: Optional[bool] = None,
 ) -> NetworkEvidence:
     """Gather all feedback evidence for ``attribute`` across ``network``.
@@ -602,7 +608,7 @@ def analyze_neighborhood(
     network: PDMSNetwork,
     origin: str,
     attribute: str,
-    ttl: int = 6,
+    ttl: int = DEFAULT_TTL,
     include_parallel_paths: Optional[bool] = None,
 ) -> NetworkEvidence:
     """Gather the feedback evidence one peer can see by probing with ``ttl``.

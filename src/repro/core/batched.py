@@ -19,9 +19,15 @@ This module splits that work along the topology/evidence boundary:
   evidence and runs **all lanes simultaneously** on stacked
   ``(lanes, edges, 2)`` message matrices: phase 1 is one zero-aware segment
   product over the stacked factor→variable state, phase 2 one Bernoulli
-  mask per lane over the shared transmission list, phase 3 one
-  :class:`~repro.factorgraph.compiled.StackedFactorBatch` einsum per arity
-  bucket and target slot.  Per-lane convergence masking freezes finished
+  mask per lane over the shared transmission list, phase 3 one stacked
+  kernel sweep per arity bucket and target slot — a
+  :class:`~repro.factorgraph.compiled.StackedFactorBatch` einsum for
+  buckets below the :data:`repro.constants.COUNT_KERNEL_MIN_ARITY`
+  crossover, a count-space
+  :class:`~repro.factorgraph.compiled.StackedCountFactorBatch` for longer
+  ones, so structures of *any* arity compile (``(arity + 1)``-entry
+  count-value vectors instead of ``(2,)**arity`` CPTs; the historical
+  arity-25 cliff is gone).  Per-lane convergence masking freezes finished
   lanes so they stop contributing work.
 
 A lane is any ``(evidence subset, priors, Δ, rng stream)`` tuple
@@ -75,10 +81,14 @@ from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..constants import DEFAULT_SEED, DEFAULT_SEND_PROBABILITY
+from ..constants import (
+    COUNT_KERNEL_MIN_ARITY,
+    DEFAULT_SEED,
+    DEFAULT_SEND_PROBABILITY,
+)
 from ..exceptions import ConvergenceError, FactorGraphError, FeedbackError
 from ..factorgraph.compiled import (
-    MAX_COMPILED_ARITY,
+    StackedCountFactorBatch,
     StackedFactorBatch,
     normalize_rows,
     segment_exclusive_products,
@@ -157,6 +167,45 @@ def _validated_lane_codes(
     return indices, codes
 
 
+def _bucket_tables(
+    kinds: np.ndarray, deltas: np.ndarray, batch: "_PlanBatch"
+) -> np.ndarray:
+    """Per-(row, structure) CPT tables of one plan bucket.
+
+    ``kinds`` holds the ``(..., size)`` kind codes of the bucket's
+    structures and ``deltas`` the matching Δ values (broadcastable against
+    ``kinds`` — per lane for the stacked engine, per structure for the
+    blocked one).  Dense buckets yield ``(..., size, *(2,)*arity)`` tables
+    for the einsum kernels; count-space buckets yield
+    ``(..., size, arity + 1)`` count-value vectors — ``P(f± | k incorrect)``
+    — for the :class:`~repro.factorgraph.compiled.StackedCountFactorBatch`
+    kernel, never touching ``2**arity`` memory.  Neutral structures are
+    all-ones either way, which is what masks them out of the sum–product.
+    """
+    counts = batch.incorrect_counts
+    extra = (1,) * counts.ndim
+    delta_full = np.broadcast_to(np.asarray(deltas, dtype=float), kinds.shape)
+    delta_shaped = delta_full.reshape(delta_full.shape + extra)
+    positive = np.where(
+        counts == 0, 1.0, np.where(counts == 1, 0.0, delta_shaped)
+    )
+    kind_shaped = kinds.reshape(kinds.shape + extra)
+    return np.where(
+        kind_shaped == _KIND_POSITIVE,
+        positive,
+        np.where(kind_shaped == _KIND_NEGATIVE, 1.0 - positive, 1.0),
+    )
+
+
+def _bucket_kernel(
+    tables: np.ndarray, batch: "_PlanBatch"
+) -> StackedFactorBatch | StackedCountFactorBatch:
+    """The stacked kernel evaluating one bucket's tables."""
+    if batch.use_count_kernel:
+        return StackedCountFactorBatch(tables)
+    return StackedFactorBatch(tables)
+
+
 def _lane_result(
     plan: "AssessmentPlan",
     active_indices: np.ndarray,
@@ -193,9 +242,17 @@ class _PlanBatch:
     ``target`` — ids below the plan's edge count select the owner's own
     fresh µ_{v→F} row, ids above it the last received remote copy.
     ``scatter[target]`` holds the µ_{F→v} edge rows the fresh messages are
-    written back to.  ``incorrect_counts`` is the ``(2,)*arity`` tensor of
-    how many slots of each table cell are in the *incorrect* state, from
-    which the per-attribute CPTs are built in one vectorized expression.
+    written back to.
+
+    ``incorrect_counts`` holds how many slots are in the *incorrect* state:
+    for a dense bucket the full ``(2,)*arity`` tensor (one entry per table
+    cell, from which the per-attribute CPTs are built in one vectorized
+    expression), for a count-space bucket (``use_count_kernel``) just the
+    ``arange(arity + 1)`` count axis — the CPT build below then yields
+    count-value vectors for the
+    :class:`~repro.factorgraph.compiled.StackedCountFactorBatch` kernel
+    instead of dense tables, which is what keeps long structures O(arity)
+    instead of ``2**arity``.
     """
 
     arity: int
@@ -203,6 +260,27 @@ class _PlanBatch:
     gather: Tuple[Tuple[Optional[np.ndarray], ...], ...]
     scatter: Tuple[np.ndarray, ...]
     incorrect_counts: np.ndarray
+    use_count_kernel: bool = False
+
+
+@dataclass
+class _LiveBucket:
+    """One arity bucket of the blocked engine's *live* view.
+
+    The blocked engine compacts converged lanes' rows out of its state
+    (:meth:`BlockedEmbeddedMessagePassing._compact_frozen`), so it cannot
+    sweep straight off the immutable :class:`_PlanBatch` index arrays: each
+    bucket carries its own (rebindable) gather/scatter plans, the owning
+    lane of every remaining structure, and the stacked kernel over the
+    remaining tables.  Compaction only ever rebinds these fields to freshly
+    built arrays — the compiled plan itself is never mutated.
+    """
+
+    arity: int
+    lanes: np.ndarray
+    gather: List[List[Optional[np.ndarray]]]
+    scatter: List[np.ndarray]
+    kernel: StackedFactorBatch | StackedCountFactorBatch
 
 
 @dataclass(frozen=True)
@@ -330,11 +408,13 @@ def compile_assessment_plan(
         by_arity.setdefault(len(names), []).append(structure_index)
     batches: List[_PlanBatch] = []
     for arity, structure_indices in by_arity.items():
-        if arity > MAX_COMPILED_ARITY:
-            raise FactorGraphError(
-                f"structure arity {arity} exceeds the compiled limit "
-                f"{MAX_COMPILED_ARITY}; use the sequential engine"
-            )
+        # Long structures switch to the count-space kernels instead of being
+        # rejected: the feedback CPTs are count-symmetric, so there is no
+        # compiled arity limit any more (the dense einsum path keeps the
+        # short buckets, where it wins; COUNT_KERNEL_MIN_ARITY never
+        # exceeds the dense MAX_COMPILED_ARITY, which the constants tests
+        # pin).
+        use_count_kernel = arity >= COUNT_KERNEL_MIN_ARITY
         gather: List[Tuple[Optional[np.ndarray], ...]] = []
         scatter: List[np.ndarray] = []
         for target in range(arity):
@@ -370,7 +450,12 @@ def compile_assessment_plan(
                 feedback_indices=np.asarray(structure_indices, dtype=np.int64),
                 gather=tuple(gather),
                 scatter=tuple(scatter),
-                incorrect_counts=np.indices((2,) * arity).sum(axis=0),
+                incorrect_counts=(
+                    np.arange(arity + 1, dtype=np.int64)
+                    if use_count_kernel
+                    else np.indices((2,) * arity).sum(axis=0)
+                ),
+                use_count_kernel=use_count_kernel,
             )
         )
 
@@ -599,23 +684,13 @@ class BatchedEmbeddedMessagePassing:
                     active[plan.mapping_index[name]] = True
             self._active_indices.append(np.flatnonzero(active))
 
-        # Stacked per-attribute factor tables, one kernel per arity bucket.
-        self._kernels: List[StackedFactorBatch] = []
+        # Stacked per-attribute factor tables, one kernel per arity bucket
+        # (dense einsum below the count-kernel crossover, count space above).
+        self._kernels: List[StackedFactorBatch | StackedCountFactorBatch] = []
         for batch in plan.batches:
             kind_b = self._kind_matrix[:, batch.feedback_indices]
-            counts = batch.incorrect_counts
-            delta_shaped = self._deltas.reshape((lane_count,) + (1,) * batch.arity)
-            positive = np.where(
-                counts == 0, 1.0, np.where(counts == 1, 0.0, delta_shaped)
-            )
-            pos = positive[:, None]
-            kind_shaped = kind_b.reshape(kind_b.shape + (1,) * batch.arity)
-            tables = np.where(
-                kind_shaped == _KIND_POSITIVE,
-                pos,
-                np.where(kind_shaped == _KIND_NEGATIVE, 1.0 - pos, 1.0),
-            )
-            self._kernels.append(StackedFactorBatch(tables))
+            tables = _bucket_tables(kind_b, self._deltas[:, None], batch)
+            self._kernels.append(_bucket_kernel(tables, batch))
 
         # Stacked message state, one lane per attribute.  The state arrays
         # only ever hold the *live* (not yet converged) lanes: when a lane
@@ -775,7 +850,7 @@ class BatchedEmbeddedMessagePassing:
         self._priors = self._priors[keep]
         self._prior_edges = self._prior_edges[keep]
         self._kernels = [
-            StackedFactorBatch(kernel.tables[keep]) for kernel in self._kernels
+            type(kernel)(kernel.tables[keep]) for kernel in self._kernels
         ]
 
     # -- public API ---------------------------------------------------------------------
@@ -877,10 +952,14 @@ class BlockedEmbeddedMessagePassing:
     problem size — in one fixed set of numpy calls, while each lane keeps
     its own rng stream, convergence counter, history and transport
     statistics, so every lane's result equals its sequential run bit for
-    bit.  A converged lane stops exchanging messages and its result is
-    snapshotted, but its rows still ride the phase-1/3 sweeps until the
-    last lane converges (compacting frozen blocks out is a known next
-    lever, see ROADMAP).
+    bit.  When a lane converges its result is snapshotted and its block —
+    edge rows, received cells, transmissions and factor structures — is
+    *compacted out* of the live state (:meth:`_compact_frozen`), so
+    per-round work shrinks monotonically as origins freeze instead of every
+    row riding the phase-1/3 sweeps until the last origin finishes.
+    Because the blocks are disjoint, dropping a frozen block leaves the
+    remaining lanes' sweeps bit-identical; :attr:`round_edge_counts`
+    records the per-round row counts for inspection.
 
     Parameters
     ----------
@@ -1020,26 +1099,63 @@ class BlockedEmbeddedMessagePassing:
             self._active_indices.append(np.flatnonzero(active))
 
         # Per-structure factor tables, stacked with a unit lane axis so the
-        # shared StackedFactorBatch kernel applies unchanged.
-        self._kernels: List[StackedFactorBatch] = []
+        # shared stacked kernels (dense einsum or count space) apply
+        # unchanged; each bucket becomes a rebindable _LiveBucket so frozen
+        # blocks can be compacted out without touching the shared plan.
+        self._buckets: List[_LiveBucket] = []
         for batch in plan.batches:
             kind_b = kind_codes[batch.feedback_indices]
-            counts = batch.incorrect_counts
-            delta_shaped = structure_delta[batch.feedback_indices].reshape(
-                (len(batch.feedback_indices),) + (1,) * batch.arity
+            tables = _bucket_tables(
+                kind_b, structure_delta[batch.feedback_indices], batch
             )
-            positive = np.where(
-                counts == 0, 1.0, np.where(counts == 1, 0.0, delta_shaped)
+            self._buckets.append(
+                _LiveBucket(
+                    arity=batch.arity,
+                    lanes=structure_lane[batch.feedback_indices],
+                    gather=[list(per_target) for per_target in batch.gather],
+                    scatter=list(batch.scatter),
+                    kernel=_bucket_kernel(tables[None], batch),
+                )
             )
-            kind_shaped = kind_b.reshape(kind_b.shape + (1,) * batch.arity)
-            tables = np.where(
-                kind_shaped == _KIND_POSITIVE,
-                positive,
-                np.where(kind_shaped == _KIND_NEGATIVE, 1.0 - positive, 1.0),
-            )
-            self._kernels.append(StackedFactorBatch(tables[None]))
 
-        # Shared block-diagonal state (unit lane axis).
+        # Shared block-diagonal state (unit lane axis).  Everything below is
+        # the *live* view: initially it covers the whole plan, and
+        # _compact_frozen rebinds it to the still-running blocks as lanes
+        # converge.  Per-row lane ownership (edges via their mapping,
+        # received cells via the structure of the transmissions writing
+        # them, transmissions via their structure) is what compaction keys
+        # on.
+        self._edge_lane = (
+            mapping_lane[plan.edge_mapping]
+            if plan.edge_count
+            else np.zeros(0, dtype=np.int64)
+        )
+        recv_lane = np.full(plan.recv_count, -1, dtype=np.int64)
+        if plan.tx_feedback.size:
+            recv_lane[plan.tx_dest] = structure_lane[plan.tx_feedback]
+        self._recv_lane = recv_lane
+        self._tx_lane = tx_lane
+        self._tx_informative = tx_informative
+        self._tx_src = plan.tx_src
+        self._tx_dest = plan.tx_dest
+        self._edge_mapping = plan.edge_mapping
+        self._segment_starts = plan.segment_starts
+        # Segment index per edge and the mapping id behind each posterior
+        # row; initially segments coincide with mapping ids (every mapping
+        # owns >= 1 edge, grouped in mapping order).
+        self._segment_of_edge = plan.edge_mapping
+        self._post_mappings = np.arange(plan.mapping_count, dtype=np.int64)
+        self._post_priors = self._priors
+        #: Current posterior row of each lane's active mappings (equal to
+        #: ``_active_indices`` until a compaction renumbers the rows).
+        self._active_rows: List[np.ndarray] = list(self._active_indices)
+        #: Lanes whose blocks have been compacted out of the live view.
+        self._lane_compacted = np.zeros(lane_count, dtype=bool)
+        #: Edge rows swept in each round — the per-round work trajectory the
+        #: compaction exists to shrink (strictly decreasing whenever an
+        #: origin froze in the previous round).
+        self.round_edge_counts: List[int] = []
+
         self._prior_edges = self._priors[plan.edge_mapping][None]
         self._v2f = np.full((1, plan.edge_count, 2), 0.5)
         self._f2v = np.full((1, plan.edge_count, 2), 0.5)
@@ -1068,40 +1184,42 @@ class BlockedEmbeddedMessagePassing:
     # -- the three phases over the shared state -----------------------------------------
 
     def _run_round(self, sending: Sequence[int]) -> None:
-        """One full round; ``sending`` lists the lane ids still exchanging."""
-        plan = self.plan
+        """One full round over the live view; ``sending`` lists the lane ids
+        still exchanging."""
+        self.round_edge_counts.append(int(self._edge_mapping.size))
         exclusive = segment_exclusive_products(
-            self._f2v, plan.segment_starts, plan.edge_mapping
+            self._f2v, self._segment_starts, self._segment_of_edge
         )
         self._v2f = normalize_rows(self._prior_edges * exclusive)
         self._exchange(sending)
-        if plan.recv_count:
+        if self._recv.shape[1]:
             pool = np.concatenate((self._v2f, self._recv), axis=1)
         else:
             pool = self._v2f
-        for batch, kernel in zip(plan.batches, self._kernels):
-            for target in range(batch.arity):
+        for bucket in self._buckets:
+            for target in range(bucket.arity):
                 incoming = [
                     None if ids is None else pool[:, ids]
-                    for ids in batch.gather[target]
+                    for ids in bucket.gather[target]
                 ]
-                fresh = normalize_rows(kernel.messages_toward(target, incoming))
-                self._f2v[:, batch.scatter[target]] = fresh
+                fresh = normalize_rows(
+                    bucket.kernel.messages_toward(target, incoming)
+                )
+                self._f2v[:, bucket.scatter[target]] = fresh
         self._post = normalize_rows(
-            self._priors[None]
-            * segment_products(self._f2v, plan.segment_starts)
+            self._post_priors[None]
+            * segment_products(self._f2v, self._segment_starts)
         )
 
     def _exchange(self, sending: Sequence[int]) -> None:
-        plan = self.plan
         for lane_id in sending:
             positions = self._lane_tx[lane_id]
             if positions.size == 0:
                 continue
             transport = self._transports[lane_id]
             if transport.send_probability >= 1.0:
-                self._recv[0, plan.tx_dest[positions]] = self._v2f[
-                    0, plan.tx_src[positions]
+                self._recv[0, self._tx_dest[positions]] = self._v2f[
+                    0, self._tx_src[positions]
                 ]
                 transport.statistics.record_many(
                     int(positions.size), int(positions.size)
@@ -1114,9 +1232,114 @@ class BlockedEmbeddedMessagePassing:
                 delivered = positions[mask]
             else:
                 continue
-            self._recv[0, plan.tx_dest[delivered]] = self._v2f[
-                0, plan.tx_src[delivered]
+            self._recv[0, self._tx_dest[delivered]] = self._v2f[
+                0, self._tx_src[delivered]
             ]
+
+    def _compact_frozen(self, frozen: Sequence[int]) -> None:
+        """Drop the rows and structures of ``frozen`` lanes from the live view.
+
+        The blocks are disjoint, so removing a frozen lane's edge rows,
+        received cells, transmissions and factor structures leaves every
+        remaining lane's segment products and kernel sweeps operating on
+        exactly the same values as before — results are bit-identical —
+        while per-round work shrinks to the surviving blocks.  Only the live
+        view is rebound; the compiled plan is shared and never touched.
+        """
+        lane_count = len(self.lane_keys)
+        dead = np.zeros(lane_count, dtype=bool)
+        dead[np.asarray(list(frozen), dtype=np.int64)] = True
+        self._lane_compacted |= dead
+
+        def keep_rows(lane_of: np.ndarray) -> np.ndarray:
+            # Rows outside every lane (lane id -1, possible when the lanes
+            # cover only part of the plan) belong to no block and are kept.
+            keep = np.ones(lane_of.size, dtype=bool)
+            in_lane = lane_of >= 0
+            keep[in_lane] = ~dead[lane_of[in_lane]]
+            return keep
+
+        old_edge_count = self._edge_mapping.size
+        keep_edges = keep_rows(self._edge_lane)
+        keep_recv = keep_rows(self._recv_lane)
+        edge_renumber = np.cumsum(keep_edges) - 1
+        recv_renumber = np.cumsum(keep_recv) - 1
+        new_edge_count = int(keep_edges.sum())
+
+        def remap_pool(ids: np.ndarray) -> np.ndarray:
+            remapped = np.empty_like(ids)
+            is_edge = ids < old_edge_count
+            remapped[is_edge] = edge_renumber[ids[is_edge]]
+            remapped[~is_edge] = new_edge_count + recv_renumber[
+                ids[~is_edge] - old_edge_count
+            ]
+            return remapped
+
+        buckets: List[_LiveBucket] = []
+        for bucket in self._buckets:
+            keep = keep_rows(bucket.lanes)
+            if not keep.any():
+                continue
+            bucket.gather = [
+                [
+                    None if ids is None else remap_pool(ids[keep])
+                    for ids in per_target
+                ]
+                for per_target in bucket.gather
+            ]
+            bucket.scatter = [
+                edge_renumber[rows[keep]] for rows in bucket.scatter
+            ]
+            bucket.lanes = bucket.lanes[keep]
+            bucket.kernel = type(bucket.kernel)(bucket.kernel.tables[:, keep])
+            buckets.append(bucket)
+        self._buckets = buckets
+
+        self._v2f = self._v2f[:, keep_edges]
+        self._f2v = self._f2v[:, keep_edges]
+        self._recv = self._recv[:, keep_recv]
+        self._prior_edges = self._prior_edges[:, keep_edges]
+        self._edge_lane = self._edge_lane[keep_edges]
+        self._recv_lane = self._recv_lane[keep_recv]
+        self._edge_mapping = self._edge_mapping[keep_edges]
+        if self._edge_mapping.size:
+            is_start = np.empty(self._edge_mapping.size, dtype=bool)
+            is_start[0] = True
+            is_start[1:] = self._edge_mapping[1:] != self._edge_mapping[:-1]
+            self._segment_starts = np.flatnonzero(is_start)
+            self._segment_of_edge = np.cumsum(is_start) - 1
+            self._post_mappings = self._edge_mapping[self._segment_starts]
+        else:
+            self._segment_starts = np.empty(0, dtype=np.int64)
+            self._segment_of_edge = np.empty(0, dtype=np.int64)
+            self._post_mappings = np.empty(0, dtype=np.int64)
+        self._post_priors = self._priors[self._post_mappings]
+
+        mapping_row = np.full(self.plan.mapping_count, -1, dtype=np.int64)
+        mapping_row[self._post_mappings] = np.arange(self._post_mappings.size)
+        self._active_rows = [
+            np.empty(0, dtype=np.int64)
+            if self._lane_compacted[lane_id] or not self._lane_informative[lane_id]
+            else mapping_row[self._active_indices[lane_id]]
+            for lane_id in range(lane_count)
+        ]
+
+        keep_tx = keep_rows(self._tx_lane)
+        self._tx_src = edge_renumber[self._tx_src[keep_tx]]
+        self._tx_dest = recv_renumber[self._tx_dest[keep_tx]]
+        self._tx_lane = self._tx_lane[keep_tx]
+        self._tx_informative = self._tx_informative[keep_tx]
+        self._lane_tx = [
+            np.flatnonzero((self._tx_lane == lane_id) & self._tx_informative)
+            for lane_id in range(lane_count)
+        ]
+
+        # Re-derive the posterior snapshot over the compacted segments; the
+        # surviving rows carry exactly the values they had before.
+        self._post = normalize_rows(
+            self._post_priors[None]
+            * segment_products(self._f2v, self._segment_starts)
+        )
 
     # -- public API ---------------------------------------------------------------------
 
@@ -1142,6 +1365,15 @@ class BlockedEmbeddedMessagePassing:
         ]
         if not live:
             return results
+        # Lanes without informative evidence never run a round; their rows
+        # are dead weight from the start, so compact them out immediately.
+        idle = [
+            lane_id
+            for lane_id in range(lane_count)
+            if not self._lane_informative[lane_id]
+        ]
+        if idle:
+            self._compact_frozen(idle)
         options = self.options
         quiet_needed = np.asarray(
             [
@@ -1157,7 +1389,7 @@ class BlockedEmbeddedMessagePassing:
         histories: Optional[List[List[np.ndarray]]] = (
             [[] for _ in range(lane_count)] if options.record_history else None
         )
-        final_post = self._post[0, :, 0].copy()
+        final_post = self._priors[:, 0].copy()
         for round_number in range(1, options.max_rounds + 1):
             if not live:
                 break
@@ -1165,27 +1397,32 @@ class BlockedEmbeddedMessagePassing:
             self._run_round(live)
             after = self._post[0, :, 0]
             still_live: List[int] = []
+            frozen_now: List[int] = []
             for lane_id in live:
-                indices = self._active_indices[lane_id]
+                rows = self._active_rows[lane_id]
                 change = (
-                    float(np.abs(after[indices] - before[indices]).max())
-                    if indices.size
+                    float(np.abs(after[rows] - before[rows]).max())
+                    if rows.size
                     else 0.0
                 )
                 rounds[lane_id] = round_number
                 final_change[lane_id] = change
                 if histories is not None:
-                    histories[lane_id].append(after[indices])
+                    histories[lane_id].append(after[rows])
                 quiet[lane_id] = quiet[lane_id] + 1 if change < options.tolerance else 0
                 if quiet[lane_id] >= quiet_needed[lane_id]:
                     converged[lane_id] = True
-                    final_post[indices] = after[indices]
+                    final_post[self._active_indices[lane_id]] = after[rows]
+                    frozen_now.append(lane_id)
                 else:
                     still_live.append(lane_id)
             live = still_live
+            if frozen_now and live:
+                self._compact_frozen(frozen_now)
         for lane_id in live:
-            indices = self._active_indices[lane_id]
-            final_post[indices] = self._post[0, indices, 0]
+            final_post[self._active_indices[lane_id]] = self._post[
+                0, self._active_rows[lane_id], 0
+            ]
         if options.strict and not converged[self._lane_informative].all():
             stuck = ", ".join(
                 self.lane_keys[lane_id]

@@ -70,20 +70,36 @@ Passing``                    stacked matrices over one   (``assess_attributes`` 
                                                          and the structure cache are enabled;
                                                          one lane per attribute over the full
                                                          structure list (``from_lanes`` binds
-                                                         arbitrary evidence subsets); falls
-                                                         back to the sequential engine for
-                                                         structures beyond the compiled arity
-                                                         limit.
+                                                         arbitrary evidence subsets);
+                                                         structures of any arity compile —
+                                                         long buckets ride the count-space
+                                                         kernels (see below).
 ``BlockedEmbeddedMessage-    block-diagonal shared       Per-origin decentralised sweeps
 Passing``                    rows over a per-origin      (``assess_locals`` /
 (:mod:`repro.core.batched`)  instance                    ``assess_local_all``): lanes bind
                              ``AssessmentPlan``          *disjoint* structure blocks (one per
                                                          origin), so they pack into one shared
                                                          row space — per-round work equals the
-                                                         sequential engines' total — while
-                                                         keeping per-lane rng streams and
-                                                         convergence counters.
+                                                         sequential engines' total, and frozen
+                                                         origins' blocks are compacted out so
+                                                         it *shrinks* as lanes converge —
+                                                         while keeping per-lane rng streams
+                                                         and convergence counters.
 ===========================  ==========================  =======================================
+
+Orthogonal to the engine choice is the *kernel family* evaluating each
+factor bucket, selected per structure by the crossover rule: feedback
+factors below :data:`repro.constants.COUNT_KERNEL_MIN_ARITY` mappings keep
+the dense ``FactorBatch`` / ``StackedFactorBatch`` einsum over ``(2,)**
+arity`` tables (tiny tables, one einsum per sweep — fastest for short
+cycles); factors at or beyond the crossover become count-space
+:class:`~repro.factorgraph.factors.CountFactor` replicas evaluated by
+``CountFactorBatch`` / ``StackedCountFactorBatch`` from the ``arity + 1``
+count-value vector in O(arity) per message — which is what lets every
+engine (and the loop references, via ``CountFactor.message_to``) run
+structures far beyond the historical dense limit of
+:data:`repro.constants.MAX_COMPILED_ARITY` slots with O(arity) factor
+memory.
 
 Rng-stream reproducibility contract: every engine consumes its transport's
 ``random.Random`` uniforms in the same transmission order (structure →
@@ -126,12 +142,13 @@ from ..constants import (
 )
 from ..exceptions import ConvergenceError, FeedbackError
 from ..factorgraph.compiled import (
+    CountFactorBatch,
     FactorBatch,
     normalize_rows,
     segment_exclusive_products,
     segment_products,
 )
-from ..factorgraph.factors import Factor
+from ..factorgraph.factors import CountFactor, Factor
 from ..factorgraph.messages import normalize, unit_message
 from ..factorgraph.variables import BinaryVariable
 from .beliefs import PriorBeliefStore
@@ -580,8 +597,36 @@ class EmbeddedMessagePassing:
             for peer, rows in per_peer_rows.items()
         }
 
+    def _factor_groups(self) -> List[List[Feedback]]:
+        """Feedbacks grouped by compiled-kernel bucket.
+
+        Dense factors bucket by table shape (one :class:`FactorBatch` einsum
+        per bucket); count-symmetric :class:`CountFactor` replicas — long
+        cycles and parallel paths past the
+        :data:`~repro.constants.COUNT_KERNEL_MIN_ARITY` crossover — bucket
+        by arity and run through the count-space
+        :class:`~repro.factorgraph.compiled.CountFactorBatch`, so the
+        embedded engine never materialises a ``(2,)**arity`` table either.
+        """
+        groups: Dict[Tuple, List[Feedback]] = {}
+        for feedback in self._feedbacks:
+            factor = self._factors[feedback.identifier]
+            if isinstance(factor, CountFactor):
+                key: Tuple = ("count", factor.arity)
+            else:
+                key = factor.table.shape
+            groups.setdefault(key, []).append(feedback)
+        return list(groups.values())
+
+    def _batch_for(self, group: Sequence[Feedback]) -> FactorBatch | CountFactorBatch:
+        """The compiled kernel of one bucket (dense einsum or count space)."""
+        factors = [self._factors[f.identifier] for f in group]
+        if isinstance(factors[0], CountFactor):
+            return CountFactorBatch(factors)
+        return FactorBatch(factors)
+
     def _compile_dict_batches(self) -> None:
-        """Group the feedback-factor replicas into compiled einsum batches.
+        """Group the feedback-factor replicas into compiled kernel batches.
 
         For every batch of same-shape factors we precompute a gather plan:
         for each (target slot, source slot) pair, the list of message cells —
@@ -591,21 +636,17 @@ class EmbeddedMessagePassing:
         are created once in ``__init__`` and only ever updated in place, so
         the plan stays valid for the lifetime of the engine.
         """
-        by_shape: Dict[Tuple[int, ...], List[Feedback]] = {}
-        for feedback in self._feedbacks:
-            shape = self._factors[feedback.identifier].table.shape
-            by_shape.setdefault(shape, []).append(feedback)
         # Each entry: (batch, gather plan, scatter plan).  gather[t][m] and
         # scatter[t] are aligned with the batch's factor order.
         self._batches: List[
             Tuple[
-                FactorBatch,
+                FactorBatch | CountFactorBatch,
                 List[List[Optional[List[Tuple[dict, object]]]]],
                 List[List[Tuple[dict, str]]],
             ]
         ] = []
-        for group in by_shape.values():
-            batch = FactorBatch([self._factors[f.identifier] for f in group])
+        for group in self._factor_groups():
+            batch = self._batch_for(group)
             arity = batch.arity
             gather: List[List[Optional[List[Tuple[dict, object]]]]] = []
             scatter: List[List[Tuple[dict, str]]] = []
@@ -655,13 +696,9 @@ class EmbeddedMessagePassing:
         ids the fresh rows of a target slot are written back to.
         """
         edge_count = len(self._edge_rows)
-        by_shape: Dict[Tuple[int, ...], List[Feedback]] = {}
-        for feedback in self._feedbacks:
-            shape = self._factors[feedback.identifier].table.shape
-            by_shape.setdefault(shape, []).append(feedback)
         self._batches = []
-        for group in by_shape.values():
-            batch = FactorBatch([self._factors[f.identifier] for f in group])
+        for group in self._factor_groups():
+            batch = self._batch_for(group)
             arity = batch.arity
             gather: List[List[Optional[np.ndarray]]] = []
             scatter: List[np.ndarray] = []

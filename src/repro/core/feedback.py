@@ -36,8 +36,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..constants import COUNT_KERNEL_MIN_ARITY
 from ..exceptions import FeedbackError
-from ..factorgraph.factors import Factor
+from ..factorgraph.factors import CountFactor, Factor
 from ..factorgraph.variables import BinaryVariable, CORRECT, INCORRECT, mapping_variable_name
 from ..mapping import composition
 from ..mapping.mapping import Mapping
@@ -49,6 +50,7 @@ __all__ = [
     "Feedback",
     "compensation_probability",
     "positive_feedback_probability",
+    "feedback_count_values",
     "feedback_factor",
     "feedback_from_cycle",
     "feedback_from_parallel_paths",
@@ -166,6 +168,26 @@ def positive_feedback_probability(incorrect_count: int, delta: float) -> float:
     return delta
 
 
+def feedback_count_values(
+    kind: FeedbackKind, delta: float, size: int
+) -> np.ndarray:
+    """The feedback CPT as a count-value vector ``f(k incorrect)``.
+
+    ``f(k)`` is :func:`positive_feedback_probability` for a positive
+    feedback and its complement for a negative one — the full CPT of the
+    paper's table in O(size) memory instead of ``2**size``.  This is the
+    vector the count-space kernels evaluate directly.
+    """
+    if not 0.0 <= delta <= 1.0:
+        raise FeedbackError(f"Δ must be in [0, 1], got {delta}")
+    if kind is FeedbackKind.NEUTRAL:
+        raise FeedbackError("neutral feedback has no factor encoding")
+    counts = np.arange(size + 1)
+    positive = np.where(counts == 0, 1.0, np.where(counts == 1, 0.0, delta))
+    values = positive if kind is FeedbackKind.POSITIVE else 1.0 - positive
+    return np.clip(values, 0.0, 1.0)
+
+
 def feedback_factor(
     feedback: Feedback,
     delta: float,
@@ -176,6 +198,13 @@ def feedback_factor(
     ``variables`` may be supplied to reuse variable objects already present
     in a factor graph; otherwise fresh :class:`BinaryVariable` instances are
     created from the feedback's variable names.
+
+    Short structures get a dense :class:`~repro.factorgraph.factors.Factor`
+    table (the einsum kernels win there); structures of
+    :data:`~repro.constants.COUNT_KERNEL_MIN_ARITY` or more mappings get a
+    count-space :class:`~repro.factorgraph.factors.CountFactor`, which every
+    engine routes through the count kernels — long cycles and parallel
+    paths therefore never materialise a ``(2,)**size`` CPT anywhere.
     """
     if not 0.0 <= delta <= 1.0:
         raise FeedbackError(f"Δ must be in [0, 1], got {delta}")
@@ -194,6 +223,13 @@ def feedback_factor(
                 f"{[v.name for v in variables]} vs {list(names)}"
             )
     size = len(variables)
+    factor_name = f"feedback({feedback.identifier})"
+    if size >= COUNT_KERNEL_MIN_ARITY:
+        return CountFactor(
+            factor_name,
+            tuple(variables),
+            feedback_count_values(feedback.kind, delta, size),
+        )
     table = np.zeros((2,) * size)
     for states in itertools.product((CORRECT, INCORRECT), repeat=size):
         incorrect = sum(1 for state in states if state == INCORRECT)
@@ -204,7 +240,7 @@ def feedback_factor(
     # Guard against an identically-zero factor (can only happen for a
     # negative feedback over a single mapping, which __post_init__ forbids).
     table = np.clip(table, 0.0, 1.0)
-    return Factor(f"feedback({feedback.identifier})", tuple(variables), table)
+    return Factor(factor_name, tuple(variables), table)
 
 
 def feedback_from_cycle(

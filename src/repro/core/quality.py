@@ -44,7 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
 
-from ..constants import DEFAULT_SEED
+from ..constants import DEFAULT_SEED, DEFAULT_TTL
 from ..exceptions import FactorGraphError, FeedbackError, ReproError
 from ..mapping.mapping import Mapping
 from ..pdms.network import PDMSNetwork
@@ -135,7 +135,7 @@ class MappingQualityAssessor:
         network: PDMSNetwork,
         priors: Optional[PriorBeliefStore] = None,
         delta: Optional[float] = 0.1,
-        ttl: int = 6,
+        ttl: int = DEFAULT_TTL,
         send_probability: float = 1.0,
         seed: Optional[int] = DEFAULT_SEED,
         options: Optional[EmbeddedOptions] = None,
@@ -184,6 +184,11 @@ class MappingQualityAssessor:
         #: (network version, ttl, parallel-path flag, origins) however many
         #: attributes and EM rounds are assessed locally.
         self.local_plan_compile_count = 0
+        #: Per-round edge-row counts of the most recent batched
+        #: :meth:`assess_locals` run — the blocked engine's frozen-block
+        #: compaction trajectory (shrinks as origins converge); empty until
+        #: a batched local sweep has run.
+        self.last_local_round_edge_counts: Tuple[int, ...] = ()
         # Cached per-attribute local views backing the local routing oracle,
         # keyed on the neighbourhood cache key so topology mutations refresh
         # them automatically.
@@ -404,9 +409,9 @@ class MappingQualityAssessor:
         try:
             plan, blocks = self._local_assessment_plan(origin_list)
         except FactorGraphError:
-            # Structures beyond the compiled arity limit: the sequential
-            # engine (which shares the limit today) raises a descriptive
-            # error per origin; future sparse kernels slot in here.
+            # Long structures no longer reject compilation (they route
+            # through the count-space kernels at any arity), so this
+            # fallback is purely defensive against degenerate plans.
             return {
                 origin: self.assess_local(origin, attribute)
                 for origin in origin_list
@@ -447,6 +452,7 @@ class MappingQualityAssessor:
             )
         engine = BlockedEmbeddedMessagePassing(plan, lanes, options=self.options)
         results = engine.run()
+        self.last_local_round_edge_counts = tuple(engine.round_edge_counts)
         views: Dict[str, Dict[str, float]] = {}
         for origin in origin_list:
             result = results[origin]
@@ -508,15 +514,14 @@ class MappingQualityAssessor:
         values = [self.probability(mapping, attribute) for attribute in targets]
         return sum(values) / len(values)
 
-    def _assessment_plan(self) -> AssessmentPlan:
+    def assessment_plan(self) -> AssessmentPlan:
         """The compiled plan for the current cached structures.
 
         Compiled at most once per ``(network version, ttl, parallel-path
         flag)`` — the same key the structure cache refreshes on — and reused
-        across attributes and EM rounds.  Raises
-        :class:`~repro.exceptions.FactorGraphError` for structures beyond
-        the compiled arity limit; callers fall back to the sequential
-        engine.
+        across attributes and EM rounds.  Structures of any arity compile:
+        long cycles and parallel paths route through the count-space
+        kernels instead of rejecting (the historical arity-25 cliff).
         """
         cycles, parallel_paths = self.structure_cache.structures()
         key = self.structure_cache.key
@@ -544,11 +549,11 @@ class MappingQualityAssessor:
                 for attribute in attribute_list
             }
         try:
-            plan = self._assessment_plan()
+            plan = self.assessment_plan()
         except FactorGraphError:
-            # Structures beyond the compiled arity limit: the sequential
-            # engine (which shares the limit today) will raise a descriptive
-            # error per attribute; future sparse kernels slot in here.
+            # Long structures no longer reject compilation (they route
+            # through the count-space kernels at any arity), so this
+            # fallback is purely defensive against degenerate plans.
             return {
                 attribute: self.assess_attribute(attribute)
                 for attribute in attribute_list

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence
 
 import numpy as np
 
+from ..constants import COUNT_KERNEL_MIN_ARITY
 from ..core.analysis import analyze_network
 from ..core.beliefs import PriorBeliefStore
 from ..core.embedded import EmbeddedMessagePassing, EmbeddedOptions, MessageTransport
@@ -75,6 +76,10 @@ __all__ = [
     "LocalAssessmentPoint",
     "LocalAssessmentResult",
     "run_local_assessment",
+    "LongCycleThroughputPoint",
+    "LongCycleThroughputResult",
+    "long_cycle_network",
+    "run_long_cycle_throughput",
 ]
 
 
@@ -1394,3 +1399,275 @@ def run_local_assessment(
     return LocalAssessmentResult(
         points=tuple(points), send_probability=send_probability
     )
+
+
+# ---------------------------------------------------------------------------
+# EX — long-cycle throughput: count-space kernels vs the loop reference
+# ---------------------------------------------------------------------------
+
+
+def long_cycle_network(
+    cycle_length: int,
+    rings: int = 6,
+    attribute_count: int = 6,
+    seed: int = 0,
+):
+    """A chain-of-peers benchmark PDMS made of long mapping rings.
+
+    ``rings`` disjoint directed rings of ``cycle_length`` peers each — every
+    ring closes a chain of identity mappings into one simple cycle of
+    ``cycle_length`` hops, the structure family the count-space kernels
+    exist for.  The first mapping of every *odd* ring is fully corrupted
+    (each correspondence retargeted), so half the rings produce negative
+    cycle feedback and half positive: both CPT signs ride the long-arity
+    buckets, and origins converge at different rounds (which is what makes
+    the blocked engine's frozen-block compaction observable).
+    """
+    from ..generators.schemas import generate_schema_family
+    from ..generators.topologies import identity_mapping
+    from ..mapping.corruption import corrupt_mapping_in_place
+    from ..pdms.network import PDMSNetwork
+    from ..pdms.peer import Peer
+
+    if cycle_length < 2:
+        raise EvaluationError(
+            f"a mapping ring needs at least 2 peers, got {cycle_length}"
+        )
+    if rings < 1:
+        raise EvaluationError(f"need at least one ring, got {rings}")
+    schemas, _ = generate_schema_family(
+        cycle_length * rings, attribute_count=attribute_count, seed=seed
+    )
+    network = PDMSNetwork(name=f"long-cycle-{cycle_length}x{rings}", directed=True)
+    peers = [Peer(schema.name, schema) for schema in schemas]
+    for peer in peers:
+        network.add_peer(peer)
+    rng = random.Random(seed)
+    for ring in range(rings):
+        members = peers[ring * cycle_length : (ring + 1) * cycle_length]
+        first_mapping = None
+        for index, peer in enumerate(members):
+            mapping = identity_mapping(
+                peer.schema, members[(index + 1) % cycle_length].schema
+            )
+            network.add_mapping(mapping, bidirectional=False)
+            if first_mapping is None:
+                first_mapping = network.mapping(mapping.name)
+        if ring % 2 == 1:
+            target_schema = network.peer(first_mapping.target).schema
+            corrupt_mapping_in_place(
+                first_mapping, target_schema, error_rate=1.0, rng=rng
+            )
+    return network
+
+
+@dataclass(frozen=True)
+class LongCycleThroughputPoint:
+    """Timing and parity of one long-cycle workload on every engine family.
+
+    The centralised loop reference executes the same count-space message
+    expression scalar by scalar (``CountFactor.message_to``), so it runs at
+    any arity too — what it lacks is the batching.  ``messages per second``
+    counts directed factor-graph messages like the engine-throughput bench.
+    """
+
+    cycle_length: int
+    ring_count: int
+    structure_count: int
+    edge_count: int
+    iterations: int
+    loop_seconds: float
+    vectorized_seconds: float
+    max_marginal_difference: float
+    batched_max_difference: float
+    blocked_max_difference: float
+    count_kernel_buckets: int
+    dense_kernel_buckets: int
+    compaction_edge_counts: Tuple[int, ...]
+
+    @property
+    def loop_messages_per_second(self) -> float:
+        if self.loop_seconds <= 0.0:
+            return float("inf")
+        return 2.0 * self.edge_count * self.iterations / self.loop_seconds
+
+    @property
+    def vectorized_messages_per_second(self) -> float:
+        if self.vectorized_seconds <= 0.0:
+            return float("inf")
+        return 2.0 * self.edge_count * self.iterations / self.vectorized_seconds
+
+    @property
+    def speedup(self) -> float:
+        if self.vectorized_seconds <= 0.0:
+            return float("inf")
+        return self.loop_seconds / self.vectorized_seconds
+
+
+@dataclass(frozen=True)
+class LongCycleThroughputResult:
+    """Long-cycle engine comparison across cycle lengths."""
+
+    points: Tuple[LongCycleThroughputPoint, ...]
+
+    def point_for(self, cycle_length: int) -> LongCycleThroughputPoint:
+        for point in self.points:
+            if point.cycle_length == cycle_length:
+                return point
+        raise EvaluationError(
+            f"no long-cycle point for cycle length {cycle_length}"
+        )
+
+
+def run_long_cycle_throughput(
+    cycle_lengths: Sequence[int] = (20, 30, 40),
+    rings: int = 6,
+    attribute_count: int = 6,
+    iterations: int = 25,
+    repeats: int = 3,
+    seed: int = 0,
+) -> LongCycleThroughputResult:
+    """Measure the count-space kernels against the loop reference on long
+    cycles, and verify every engine family agrees on them.
+
+    For each cycle length a :func:`long_cycle_network` is built (half the
+    rings positive, half negative) and
+
+    * the centralised sum–product run over its factor graph is timed on the
+      ``"loops"`` and ``"vectorized"`` backends for exactly ``iterations``
+      synchronous rounds (tolerance pinned below any representable change,
+      best of ``repeats``), recording the worst marginal disagreement;
+    * the batched multi-attribute assessor runs the same evidence on one
+      compiled :class:`~repro.core.batched.AssessmentPlan` — asserting the
+      long buckets landed on the count kernels, i.e. no sequential
+      fallback — and its posteriors are compared against the loop backend;
+    * the blocked per-origin engine runs ``assess_local_all``, its local
+      views are compared against the sequential ``assess_local`` reference,
+      and its frozen-block compaction trajectory (per-round edge rows) is
+      recorded.
+
+    Structures above :data:`repro.constants.MAX_COMPILED_ARITY` made all of
+    this impossible before the count-space kernels: the dense path refused
+    to compile and the sequential fallback could not even build its
+    ``(2,)**arity`` factor tables.
+    """
+    points: List[LongCycleThroughputPoint] = []
+    for cycle_length in cycle_lengths:
+        network = long_cycle_network(
+            cycle_length,
+            rings=rings,
+            attribute_count=attribute_count,
+            seed=seed,
+        )
+        attribute = network.attribute_universe()[0]
+        evidence = analyze_network(
+            network, attribute, ttl=cycle_length, include_parallel_paths=False
+        )
+        informative = evidence.informative_feedbacks
+        if not informative:
+            raise EvaluationError(
+                f"the {cycle_length}-ring network produced no informative "
+                "feedback"
+            )
+        graph = build_factor_graph(
+            informative, priors=0.5, attribute=attribute
+        ).graph
+
+        def time_backend(backend: str):
+            best = float("inf")
+            result = None
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                result = run_sum_product(
+                    graph,
+                    max_iterations=iterations,
+                    tolerance=1e-300,
+                    backend=backend,
+                )
+                best = min(best, time.perf_counter() - start)
+            return result, best
+
+        loop_result, loop_seconds = time_backend("loops")
+        vector_result, vector_seconds = time_backend("vectorized")
+        worst = max(
+            float(
+                np.abs(
+                    loop_result.marginals[name] - vector_result.marginals[name]
+                ).max()
+            )
+            for name in loop_result.marginals
+        )
+
+        # Batched multi-attribute assessment on one compiled plan.
+        assessor = MappingQualityAssessor(
+            network,
+            delta=0.1,
+            ttl=cycle_length,
+            include_parallel_paths=False,
+        )
+        assessment = assessor.assess_attributes([attribute])[attribute]
+        plan = assessor.assessment_plan()
+        if assessor.plan_compile_count != 1:
+            raise EvaluationError(
+                "expected exactly one plan compile, got "
+                f"{assessor.plan_compile_count} (sequential fallback?)"
+            )
+        count_buckets = sum(1 for b in plan.batches if b.use_count_kernel)
+        dense_buckets = len(plan.batches) - count_buckets
+        if cycle_length >= COUNT_KERNEL_MIN_ARITY and not count_buckets:
+            # Tripwire for the benchmark configurations: rings at or past
+            # the crossover must ride the count kernels.  Shorter rings are
+            # legitimately dense and still worth measuring.
+            raise EvaluationError(
+                f"no count-kernel bucket at cycle length {cycle_length}"
+            )
+        batched_worst = max(
+            abs(
+                posterior
+                - loop_result.probability_correct(
+                    variable_name_for(name, attribute)
+                )
+            )
+            for name, posterior in assessment.posteriors.items()
+        )
+
+        # Blocked per-origin views vs the sequential per-origin reference.
+        views = assessor.assess_local_all(attribute)
+        compaction = assessor.last_local_round_edge_counts
+        sequential = MappingQualityAssessor(
+            network,
+            delta=0.1,
+            ttl=cycle_length,
+            include_parallel_paths=False,
+            use_batched_engine=False,
+        )
+        blocked_worst = 0.0
+        for origin in network.peer_names:
+            reference = sequential.assess_local(origin, attribute)
+            view = views[origin]
+            if set(view) != set(reference):
+                raise EvaluationError(
+                    f"local views of origin {origin!r} disagree on the "
+                    "judged mapping set"
+                )
+            for name, value in reference.items():
+                blocked_worst = max(blocked_worst, abs(value - view[name]))
+
+        points.append(
+            LongCycleThroughputPoint(
+                cycle_length=cycle_length,
+                ring_count=rings,
+                structure_count=len(informative),
+                edge_count=graph.edge_count(),
+                iterations=iterations,
+                loop_seconds=loop_seconds,
+                vectorized_seconds=vector_seconds,
+                max_marginal_difference=worst,
+                batched_max_difference=batched_worst,
+                blocked_max_difference=blocked_worst,
+                count_kernel_buckets=count_buckets,
+                dense_kernel_buckets=dense_buckets,
+                compaction_edge_counts=tuple(compaction),
+            )
+        )
+    return LongCycleThroughputResult(points=tuple(points))

@@ -17,11 +17,19 @@ from .variables import (
 )
 from .compiled import (
     CompiledFactorGraph,
+    CountFactorBatch,
     FactorBatch,
+    StackedCountFactorBatch,
     compile_factor_graph,
     normalize_rows,
 )
-from .factors import Factor, observation_factor, prior_factor, uniform_factor
+from .factors import (
+    CountFactor,
+    Factor,
+    observation_factor,
+    prior_factor,
+    uniform_factor,
+)
 from .graph import FactorGraph
 from .messages import MessageStore, message_distance, normalize, unit_message
 from .sum_product import SumProduct, SumProductOptions, SumProductResult, run_sum_product
@@ -35,9 +43,12 @@ __all__ = [
     "DiscreteVariable",
     "mapping_variable_name",
     "CompiledFactorGraph",
+    "CountFactorBatch",
     "FactorBatch",
+    "StackedCountFactorBatch",
     "compile_factor_graph",
     "normalize_rows",
+    "CountFactor",
     "Factor",
     "observation_factor",
     "prior_factor",

@@ -13,7 +13,12 @@ every sweep as a small, fixed number of batched array operations:
 * **Arity buckets** — factors are grouped by table shape
   (:class:`FactorBatch`); each bucket's factor→variable messages for one
   target slot are a single ``einsum`` over the stacked tables and the
-  incoming message matrices of the other slots.
+  incoming message matrices of the other slots.  Count-symmetric factors
+  (:class:`~repro.factorgraph.factors.CountFactor` — the paper's feedback
+  CPTs over long cycles and parallel paths) are bucketed by arity instead
+  and evaluated by the count-space kernels (:class:`CountFactorBatch`),
+  which never build a ``(2,)**arity`` table and therefore compile at any
+  arity.
 * **Segment products** — variable→factor messages are exclusive products of
   the factor→variable messages incident to each variable, computed with
   ``np.multiply.reduceat`` over variable-sorted segments (a zero-aware
@@ -35,10 +40,12 @@ For every graph it can compile, the vectorized engine performs exactly the
 same Jacobi-style update schedule as the loop engine and therefore produces
 the same messages, marginals and iteration counts up to floating-point
 rounding (parity tests pin the agreement to well below ``1e-9``).  Graphs it
-cannot compile (mixed variable cardinalities, arities beyond
-``MAX_COMPILED_ARITY``) are reported via :func:`compile_factor_graph`
-returning ``None``, and :class:`~repro.factorgraph.sum_product.SumProduct`
-transparently falls back to the loop reference.
+cannot compile (mixed variable cardinalities, *dense* factors of arity
+beyond :data:`~repro.constants.MAX_COMPILED_ARITY` — count-symmetric
+:class:`~repro.factorgraph.factors.CountFactor` tables compile at any
+arity) are reported via :func:`compile_factor_graph` returning ``None``,
+and :class:`~repro.factorgraph.sum_product.SumProduct` transparently falls
+back to the loop reference.
 """
 
 from __future__ import annotations
@@ -48,28 +55,37 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..constants import COUNT_KERNEL_MIN_ARITY, MAX_COMPILED_ARITY
 from ..exceptions import FactorGraphError, FactorShapeError, VariableDomainError
-from .factors import Factor
+from .factors import CountFactor, Factor
 from .graph import FactorGraph
 
 __all__ = [
     "MAX_COMPILED_ARITY",
+    "COUNT_KERNEL_MIN_ARITY",
     "normalize_rows",
     "segment_products",
     "segment_exclusive_products",
     "FactorBatch",
     "StackedFactorBatch",
+    "CountFactorBatch",
+    "StackedCountFactorBatch",
     "CompiledFactorGraph",
     "compile_factor_graph",
 ]
 
 #: One einsum subscript letter per factor slot; ``z`` is reserved for the
 #: factor batch axis and ``A`` for the stacked (attribute) axis of
-#: :class:`StackedFactorBatch`.  Factors of higher arity fall back to the
-#: loop engine.
+#: :class:`StackedFactorBatch`.  Dense factors of higher arity fall back to
+#: the loop engine; count-symmetric factors switch to the count-space
+#: kernels below, which need no subscript letters at all.
 _EINSUM_LETTERS = "abcdefghijklmnopqrstuvwxy"
 _STACK_LETTER = "A"
-MAX_COMPILED_ARITY = len(_EINSUM_LETTERS)
+if MAX_COMPILED_ARITY != len(_EINSUM_LETTERS):  # pragma: no cover - config guard
+    raise RuntimeError(
+        f"repro.constants.MAX_COMPILED_ARITY ({MAX_COMPILED_ARITY}) is out of "
+        f"sync with the einsum alphabet ({len(_EINSUM_LETTERS)} letters)"
+    )
 
 
 def normalize_rows(matrix: np.ndarray) -> np.ndarray:
@@ -299,6 +315,215 @@ class StackedFactorBatch:
         return np.einsum(self._specs[target_slot], tables, *operands)
 
 
+def _count_space_messages(
+    count_tables: np.ndarray, operands: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Count-space sum–product messages toward one slot, fully vectorized.
+
+    ``count_tables`` holds the count-value vectors ``f(k)`` of a bucket of
+    same-arity count-symmetric factors — shape ``(..., size, arity + 1)``
+    with arbitrary leading batch axes — and ``operands`` the binary incoming
+    message matrices of the non-target slots, each shaped like
+    ``count_tables[..., :2]``.  The message toward the target is
+
+    ``µ(v) = Σ_k f(k + v) · C_k``,
+
+    where ``C_k`` is the coefficient of ``x**k`` in
+    ``∏_s (m_s[0] + m_s[1]·x)`` over the non-target slots.  Because the
+    feedback CPTs have a constant tail (``f(k) = f(2)`` for ``k ≥ 2``,
+    enforced by :class:`~repro.factorgraph.factors.CountFactor` and the
+    kernel constructors), only ``C_0``, ``C_1`` and the aggregated tail mass
+    are needed; they come out of prefix/suffix products over the slot axis
+    in O(arity) operations — no ``(2,)**arity`` table, no divisions (exact
+    zeros in the messages are safe by construction).
+    """
+    lead_shape = count_tables.shape[:-1]
+    if operands:
+        stacked = np.stack(operands, axis=0)
+        low = stacked[..., 0]
+        high = stacked[..., 1]
+        coeff0 = np.multiply.reduce(low, axis=0)
+        total = np.multiply.reduce(low + high, axis=0)
+        # Exclusive products of `low` along the slot axis (prefix × suffix
+        # cumulative products), feeding C_1 = Σ_u m_u[1]·∏_{s≠u} m_s[0].
+        exclusive = np.ones_like(low)
+        if low.shape[0] > 1:
+            np.cumprod(low[:-1], axis=0, out=exclusive[1:])
+            exclusive[:-1] *= np.cumprod(low[:0:-1], axis=0)[::-1]
+        coeff1 = (high * exclusive).sum(axis=0)
+        # Σ_{k≥1} and Σ_{k≥2} coefficient masses.  The subtractions only
+        # cancel when the tail mass is negligible against C_0/C_1, where the
+        # absolute error is ~1e-16 of the (normalised) message; the clamp
+        # keeps float rounding from producing small negative masses.
+        tail1 = np.maximum(total - coeff0, 0.0)
+        tail2 = np.maximum(tail1 - coeff1, 0.0)
+    else:
+        coeff0 = np.ones(lead_shape)
+        coeff1 = np.zeros(lead_shape)
+        tail1 = np.zeros(lead_shape)
+        tail2 = np.zeros(lead_shape)
+    f0 = count_tables[..., 0]
+    f1 = count_tables[..., 1]
+    tail = count_tables[..., 2] if count_tables.shape[-1] > 2 else 0.0
+    return np.stack(
+        (f0 * coeff0 + f1 * coeff1 + tail * tail2, f1 * coeff0 + tail * tail1),
+        axis=-1,
+    )
+
+
+def _require_constant_tail(tables: np.ndarray, where: str) -> None:
+    """Reject count-value tables whose tail is not constant beyond k = 2.
+
+    The truncated-coefficient evaluation of :func:`_count_space_messages` is
+    exact only for the paper's CPT family (``f(k)`` identical for all
+    ``k ≥ 2``); general count tables would need full prefix/suffix
+    coefficient convolutions, which nothing in the model requires.
+    """
+    if tables.shape[-1] > 3 and np.ptp(tables[..., 2:], axis=-1).any():
+        raise FactorGraphError(
+            f"{where} requires count tables with a constant tail "
+            "(f(k) identical for all k >= 2)"
+        )
+
+
+class CountFactorBatch:
+    """Same-arity count-symmetric factors evaluated in count space.
+
+    The drop-in counterpart of :class:`FactorBatch` for
+    :class:`~repro.factorgraph.factors.CountFactor` tables: the same
+    ``messages_toward`` contract, but each sweep runs the O(arity)
+    truncated-coefficient evaluation of :func:`_count_space_messages`
+    instead of an einsum over stacked ``(2,)**arity`` tables, so there is no
+    compiled arity limit and per-structure memory stays O(arity).
+    """
+
+    def __init__(self, factors: Sequence[Factor]) -> None:
+        factors = tuple(factors)
+        if not factors:
+            raise FactorGraphError("CountFactorBatch needs at least one factor")
+        for factor in factors:
+            if not isinstance(factor, CountFactor):
+                raise FactorGraphError(
+                    f"CountFactorBatch requires CountFactor instances, got "
+                    f"{type(factor).__name__} for {factor.name!r}"
+                )
+        arities = {factor.arity for factor in factors}
+        if len(arities) != 1:
+            raise FactorGraphError(
+                f"CountFactorBatch requires factors of identical arity, got "
+                f"{sorted(arities)}"
+            )
+        self.arity = arities.pop()
+        self.shape: Tuple[int, ...] = (2,) * self.arity
+        self.factors = factors
+        self.size = len(factors)
+        #: ``(size, arity + 1)`` count-value vectors — the whole kernel state.
+        self.tables = np.stack([factor.count_values for factor in factors])
+        _require_constant_tail(self.tables, "CountFactorBatch")
+
+    def messages_toward(
+        self, target_slot: int, incoming: Sequence[Optional[np.ndarray]]
+    ) -> np.ndarray:
+        """Batched count-space messages from every factor to ``target_slot``.
+
+        Same contract as :meth:`FactorBatch.messages_toward`: one
+        ``(size, 2)`` matrix per non-target slot in, the unnormalised
+        ``(size, 2)`` message matrix out.
+        """
+        if not 0 <= target_slot < self.arity:
+            raise FactorGraphError(
+                f"target slot {target_slot} out of range for arity {self.arity}"
+            )
+        operands = []
+        for slot in range(self.arity):
+            if slot == target_slot:
+                continue
+            matrix = incoming[slot]
+            if matrix is None:
+                raise FactorShapeError(
+                    f"missing incoming message matrix for slot {slot}"
+                )
+            matrix = np.asarray(matrix, dtype=float)
+            if matrix.shape != (self.size, 2):
+                raise FactorShapeError(
+                    f"incoming matrix for slot {slot} has shape {matrix.shape}, "
+                    f"expected {(self.size, 2)}"
+                )
+            operands.append(matrix)
+        return _count_space_messages(self.tables, operands)
+
+
+class StackedCountFactorBatch:
+    """Count-value tables stacked along a leading batch axis.
+
+    The count-space counterpart of :class:`StackedFactorBatch`: where that
+    kernel evaluates a ``(stack, factors, *(2,)*arity)`` dense table array,
+    this one evaluates ``(stack, factors, arity + 1)`` count-value vectors —
+    one per factor per stack element — with the same ``messages_toward``
+    contract.  It is what lets the batched multi-attribute and blocked
+    per-origin engines (:mod:`repro.core.batched`) run arity buckets beyond
+    the dense crossover without ever materialising a ``(2,)**arity`` CPT.
+    """
+
+    def __init__(self, tables: np.ndarray) -> None:
+        tables = np.asarray(tables, dtype=float)
+        if tables.ndim != 3:
+            raise FactorGraphError(
+                f"StackedCountFactorBatch needs a (stack, factors, arity + 1) "
+                f"count-table array, got ndim={tables.ndim}"
+            )
+        if tables.shape[-1] < 2:
+            raise FactorGraphError(
+                f"count tables need at least two count values, got shape "
+                f"{tables.shape}"
+            )
+        if np.any(tables < 0):
+            raise FactorGraphError("count tables must be non-negative")
+        _require_constant_tail(tables, "StackedCountFactorBatch")
+        self.tables = tables
+        self.stack = tables.shape[0]
+        self.size = tables.shape[1]
+        self.arity = tables.shape[2] - 1
+        self.shape: Tuple[int, ...] = (2,) * self.arity
+
+    def messages_toward(
+        self,
+        target_slot: int,
+        incoming: Sequence[Optional[np.ndarray]],
+        stack: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched count-space messages from every (stack element, factor).
+
+        Same contract as :meth:`StackedFactorBatch.messages_toward`: one
+        ``(stack, size, 2)`` matrix per non-target slot in, the unnormalised
+        ``(stack, size, 2)`` message array out; ``stack`` optionally
+        restricts the evaluation to a subset of stack elements.
+        """
+        if not 0 <= target_slot < self.arity:
+            raise FactorGraphError(
+                f"target slot {target_slot} out of range for arity {self.arity}"
+            )
+        tables = self.tables if stack is None else self.tables[stack]
+        expected_stack = tables.shape[0]
+        operands = []
+        for slot in range(self.arity):
+            if slot == target_slot:
+                continue
+            matrix = incoming[slot]
+            if matrix is None:
+                raise FactorShapeError(
+                    f"missing incoming message matrix for slot {slot}"
+                )
+            matrix = np.asarray(matrix, dtype=float)
+            if matrix.shape != (expected_stack, self.size, 2):
+                raise FactorShapeError(
+                    f"incoming matrix for slot {slot} has shape {matrix.shape}, "
+                    f"expected {(expected_stack, self.size, 2)}"
+                )
+            operands.append(matrix)
+        return _count_space_messages(tables, operands)
+
+
 class CompiledFactorGraph:
     """A :class:`FactorGraph` flattened into batched message-passing arrays.
 
@@ -344,21 +569,37 @@ class CompiledFactorGraph:
         self.edge_variable = np.asarray(edge_variable, dtype=np.int64)
 
         # -- arity buckets ------------------------------------------------------
-        by_shape: Dict[Tuple[int, ...], List[int]] = {}
+        # Count-symmetric factors are bucketed by arity and evaluated in
+        # count space (no dense table, no arity limit); everything else is
+        # bucketed by dense table shape for the einsum kernels, which cap at
+        # MAX_COMPILED_ARITY subscript letters.  Which representation a
+        # feedback factor uses is decided at construction time
+        # (repro.core.feedback.feedback_factor switches to CountFactor at
+        # the COUNT_KERNEL_MIN_ARITY crossover).
+        by_shape: Dict[Tuple, List[int]] = {}
         for factor_index, factor in enumerate(factors):
-            if factor.arity > MAX_COMPILED_ARITY:
-                raise FactorGraphError(
-                    f"cannot compile graph {graph.name!r}: factor "
-                    f"{factor.name!r} has arity {factor.arity} > "
-                    f"{MAX_COMPILED_ARITY} (use the loops backend)"
-                )
-            by_shape.setdefault(factor.table.shape, []).append(factor_index)
-        self.batches: List[Tuple[FactorBatch, np.ndarray]] = []
-        for shape, factor_indices in by_shape.items():
-            batch = FactorBatch([factors[i] for i in factor_indices])
+            if isinstance(factor, CountFactor):
+                key: Tuple = ("count", factor.arity)
+            else:
+                if factor.arity > MAX_COMPILED_ARITY:
+                    raise FactorGraphError(
+                        f"cannot compile graph {graph.name!r}: dense factor "
+                        f"{factor.name!r} has arity {factor.arity} > "
+                        f"{MAX_COMPILED_ARITY} (use the loops backend, or a "
+                        f"count-symmetric CountFactor)"
+                    )
+                key = factor.table.shape
+            by_shape.setdefault(key, []).append(factor_index)
+        self.batches: List[Tuple[FactorBatch | CountFactorBatch, np.ndarray]] = []
+        for key, factor_indices in by_shape.items():
+            bucket = [factors[i] for i in factor_indices]
+            if key and key[0] == "count":
+                batch: FactorBatch | CountFactorBatch = CountFactorBatch(bucket)
+            else:
+                batch = FactorBatch(bucket)
             ids = np.asarray(
                 [
-                    [edge_ids[(factor_index, slot)] for slot in range(len(shape))]
+                    [edge_ids[(factor_index, slot)] for slot in range(batch.arity)]
                     for factor_index in factor_indices
                 ],
                 dtype=np.int64,
@@ -533,9 +774,12 @@ def compile_factor_graph(graph: FactorGraph) -> Optional[CompiledFactorGraph]:
     """Compile ``graph``, or return ``None`` when it is not compilable.
 
     The only graphs the vectorized backend rejects are those with mixed
-    variable cardinalities or factors of arity beyond
-    :data:`MAX_COMPILED_ARITY`; callers are expected to fall back to the loop
-    reference for those.
+    variable cardinalities or *dense* factors of arity beyond
+    :data:`~repro.constants.MAX_COMPILED_ARITY`; callers are expected to
+    fall back to the loop reference for those.  Count-symmetric
+    :class:`~repro.factorgraph.factors.CountFactor` tables (the feedback
+    CPTs of long cycles and parallel paths) compile at any arity through
+    the count-space kernels.
     """
     try:
         return CompiledFactorGraph(graph)

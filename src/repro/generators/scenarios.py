@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import GenerationError
-from ..mapping.corruption import corrupt_mapping
+from ..mapping.corruption import corrupt_mapping_in_place
 from ..mapping.mapping import Mapping
 from ..pdms.network import PDMSNetwork
 from ..pdms.peer import Peer
@@ -92,13 +92,9 @@ def inject_errors(
     ground_truth: Dict[Tuple[str, str], bool] = {}
     for mapping in network.mappings:
         target_schema = network.peer(mapping.target).schema
-        corrupted, report = corrupt_mapping(
+        corrupt_mapping_in_place(
             mapping, target_schema, error_rate=error_rate, rng=rng
         )
-        # Swap the corrupted correspondences into the existing Mapping object
-        # so that every reference (network index, owning peer) sees them.
-        for correspondence in corrupted.correspondences:
-            mapping._by_source[correspondence.source_attribute] = correspondence
         for correspondence in mapping.correspondences:
             ground_truth[(mapping.name, correspondence.source_attribute)] = (
                 correspondence.is_correct is not False

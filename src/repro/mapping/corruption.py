@@ -20,7 +20,13 @@ from ..schema.schema import Schema
 from .correspondence import Correspondence
 from .mapping import Mapping
 
-__all__ = ["CorruptionReport", "corrupt_mapping", "corrupt_correspondence", "drop_correspondences"]
+__all__ = [
+    "CorruptionReport",
+    "corrupt_mapping",
+    "corrupt_mapping_in_place",
+    "corrupt_correspondence",
+    "drop_correspondences",
+]
 
 
 @dataclass(frozen=True)
@@ -111,6 +117,34 @@ def corrupt_mapping(
         corrupted_attributes=tuple(corrupted_attributes),
     )
     return corrupted, report
+
+
+def corrupt_mapping_in_place(
+    mapping: Mapping,
+    target_schema: Schema,
+    error_rate: float = 0.0,
+    attributes: Optional[Sequence[str]] = None,
+    rng: Optional[random.Random] = None,
+) -> CorruptionReport:
+    """Corrupt ``mapping``'s correspondences *in place*; return the report.
+
+    Same selection modes as :func:`corrupt_mapping`, but the corrupted
+    correspondences are swapped into the existing :class:`Mapping` object,
+    so every holder of a reference (the network index, the owning peer)
+    sees them — the pattern scenario generation and the benchmark network
+    builders need.  This is the one sanctioned place that touches the
+    mapping's correspondence store directly.
+    """
+    corrupted, report = corrupt_mapping(
+        mapping,
+        target_schema,
+        error_rate=error_rate,
+        attributes=attributes,
+        rng=rng,
+    )
+    for correspondence in corrupted.correspondences:
+        mapping._by_source[correspondence.source_attribute] = correspondence
+    return report
 
 
 def drop_correspondences(

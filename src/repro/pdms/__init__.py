@@ -16,6 +16,7 @@ from .probing import (
     find_cycles_through,
     find_parallel_paths_from,
     probe_neighborhood,
+    validate_ttl,
 )
 
 __all__ = [
@@ -42,4 +43,5 @@ __all__ = [
     "find_cycles_through",
     "find_parallel_paths_from",
     "probe_neighborhood",
+    "validate_ttl",
 ]

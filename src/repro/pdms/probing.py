@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..constants import DEFAULT_TTL
 from ..exceptions import PDMSError
 from ..mapping.mapping import Mapping
 from .network import PDMSNetwork
@@ -30,8 +31,26 @@ __all__ = [
     "find_all_cycles",
     "find_all_parallel_paths",
     "probe_neighborhood",
+    "validate_ttl",
     "ProbeResult",
 ]
+
+
+def validate_ttl(ttl: int) -> int:
+    """Check that a probe TTL is a positive hop count; return it.
+
+    Historically the entry points disagreed: :func:`find_cycles_through`
+    silently returned an empty tuple for ``ttl < 2`` (indistinguishable
+    from "no cycles exist") while other callers happily recursed with
+    nonsense bounds.  A non-positive TTL is always a caller bug, so every
+    probing entry point — and the structure caches and assessor layered on
+    top — now rejects it with :class:`ValueError`.  ``ttl == 1`` stays
+    valid: it legitimately means "one hop", which can discover no cycle but
+    is a well-defined probe.
+    """
+    if ttl < 1:
+        raise ValueError(f"probe ttl must be a positive hop count, got {ttl}")
+    return ttl
 
 
 @dataclass(frozen=True)
@@ -129,14 +148,15 @@ def _paths_from(
 
 
 def find_cycles_through(
-    network: PDMSNetwork, origin: str, ttl: int = 6
+    network: PDMSNetwork, origin: str, ttl: int = DEFAULT_TTL
 ) -> Tuple[MappingCycle, ...]:
     """Simple directed mapping cycles through ``origin`` of length ≤ ``ttl``.
 
     A cycle is reported once, oriented to start at ``origin`` with one of
-    the peer's outgoing mappings.
+    the peer's outgoing mappings.  Raises :class:`ValueError` for a
+    non-positive ``ttl`` (``ttl == 1`` is valid but can discover no cycle).
     """
-    if ttl < 2:
+    if validate_ttl(ttl) < 2:
         return ()
     cycles: List[MappingCycle] = []
     seen: set[Tuple[str, ...]] = set()
@@ -168,7 +188,7 @@ def find_cycles_through(
 
 
 def find_parallel_paths_from(
-    network: PDMSNetwork, origin: str, ttl: int = 6
+    network: PDMSNetwork, origin: str, ttl: int = DEFAULT_TTL
 ) -> Tuple[ParallelPaths, ...]:
     """Pairs of edge-disjoint directed paths from ``origin`` to a common
     destination, each of length ≤ ``ttl``.
@@ -178,6 +198,7 @@ def find_parallel_paths_from(
     evidence about the shared mapping anyway), as are trivial pairs whose
     branches are identical.
     """
+    validate_ttl(ttl)
     paths_by_destination: Dict[str, List[Tuple[Mapping, ...]]] = {}
     for path in _paths_from(network, origin, max_hops=ttl):
         destination = path[-1].target
@@ -206,8 +227,11 @@ def find_parallel_paths_from(
     return tuple(results)
 
 
-def probe_neighborhood(network: PDMSNetwork, origin: str, ttl: int = 6) -> ProbeResult:
+def probe_neighborhood(
+    network: PDMSNetwork, origin: str, ttl: int = DEFAULT_TTL
+) -> ProbeResult:
     """Run a full probe from ``origin``: cycles and parallel paths within TTL."""
+    validate_ttl(ttl)
     if not network.has_peer(origin):
         raise PDMSError(f"unknown peer {origin!r}")
     return ProbeResult(
@@ -218,8 +242,11 @@ def probe_neighborhood(network: PDMSNetwork, origin: str, ttl: int = 6) -> Probe
     )
 
 
-def find_all_cycles(network: PDMSNetwork, ttl: int = 6) -> Tuple[MappingCycle, ...]:
+def find_all_cycles(
+    network: PDMSNetwork, ttl: int = DEFAULT_TTL
+) -> Tuple[MappingCycle, ...]:
     """All distinct mapping cycles in the network (deduplicated across peers)."""
+    validate_ttl(ttl)
     seen: set[Tuple[str, ...]] = set()
     cycles: List[MappingCycle] = []
     for peer in network.peers:
@@ -232,8 +259,11 @@ def find_all_cycles(network: PDMSNetwork, ttl: int = 6) -> Tuple[MappingCycle, .
     return tuple(cycles)
 
 
-def find_all_parallel_paths(network: PDMSNetwork, ttl: int = 6) -> Tuple[ParallelPaths, ...]:
+def find_all_parallel_paths(
+    network: PDMSNetwork, ttl: int = DEFAULT_TTL
+) -> Tuple[ParallelPaths, ...]:
     """All distinct pairs of parallel paths in the network."""
+    validate_ttl(ttl)
     seen: set[Tuple[Tuple[str, ...], Tuple[str, ...]]] = set()
     pairs: List[ParallelPaths] = []
     for peer in network.peers:

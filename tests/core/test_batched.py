@@ -4,11 +4,15 @@ import numpy as np
 import pytest
 
 from repro.core.batched import (
+    AssessmentLane,
     AssessmentPlan,
     BatchedEmbeddedMessagePassing,
+    BlockedEmbeddedMessagePassing,
     compile_assessment_plan,
 )
+from repro.constants import COUNT_KERNEL_MIN_ARITY, MAX_COMPILED_ARITY
 from repro.core.embedded import EmbeddedOptions
+from repro.core.feedback import Feedback, FeedbackKind, StructureKind
 from repro.core.quality import MappingQualityAssessor
 from repro.exceptions import ConvergenceError, FactorGraphError, FeedbackError
 from repro.generators.paper import intro_example_network
@@ -35,7 +39,7 @@ class TestPlanCompilation:
     def _intro_plan(self):
         network = intro_example_network(with_records=False)
         assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
-        return assessor._assessment_plan()
+        return assessor.assessment_plan()
 
     def test_plan_covers_every_structure_and_mapping(self):
         plan = self._intro_plan()
@@ -63,10 +67,33 @@ class TestPlanCompilation:
             names = plan.structure_mappings[feedback_index]
             assert sender_mapping in names
 
-    def test_arities_beyond_compiled_limit_rejected(self):
+    def test_arities_beyond_dense_limit_compile_to_count_buckets(self):
+        # Historically arity > MAX_COMPILED_ARITY was rejected (the
+        # "arity-25 compilation cliff"); long structures now compile into
+        # count-space buckets with O(arity) count tensors instead of the
+        # dense (2,)**arity ones.
         names = tuple(f"p{i}->p{i + 1}" for i in range(30))
-        with pytest.raises(FactorGraphError):
-            compile_assessment_plan([("f1", names)])
+        plan = compile_assessment_plan([("f1", names)])
+        (batch,) = plan.batches
+        assert batch.arity == 30 > MAX_COMPILED_ARITY
+        assert batch.use_count_kernel
+        assert batch.incorrect_counts.shape == (31,)
+
+    def test_count_kernel_crossover_buckets(self):
+        # One short and one crossover-length structure: the short bucket
+        # stays dense, the long one switches to the count kernel.
+        short = tuple(f"p{i}->p{i + 1}" for i in range(3))
+        long_names = tuple(
+            f"q{i}->q{i + 1}" for i in range(COUNT_KERNEL_MIN_ARITY)
+        )
+        plan = compile_assessment_plan([("f1", short), ("f2", long_names)])
+        by_arity = {batch.arity: batch for batch in plan.batches}
+        assert not by_arity[3].use_count_kernel
+        assert by_arity[3].incorrect_counts.shape == (2,) * 3
+        assert by_arity[COUNT_KERNEL_MIN_ARITY].use_count_kernel
+        assert by_arity[COUNT_KERNEL_MIN_ARITY].incorrect_counts.shape == (
+            COUNT_KERNEL_MIN_ARITY + 1,
+        )
 
     def test_structures_need_two_mappings(self):
         with pytest.raises(FeedbackError):
@@ -199,7 +226,7 @@ class TestEngineValidation:
     def _plan_and_evidence(self):
         network = intro_example_network(with_records=False)
         assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
-        plan = assessor._assessment_plan()
+        plan = assessor.assessment_plan()
         evidence = assessor.structure_cache.evidence_for("Creator")
         return plan, evidence
 
@@ -222,7 +249,7 @@ class TestEngineValidation:
         evidence; all-neutral lanes construct fine and yield None results."""
         network = intro_example_network(with_records=False)
         assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
-        plan = assessor._assessment_plan()
+        plan = assessor.assessment_plan()
         neutral = assessor.structure_cache.evidence_for("Unmapped").feedbacks
         assert all(not feedback.is_informative for feedback in neutral)
         engine = BatchedEmbeddedMessagePassing(
@@ -308,3 +335,84 @@ class TestAssessorFallbacks:
         assert assessor.probability("p2->p4", "Creator") < 0.5
         assert assessor.probability("p2->p3", "Creator") > 0.5
         assert assessor.flagged_mappings("Creator", theta=0.5) == ("p2->p4",)
+
+
+class TestFrozenBlockCompaction:
+    """Converged origins' rows leave the blocked engine's sweeps."""
+
+    def test_per_round_work_shrinks_as_origins_converge(self):
+        network = intro_example_network(with_records=False)
+        assessor = MappingQualityAssessor(network, delta=0.1, ttl=4, seed=0)
+        assessor.assess_local_all("Creator")
+        trajectory = assessor.last_local_round_edge_counts
+        assert trajectory
+        assert all(a >= b for a, b in zip(trajectory, trajectory[1:]))
+        assert trajectory[-1] < trajectory[0]
+
+    def test_compaction_preserves_sequential_results_exactly(self):
+        # Origins on the intro network converge at different rounds, so the
+        # blocked state is compacted mid-run; every local view must still
+        # equal its per-origin sequential engine (same seed) bit for bit.
+        network = intro_example_network(with_records=False)
+        batched = MappingQualityAssessor(
+            network, delta=0.1, ttl=4, seed=0, send_probability=0.8
+        )
+        sequential = MappingQualityAssessor(
+            network,
+            delta=0.1,
+            ttl=4,
+            seed=0,
+            send_probability=0.8,
+            use_batched_engine=False,
+        )
+        views = batched.assess_local_all("Creator")
+        assert len(batched.last_local_round_edge_counts) > 1
+        for origin in network.peer_names:
+            reference = sequential.assess_local(origin, "Creator")
+            assert set(views[origin]) == set(reference)
+            for name, value in reference.items():
+                assert views[origin][name] == value
+
+    def test_idle_lanes_are_compacted_before_the_first_round(self):
+        # A lane whose evidence is entirely neutral never exchanges a
+        # message; its rows must not ride the sweeps even once.
+        from dataclasses import replace
+
+        plan = compile_assessment_plan(
+            [
+                ("f1", ("p1->p2", "p2->p1")),
+                ("f2", ("p3->p4", "p4->p3")),
+            ]
+        )
+
+        def feedback(identifier, names, kind):
+            return Feedback(
+                identifier=identifier,
+                kind=kind,
+                structure=StructureKind.CYCLE,
+                mapping_names=names,
+                attribute="a",
+            )
+
+        live_lane = AssessmentLane(
+            key="live",
+            feedbacks=(
+                feedback("f1", ("p1->p2", "p2->p1"), FeedbackKind.NEGATIVE),
+            ),
+            structure_indices=(0,),
+            delta=0.1,
+        )
+        idle_lane = AssessmentLane(
+            key="idle",
+            feedbacks=(
+                feedback("f2", ("p3->p4", "p4->p3"), FeedbackKind.NEUTRAL),
+            ),
+            structure_indices=(1,),
+            delta=0.1,
+        )
+        engine = BlockedEmbeddedMessagePassing(plan, [live_lane, idle_lane])
+        results = engine.run()
+        assert results["idle"] is None
+        assert results["live"] is not None
+        # Only the live lane's two edge rows were ever swept.
+        assert engine.round_edge_counts[0] == 2

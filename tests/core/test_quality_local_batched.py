@@ -465,7 +465,7 @@ class TestBlockedEngineValidation:
         """A plan whose mappings span two lanes' structures is refused."""
         network = intro_example_network(with_records=False)
         assessor = MappingQualityAssessor(network, delta=0.1, ttl=4)
-        shared_plan = assessor._assessment_plan()
+        shared_plan = assessor.assessment_plan()
         evidence = assessor.structure_cache.evidence_for("Creator")
         half = shared_plan.structure_count // 2
         first = AssessmentLane(

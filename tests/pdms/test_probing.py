@@ -95,3 +95,67 @@ class TestProbe:
     def test_probe_unknown_peer_raises(self, intro_network):
         with pytest.raises(PDMSError):
             probe_neighborhood(intro_network, "zz")
+
+
+class TestTtlValidation:
+    """Non-positive TTLs are caller bugs, rejected consistently everywhere."""
+
+    @pytest.mark.parametrize("ttl", [0, -1, -6])
+    def test_probing_entry_points_reject_non_positive_ttl(self, ttl, intro_network):
+        with pytest.raises(ValueError, match="positive hop count"):
+            find_cycles_through(intro_network, "p1", ttl=ttl)
+        with pytest.raises(ValueError, match="positive hop count"):
+            find_parallel_paths_from(intro_network, "p1", ttl=ttl)
+        with pytest.raises(ValueError, match="positive hop count"):
+            probe_neighborhood(intro_network, "p1", ttl=ttl)
+        with pytest.raises(ValueError, match="positive hop count"):
+            find_all_cycles(intro_network, ttl=ttl)
+        with pytest.raises(ValueError, match="positive hop count"):
+            find_all_parallel_paths(intro_network, ttl=ttl)
+
+    def test_ttl_one_is_a_valid_probe_without_cycles(self, intro_network):
+        # One hop cannot close a cycle, but it is a well-defined probe —
+        # not an error, and no longer a silent historical special case.
+        assert find_cycles_through(intro_network, "p1", ttl=1) == ()
+        assert probe_neighborhood(intro_network, "p1", ttl=1).cycles == ()
+
+    def test_structure_caches_reject_non_positive_ttl(self, intro_network):
+        from repro.core.analysis import (
+            NeighborhoodStructureCache,
+            NetworkStructureCache,
+        )
+
+        with pytest.raises(ValueError, match="positive hop count"):
+            NetworkStructureCache(intro_network, ttl=0)
+        with pytest.raises(ValueError, match="positive hop count"):
+            NeighborhoodStructureCache(intro_network, ttl=-2)
+        from repro.core.quality import MappingQualityAssessor
+
+        with pytest.raises(ValueError, match="positive hop count"):
+            MappingQualityAssessor(intro_network, ttl=0)
+
+    def test_default_ttl_is_shared(self):
+        import inspect
+
+        from repro.constants import DEFAULT_TTL
+        from repro.core.analysis import (
+            NeighborhoodStructureCache,
+            NetworkStructureCache,
+            analyze_network,
+        )
+        from repro.core.quality import MappingQualityAssessor
+
+        assert DEFAULT_TTL == 6
+        for callable_ in (
+            find_cycles_through,
+            find_parallel_paths_from,
+            probe_neighborhood,
+            find_all_cycles,
+            find_all_parallel_paths,
+            analyze_network,
+            MappingQualityAssessor,
+            NetworkStructureCache,
+            NeighborhoodStructureCache,
+        ):
+            signature = inspect.signature(callable_)
+            assert signature.parameters["ttl"].default == DEFAULT_TTL, callable_
