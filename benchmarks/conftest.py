@@ -11,6 +11,7 @@ be tracked across PRs.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import subprocess
 import time
@@ -47,13 +48,16 @@ def emit_json_report(name: str, payload: dict) -> None:
     """Persist machine-readable benchmark metrics as BENCH_<name>.json.
 
     ``payload`` holds the benchmark's own metrics (rates, speedups, peer
-    counts…); the emitter stamps the git revision and a unix timestamp so
-    the perf trajectory across PRs stays attributable.
+    counts…); the emitter stamps the git revision, a unix timestamp and the
+    plan executor the run used (``REPRO_EXECUTOR``, the process-wide
+    default — benchmarks that pin a different ``executor=`` override it in
+    their payload) so the perf trajectory across PRs stays attributable.
     """
     record = dict(payload)
     record.setdefault("benchmark", name)
     record.setdefault("git_rev", _git_revision())
     record.setdefault("unix_time", int(time.time()))
+    record.setdefault("executor", os.environ.get("REPRO_EXECUTOR", "numpy"))
     REPORT_DIR.mkdir(exist_ok=True)
     path = REPORT_DIR / f"BENCH_{name}.json"
     path.write_text(

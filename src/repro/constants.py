@@ -20,6 +20,8 @@ repetition) to obtain independent lossy runs.
 
 from __future__ import annotations
 
+import os
+
 __all__ = [
     "DEFAULT_MAX_ITERATIONS",
     "DEFAULT_TOLERANCE",
@@ -32,6 +34,9 @@ __all__ = [
     "BACKEND_VECTORIZED",
     "MAX_COMPILED_ARITY",
     "COUNT_KERNEL_MIN_ARITY",
+    "EXECUTOR_NUMPY",
+    "EXECUTOR_THREADED",
+    "DEFAULT_EXECUTOR",
 ]
 
 #: Hard cap on synchronous rounds, shared by the centralised and embedded runs.
@@ -85,3 +90,19 @@ BACKEND_VECTORIZED: str = "vectorized"
 #: floating-point accuracy and falls back to the loops automatically on
 #: graphs it cannot compile (mixed variable cardinalities).
 DEFAULT_BACKEND: str = BACKEND_VECTORIZED
+
+#: Single-threaded NumPy executor of the shared sweep-plan IR
+#: (:mod:`repro.factorgraph.plan`) — bit-identical to the historical
+#: per-engine sweep loops.
+EXECUTOR_NUMPY: str = "numpy"
+
+#: Thread-pool executor running independent arity buckets of a factor sweep
+#: concurrently.  Buckets scatter to disjoint edge rows, so the results are
+#: bit-identical to :data:`EXECUTOR_NUMPY`.
+EXECUTOR_THREADED: str = "threaded"
+
+#: Executor used when none is requested.  Overridable via the
+#: ``REPRO_EXECUTOR`` environment variable so whole test/benchmark runs can
+#: be switched without touching call sites (CI exercises the threaded
+#: executor this way).
+DEFAULT_EXECUTOR: str = os.environ.get("REPRO_EXECUTOR", EXECUTOR_NUMPY)

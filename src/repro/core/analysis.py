@@ -47,6 +47,7 @@ from ..pdms.probing import (
     find_all_parallel_paths,
     find_cycles_through,
     find_parallel_paths_from,
+    find_parallel_paths_through,
     probe_neighborhood,
     validate_ttl,
 )
@@ -199,11 +200,14 @@ class NetworkStructureCache:
     * ``remove_mapping`` drops the cycles and parallel paths traversing the
       removed mapping (exact: a structure stays valid iff all its own
       mappings still exist);
-    * ``add_mapping`` enumerates only the cycles *through the new mapping's
-      source peer* that contain the new mapping (every genuinely new cycle
-      must contain it) and appends the unseen ones.  New *parallel paths*
-      cannot be derived locally, so an addition falls back to a full
-      re-probe whenever parallel paths are enabled;
+    * ``add_mapping`` enumerates only the structures *through the new
+      edge*: the cycles from the new mapping's source peer that contain
+      the new mapping (every genuinely new cycle must contain it) and —
+      when parallel paths are enabled — the parallel-path pairs with one
+      branch traversing it
+      (:func:`~repro.pdms.probing.find_parallel_paths_through`; every
+      genuinely new pair must route a branch through the new edge).
+      Unseen structures are appended;
     * ``add_peer`` always falls back to a full re-probe.
 
     ``statistics.partial_refreshes`` / ``full_refreshes`` record which path
@@ -280,8 +284,8 @@ class NetworkStructureCache:
 
         Returns ``True`` when the cached cycles / parallel paths were brought
         up to ``key`` without a full enumeration; ``False`` requests a full
-        re-probe (peer additions, truncated logs, ttl / parallel-path flag
-        changes, or mapping additions while parallel paths are enabled).
+        re-probe (peer additions, truncated logs, or ttl / parallel-path
+        flag changes).
         """
         if self._key is None or self._key[1:] != key[1:]:
             return False
@@ -292,13 +296,12 @@ class NetworkStructureCache:
         kinds = {kind for _, kind, _ in mutations}
         if "add_peer" in kinds:
             return False
-        if include and "add_mapping" in kinds:
-            return False
         cycles = list(self._cycles)
         parallel_paths = list(self._parallel_paths)
         # Canonical keys are only needed to dedupe additions; remove-only
-        # logs (the common case) never pay for the set.
+        # logs (the common case) never pay for the sets.
         seen: Optional[set] = None
+        seen_paths: Optional[set] = None
         for _, kind, name in mutations:
             if kind == "remove_mapping":
                 cycles = [c for c in cycles if name not in c.mapping_names]
@@ -306,6 +309,7 @@ class NetworkStructureCache:
                     p for p in parallel_paths if name not in p.mapping_names
                 ]
                 seen = None
+                seen_paths = None
             elif kind == "add_mapping":
                 if not self.network.has_mapping(name):
                     # Added and removed again later in the log; the removal
@@ -324,6 +328,19 @@ class NetworkStructureCache:
                         continue
                     seen.add(cycle_key)
                     cycles.append(cycle)
+                if include:
+                    if seen_paths is None:
+                        seen_paths = {
+                            pair.canonical_key() for pair in parallel_paths
+                        }
+                    for pair in find_parallel_paths_through(
+                        self.network, name, ttl=self.ttl
+                    ):
+                        pair_key = pair.canonical_key()
+                        if pair_key in seen_paths:
+                            continue
+                        seen_paths.add(pair_key)
+                        parallel_paths.append(pair)
             else:  # pragma: no cover - defensive: unknown mutation kind
                 return False
         self._cycles = tuple(cycles)
@@ -382,13 +399,13 @@ class NeighborhoodStructureCache:
 
     * ``remove_mapping`` filters each origin's cached cycles and parallel
       paths (exact);
-    * ``add_mapping`` enumerates the cycles *through the new edge* once
-      (every genuinely new cycle must contain the new mapping), then grafts
-      onto each cached origin the new cycles passing through it, rotated to
-      start at that origin — the orientation its own probe would report.
-      Parallel-path additions cannot be derived locally, so mapping adds
-      fall back to a full per-origin re-probe when parallel paths are
-      enabled;
+    * ``add_mapping`` enumerates the structures *through the new edge*
+      once — the cycles containing the new mapping and, when parallel
+      paths are enabled, the parallel-path pairs routing a branch through
+      it (:func:`~repro.pdms.probing.find_parallel_paths_through`) — then
+      grafts onto each cached origin the new cycles passing through it
+      (rotated to start at that origin, the orientation its own probe
+      would report) and the new pairs departing from it;
     * ``add_peer`` (or a truncated log) always falls back to a full
       re-probe of the origin on its next lookup.
 
@@ -410,9 +427,10 @@ class NeighborhoodStructureCache:
         self.include_parallel_paths = include_parallel_paths
         self.statistics = StructureCacheStatistics()
         self._entries: Dict[str, _NeighborhoodEntry] = {}
-        # Cycles through a freshly added mapping, shared across the origins
-        # replaying the same log entry at the same topology version.
+        # Structures through a freshly added mapping, shared across the
+        # origins replaying the same log entry at the same topology version.
         self._added_cycles_memo: Dict[Tuple[int, str, int], Tuple[MappingCycle, ...]] = {}
+        self._added_paths_memo: Dict[Tuple[int, str, int], Tuple[ParallelPaths, ...]] = {}
         # The unmappable-mapping scan is origin-independent; share it across
         # the per-origin evidence_for calls of one (attribute, version).
         self._unmappable_memo: Dict[Tuple[str, int], Tuple[str, ...]] = {}
@@ -481,6 +499,23 @@ class NeighborhoodStructureCache:
         self._added_cycles_memo[memo_key] = cycles
         return cycles
 
+    def _paths_through_added(
+        self, entry_version: int, name: str
+    ) -> Tuple[ParallelPaths, ...]:
+        """All parallel-path pairs routing a branch through the freshly added
+        mapping ``name``, enumerated once per (log entry, current topology
+        version) and shared across the origins replaying the same entry.
+        Each pair carries the origin whose probe would discover it."""
+        memo_key = (entry_version, name, self.network.version)
+        cached = self._added_paths_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        pairs = find_parallel_paths_through(self.network, name, ttl=self.ttl)
+        if len(self._added_paths_memo) > 64:
+            self._added_paths_memo.clear()
+        self._added_paths_memo[memo_key] = pairs
+        return pairs
+
     @staticmethod
     def _rotate_to(cycle: MappingCycle, origin: str) -> Optional[MappingCycle]:
         """``cycle`` re-oriented to start at ``origin`` (``None`` when the
@@ -507,11 +542,10 @@ class NeighborhoodStructureCache:
         kinds = {kind for _, kind, _ in mutations}
         if "add_peer" in kinds:
             return False
-        if key[2] and "add_mapping" in kinds:
-            return False
         cycles = list(entry.cycles)
         parallel_paths = list(entry.parallel_paths)
         seen: Optional[set] = None
+        seen_paths: Optional[set] = None
         for version, kind, name in mutations:
             if kind == "remove_mapping":
                 cycles = [c for c in cycles if name not in c.mapping_names]
@@ -519,6 +553,7 @@ class NeighborhoodStructureCache:
                     p for p in parallel_paths if name not in p.mapping_names
                 ]
                 seen = None
+                seen_paths = None
             elif kind == "add_mapping":
                 if not self.network.has_mapping(name):
                     # Added and removed again later in the log; the removal
@@ -535,6 +570,22 @@ class NeighborhoodStructureCache:
                         continue
                     seen.add(cycle_key)
                     cycles.append(local)
+                if key[2]:
+                    # Parallel paths are only discoverable by the probe of
+                    # their shared start peer, so the origin grafts exactly
+                    # the new pairs departing from it.
+                    if seen_paths is None:
+                        seen_paths = {
+                            pair.canonical_key() for pair in parallel_paths
+                        }
+                    for pair in self._paths_through_added(version, name):
+                        if pair.source != origin:
+                            continue
+                        pair_key = pair.canonical_key()
+                        if pair_key in seen_paths:
+                            continue
+                        seen_paths.add(pair_key)
+                        parallel_paths.append(pair)
             else:  # pragma: no cover - defensive: unknown mutation kind
                 return False
         entry.cycles = tuple(cycles)
@@ -569,6 +620,7 @@ class NeighborhoodStructureCache:
         """Drop every origin's cached view; the next lookups re-probe."""
         self._entries.clear()
         self._added_cycles_memo.clear()
+        self._added_paths_memo.clear()
         self._unmappable_memo.clear()
 
 

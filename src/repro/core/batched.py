@@ -9,26 +9,35 @@ the factor tables) change per attribute — yet the per-attribute
 full topology machinery (edge layouts, segment index plans, factor-batch
 gather/scatter operands, factor tables) from scratch for each attribute.
 
-This module splits that work along the topology/evidence boundary:
+This module splits that work along the topology/evidence boundary, on the
+same two axes the engine matrix in :mod:`repro.core.embedded` documents —
+*plan-IR lowering* × *executor choice*:
 
-* :func:`compile_assessment_plan` compiles the structures **once** into an
-  :class:`AssessmentPlan` — everything in ``EmbeddedMessagePassing.__init__``
-  / ``_init_array_state`` / ``_compile_array_batches`` that depends only on
-  which structures exist and which peers own their mappings.
+* :func:`compile_assessment_plan` lowers the structures **once** into an
+  :class:`AssessmentPlan` (an alias of the shared
+  :class:`~repro.factorgraph.plan.SweepPlan` IR, built by
+  :func:`~repro.factorgraph.plan.compile_sweep_plan`) — everything in
+  ``EmbeddedMessagePassing.__init__`` / ``_init_array_state`` /
+  ``_compile_array_batches`` that depends only on which structures exist
+  and which peers own their mappings: edge row space, segment index plans,
+  transmission list, arity-bucketed kernel batches.  The kernel family per
+  bucket follows the crossover rule stated in :mod:`repro.core.embedded`
+  (dense einsum below :data:`repro.constants.COUNT_KERNEL_MIN_ARITY`,
+  count space at or beyond it — structures of *any* arity compile; the
+  historical arity-25 cliff is gone).
 * :class:`BatchedEmbeddedMessagePassing` binds one plan to per-**lane**
   evidence and runs **all lanes simultaneously** on stacked
-  ``(lanes, edges, 2)`` message matrices: phase 1 is one zero-aware segment
-  product over the stacked factor→variable state, phase 2 one Bernoulli
-  mask per lane over the shared transmission list, phase 3 one stacked
-  kernel sweep per arity bucket and target slot — a
-  :class:`~repro.factorgraph.compiled.StackedFactorBatch` einsum for
-  buckets below the :data:`repro.constants.COUNT_KERNEL_MIN_ARITY`
-  crossover, a count-space
-  :class:`~repro.factorgraph.compiled.StackedCountFactorBatch` for longer
-  ones, so structures of *any* arity compile (``(arity + 1)``-entry
-  count-value vectors instead of ``(2,)**arity`` CPTs; the historical
-  arity-25 cliff is gone).  Per-lane convergence masking freezes finished
-  lanes so they stop contributing work.
+  ``(lanes, edges, 2)`` message matrices, delegating each round to a
+  pluggable executor (``executor=``, defaulting to
+  :data:`repro.constants.DEFAULT_EXECUTOR`): phase 1 is one zero-aware
+  segment product over the stacked factor→variable state, phase 2 one
+  Bernoulli mask per lane over the plan's transmission list (engine-side —
+  executors never touch the rng), phase 3 one stacked kernel sweep per
+  arity bucket
+  (:class:`~repro.factorgraph.plan.StackedFactorBatch` einsum or
+  count-space :class:`~repro.factorgraph.plan.StackedCountFactorBatch`).
+  Per-lane convergence masking freezes finished lanes so they stop
+  contributing work.
 
 A lane is any ``(evidence subset, priors, Δ, rng stream)`` tuple
 (:class:`AssessmentLane`) bound to a subset of the plan's structures:
@@ -76,22 +85,29 @@ exactly, attempt counts included.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..constants import (
-    COUNT_KERNEL_MIN_ARITY,
-    DEFAULT_SEED,
-    DEFAULT_SEND_PROBABILITY,
-)
-from ..exceptions import ConvergenceError, FactorGraphError, FeedbackError
-from ..factorgraph.compiled import (
+from ..constants import DEFAULT_SEED, DEFAULT_SEND_PROBABILITY
+from ..exceptions import ConvergenceError, FeedbackError
+from ..factorgraph.plan import (
+    KIND_NEGATIVE as _KIND_NEGATIVE,
+    KIND_NEUTRAL as _KIND_NEUTRAL,
+    KIND_POSITIVE as _KIND_POSITIVE,
+    BucketPlan,
     StackedCountFactorBatch,
     StackedFactorBatch,
+    SweepPlan,
+    SweepState,
+    bucket_kernel as _bucket_kernel,
+    bucket_tables as _bucket_tables,
+    compile_sweep_plan,
+    get_executor,
+    make_bucket,
     normalize_rows,
-    segment_exclusive_products,
+    segment_plan,
     segment_products,
 )
 from .beliefs import PriorBeliefStore
@@ -112,9 +128,6 @@ __all__ = [
     "BlockedEmbeddedMessagePassing",
     "compile_assessment_plan",
 ]
-
-#: Integer codes of the per-(attribute, structure) feedback kinds.
-_KIND_NEUTRAL, _KIND_POSITIVE, _KIND_NEGATIVE = 0, 1, 2
 
 _KIND_CODES = {
     FeedbackKind.NEUTRAL: _KIND_NEUTRAL,
@@ -167,45 +180,6 @@ def _validated_lane_codes(
     return indices, codes
 
 
-def _bucket_tables(
-    kinds: np.ndarray, deltas: np.ndarray, batch: "_PlanBatch"
-) -> np.ndarray:
-    """Per-(row, structure) CPT tables of one plan bucket.
-
-    ``kinds`` holds the ``(..., size)`` kind codes of the bucket's
-    structures and ``deltas`` the matching Δ values (broadcastable against
-    ``kinds`` — per lane for the stacked engine, per structure for the
-    blocked one).  Dense buckets yield ``(..., size, *(2,)*arity)`` tables
-    for the einsum kernels; count-space buckets yield
-    ``(..., size, arity + 1)`` count-value vectors — ``P(f± | k incorrect)``
-    — for the :class:`~repro.factorgraph.compiled.StackedCountFactorBatch`
-    kernel, never touching ``2**arity`` memory.  Neutral structures are
-    all-ones either way, which is what masks them out of the sum–product.
-    """
-    counts = batch.incorrect_counts
-    extra = (1,) * counts.ndim
-    delta_full = np.broadcast_to(np.asarray(deltas, dtype=float), kinds.shape)
-    delta_shaped = delta_full.reshape(delta_full.shape + extra)
-    positive = np.where(
-        counts == 0, 1.0, np.where(counts == 1, 0.0, delta_shaped)
-    )
-    kind_shaped = kinds.reshape(kinds.shape + extra)
-    return np.where(
-        kind_shaped == _KIND_POSITIVE,
-        positive,
-        np.where(kind_shaped == _KIND_NEGATIVE, 1.0 - positive, 1.0),
-    )
-
-
-def _bucket_kernel(
-    tables: np.ndarray, batch: "_PlanBatch"
-) -> StackedFactorBatch | StackedCountFactorBatch:
-    """The stacked kernel evaluating one bucket's tables."""
-    if batch.use_count_kernel:
-        return StackedCountFactorBatch(tables)
-    return StackedFactorBatch(tables)
-
-
 def _lane_result(
     plan: "AssessmentPlan",
     active_indices: np.ndarray,
@@ -233,89 +207,9 @@ def _lane_result(
     )
 
 
-@dataclass(frozen=True)
-class _PlanBatch:
-    """One arity bucket of the compiled plan.
-
-    ``gather[target][source]`` holds, per structure of the bucket, the pool
-    id of the message feeding slot ``source`` of the sweep toward slot
-    ``target`` — ids below the plan's edge count select the owner's own
-    fresh µ_{v→F} row, ids above it the last received remote copy.
-    ``scatter[target]`` holds the µ_{F→v} edge rows the fresh messages are
-    written back to.
-
-    ``incorrect_counts`` holds how many slots are in the *incorrect* state:
-    for a dense bucket the full ``(2,)*arity`` tensor (one entry per table
-    cell, from which the per-attribute CPTs are built in one vectorized
-    expression), for a count-space bucket (``use_count_kernel``) just the
-    ``arange(arity + 1)`` count axis — the CPT build below then yields
-    count-value vectors for the
-    :class:`~repro.factorgraph.compiled.StackedCountFactorBatch` kernel
-    instead of dense tables, which is what keeps long structures O(arity)
-    instead of ``2**arity``.
-    """
-
-    arity: int
-    feedback_indices: np.ndarray
-    gather: Tuple[Tuple[Optional[np.ndarray], ...], ...]
-    scatter: Tuple[np.ndarray, ...]
-    incorrect_counts: np.ndarray
-    use_count_kernel: bool = False
-
-
-@dataclass
-class _LiveBucket:
-    """One arity bucket of the blocked engine's *live* view.
-
-    The blocked engine compacts converged lanes' rows out of its state
-    (:meth:`BlockedEmbeddedMessagePassing._compact_frozen`), so it cannot
-    sweep straight off the immutable :class:`_PlanBatch` index arrays: each
-    bucket carries its own (rebindable) gather/scatter plans, the owning
-    lane of every remaining structure, and the stacked kernel over the
-    remaining tables.  Compaction only ever rebinds these fields to freshly
-    built arrays — the compiled plan itself is never mutated.
-    """
-
-    arity: int
-    lanes: np.ndarray
-    gather: List[List[Optional[np.ndarray]]]
-    scatter: List[np.ndarray]
-    kernel: StackedFactorBatch | StackedCountFactorBatch
-
-
-@dataclass(frozen=True)
-class AssessmentPlan:
-    """Topology-only compilation of a network's feedback structures.
-
-    Holds everything the embedded engine derives from the structure list
-    alone — directed owner-edge layout (grouped by mapping for the segment
-    products), received-cell layout, the phase-2 transmission list and the
-    arity-bucketed gather/scatter operands — so a multi-attribute assessment
-    compiles them exactly once per network version and shares them across
-    attributes and EM rounds.
-    """
-
-    identifiers: Tuple[str, ...]
-    structure_mappings: Tuple[Tuple[str, ...], ...]
-    owners: TMapping[str, str]
-    mapping_names: Tuple[str, ...]
-    mapping_index: TMapping[str, int]
-    edge_mapping: np.ndarray
-    segment_starts: np.ndarray
-    edge_count: int
-    recv_count: int
-    tx_src: np.ndarray
-    tx_dest: np.ndarray
-    tx_feedback: np.ndarray
-    batches: Tuple[_PlanBatch, ...]
-
-    @property
-    def structure_count(self) -> int:
-        return len(self.identifiers)
-
-    @property
-    def mapping_count(self) -> int:
-        return len(self.mapping_names)
+#: The assessment plan *is* the shared sweep-plan IR — the historical name
+#: is kept because it is public API (re-exported by :mod:`repro.core`).
+AssessmentPlan = SweepPlan
 
 
 def compile_assessment_plan(
@@ -327,152 +221,14 @@ def compile_assessment_plan(
     ``structures`` lists the network's cycles and parallel paths in the
     order :func:`repro.core.analysis.analyze_network` numbers them, so the
     per-attribute :class:`~repro.core.feedback.Feedback` evidence derived
-    from the same structures aligns with the plan index for index.  Raises
-    :class:`~repro.exceptions.FactorGraphError` for structures beyond the
-    compiled arity limit (callers fall back to the sequential engine).
+    from the same structures aligns with the plan index for index.  A thin
+    assessment-flavoured wrapper over
+    :func:`repro.factorgraph.plan.compile_sweep_plan`: owners default to
+    the mapping-name convention (:func:`~repro.core.local_graph.
+    mapping_owner`) and structures keep the historical two-mapping floor.
     """
-    normalized: List[Tuple[str, Tuple[str, ...]]] = [
-        (identifier, tuple(names)) for identifier, names in structures
-    ]
-    owner_map: Dict[str, str] = {}
-    mapping_list: List[str] = []
-    for identifier, names in normalized:
-        if len(names) < 2:
-            raise FeedbackError(
-                f"structure {identifier!r} needs at least two mappings, "
-                f"got {names!r}"
-            )
-        for name in names:
-            if name not in owner_map:
-                if owners is not None and name in owners:
-                    owner_map[name] = owners[name]
-                else:
-                    owner_map[name] = mapping_owner(name)
-                mapping_list.append(name)
-    mapping_index = {name: index for index, name in enumerate(mapping_list)}
-
-    # Directed owner edges (mapping, structure), grouped contiguously by
-    # mapping so phase 1 and the posterior read are single segment products.
-    structures_of: Dict[str, List[int]] = {name: [] for name in mapping_list}
-    for structure_index, (_, names) in enumerate(normalized):
-        for name in names:
-            structures_of[name].append(structure_index)
-    edge_rows: Dict[Tuple[str, int], int] = {}
-    edge_mapping_list: List[int] = []
-    for m_index, name in enumerate(mapping_list):
-        for structure_index in structures_of[name]:
-            edge_rows[(name, structure_index)] = len(edge_mapping_list)
-            edge_mapping_list.append(m_index)
-    edge_mapping = np.asarray(edge_mapping_list, dtype=np.int64)
-    if len(edge_mapping):
-        is_start = np.empty(len(edge_mapping), dtype=bool)
-        is_start[0] = True
-        is_start[1:] = edge_mapping[1:] != edge_mapping[:-1]
-        segment_starts = np.flatnonzero(is_start)
-    else:
-        segment_starts = np.empty(0, dtype=np.int64)
-    edge_count = len(edge_mapping)
-
-    # Received cells (peer, structure, remote mapping): one per replica a
-    # peer holds of a structure it does not own every mapping of.
-    recv_rows: Dict[Tuple[str, int, str], int] = {}
-    for structure_index, (_, names) in enumerate(normalized):
-        for peer in dict.fromkeys(owner_map[name] for name in names):
-            for name in names:
-                if owner_map[name] != peer:
-                    recv_rows.setdefault(
-                        (peer, structure_index, name), len(recv_rows)
-                    )
-
-    # Transmission list in the exact order the sequential engine walks it
-    # (structure → sender mapping → recipient mapping), so per-attribute rng
-    # streams are consumed identically.
-    tx_src: List[int] = []
-    tx_dest: List[int] = []
-    tx_feedback: List[int] = []
-    for structure_index, (_, names) in enumerate(normalized):
-        for name in names:
-            sender = owner_map[name]
-            source_edge = edge_rows[(name, structure_index)]
-            for other in names:
-                recipient = owner_map[other]
-                if recipient == sender:
-                    continue
-                tx_src.append(source_edge)
-                tx_dest.append(recv_rows[(recipient, structure_index, name)])
-                tx_feedback.append(structure_index)
-
-    # Arity buckets with index-array gather/scatter plans.
-    by_arity: Dict[int, List[int]] = {}
-    for structure_index, (_, names) in enumerate(normalized):
-        by_arity.setdefault(len(names), []).append(structure_index)
-    batches: List[_PlanBatch] = []
-    for arity, structure_indices in by_arity.items():
-        # Long structures switch to the count-space kernels instead of being
-        # rejected: the feedback CPTs are count-symmetric, so there is no
-        # compiled arity limit any more (the dense einsum path keeps the
-        # short buckets, where it wins; COUNT_KERNEL_MIN_ARITY never
-        # exceeds the dense MAX_COMPILED_ARITY, which the constants tests
-        # pin).
-        use_count_kernel = arity >= COUNT_KERNEL_MIN_ARITY
-        gather: List[Tuple[Optional[np.ndarray], ...]] = []
-        scatter: List[np.ndarray] = []
-        for target in range(arity):
-            target_rows = np.asarray(
-                [
-                    edge_rows[(normalized[si][1][target], si)]
-                    for si in structure_indices
-                ],
-                dtype=np.int64,
-            )
-            per_source: List[Optional[np.ndarray]] = []
-            for source in range(arity):
-                if source == target:
-                    per_source.append(None)
-                    continue
-                pool_ids: List[int] = []
-                for si in structure_indices:
-                    names = normalized[si][1]
-                    target_name, source_name = names[target], names[source]
-                    owner = owner_map[target_name]
-                    if owner_map[source_name] == owner:
-                        pool_ids.append(edge_rows[(source_name, si)])
-                    else:
-                        pool_ids.append(
-                            edge_count + recv_rows[(owner, si, source_name)]
-                        )
-                per_source.append(np.asarray(pool_ids, dtype=np.int64))
-            gather.append(tuple(per_source))
-            scatter.append(target_rows)
-        batches.append(
-            _PlanBatch(
-                arity=arity,
-                feedback_indices=np.asarray(structure_indices, dtype=np.int64),
-                gather=tuple(gather),
-                scatter=tuple(scatter),
-                incorrect_counts=(
-                    np.arange(arity + 1, dtype=np.int64)
-                    if use_count_kernel
-                    else np.indices((2,) * arity).sum(axis=0)
-                ),
-                use_count_kernel=use_count_kernel,
-            )
-        )
-
-    return AssessmentPlan(
-        identifiers=tuple(identifier for identifier, _ in normalized),
-        structure_mappings=tuple(names for _, names in normalized),
-        owners=owner_map,
-        mapping_names=tuple(mapping_list),
-        mapping_index=mapping_index,
-        edge_mapping=edge_mapping,
-        segment_starts=segment_starts,
-        edge_count=edge_count,
-        recv_count=len(recv_rows),
-        tx_src=np.asarray(tx_src, dtype=np.int64),
-        tx_dest=np.asarray(tx_dest, dtype=np.int64),
-        tx_feedback=np.asarray(tx_feedback, dtype=np.int64),
-        batches=tuple(batches),
+    return compile_sweep_plan(
+        structures, owners=owners, min_mappings=2, default_owner=mapping_owner
     )
 
 
@@ -551,6 +307,9 @@ class BatchedEmbeddedMessagePassing:
         supply them explicitly.
     options:
         Iteration control, shared by all lanes.
+    executor:
+        Sweep executor (name or instance) the compiled plan runs on; the
+        default resolves :data:`repro.constants.DEFAULT_EXECUTOR`.
     """
 
     def __init__(
@@ -563,6 +322,7 @@ class BatchedEmbeddedMessagePassing:
         seed: Optional[int] = DEFAULT_SEED,
         transports: Optional[TMapping[str, MessageTransport]] = None,
         options: Optional[EmbeddedOptions] = None,
+        executor: object = None,
     ) -> None:
         if isinstance(priors, PriorBeliefStore):
             raise FeedbackError(
@@ -595,7 +355,7 @@ class BatchedEmbeddedMessagePassing:
                     transport=transports.get(attribute) if transports else None,
                 )
             )
-        self._setup(plan, lanes, send_probability, seed, options)
+        self._setup(plan, lanes, send_probability, seed, options, executor)
 
     @classmethod
     def from_lanes(
@@ -605,6 +365,7 @@ class BatchedEmbeddedMessagePassing:
         send_probability: float = DEFAULT_SEND_PROBABILITY,
         seed: Optional[int] = DEFAULT_SEED,
         options: Optional[EmbeddedOptions] = None,
+        executor: object = None,
     ) -> "BatchedEmbeddedMessagePassing":
         """Build an engine from explicit lanes (evidence subsets).
 
@@ -614,7 +375,7 @@ class BatchedEmbeddedMessagePassing:
         per-call transports.
         """
         engine = object.__new__(cls)
-        engine._setup(plan, list(lanes), send_probability, seed, options)
+        engine._setup(plan, list(lanes), send_probability, seed, options, executor)
         return engine
 
     def _setup(
@@ -624,9 +385,11 @@ class BatchedEmbeddedMessagePassing:
         send_probability: float,
         seed: Optional[int],
         options: Optional[EmbeddedOptions],
+        executor: object = None,
     ) -> None:
         self.plan = plan
         self.options = options or EmbeddedOptions()
+        self._executor = get_executor(executor)
         self.lane_keys: Tuple[str, ...] = tuple(lane.key for lane in lanes)
         #: Historical alias of :attr:`lane_keys` (attribute names when built
         #: through the keyword constructor).
@@ -786,40 +549,34 @@ class BatchedEmbeddedMessagePassing:
     # -- the three phases, stacked ------------------------------------------------------
 
     def _run_round(self) -> None:
-        """One full round over every live lane (no per-lane indexing)."""
+        """One full round over every live lane (no per-lane indexing).
+
+        Phases 1 and 3 are the executor's (:meth:`NumpyExecutor.run_round`
+        over the shared plan); the transport exchange rides in the phase-2
+        callback slot and the posterior snapshot stays engine-side.
+        """
         plan = self.plan
-        # Phase 1: one exclusive segment product over all live lanes.
-        exclusive = segment_exclusive_products(
-            self._f2v, plan.segment_starts, plan.edge_mapping
+        state = SweepState(
+            v2f=self._v2f,
+            f2v=self._f2v,
+            recv=self._recv,
+            kernels=self._kernels,
+            prior_edges=self._prior_edges,
         )
-        self._v2f = normalize_rows(self._prior_edges * exclusive)
-        # Phase 2: the transport exchange.
-        self._exchange()
-        # Phase 3: stacked einsum sweeps per arity bucket.
-        if plan.recv_count:
-            pool = np.concatenate((self._v2f, self._recv), axis=1)
-        else:
-            pool = self._v2f
-        for batch, kernel in zip(plan.batches, self._kernels):
-            for target in range(batch.arity):
-                incoming = [
-                    None if ids is None else pool[:, ids]
-                    for ids in batch.gather[target]
-                ]
-                fresh = normalize_rows(kernel.messages_toward(target, incoming))
-                self._f2v[:, batch.scatter[target]] = fresh
+        self._executor.run_round(plan, state, exchange=self._exchange)
+        self._v2f = state.v2f
         # Posterior snapshot of the live lanes.
         products = segment_products(self._f2v, plan.segment_starts)
         self._post = normalize_rows(self._priors * products)
 
-    def _exchange(self) -> None:
+    def _exchange(self, state: SweepState) -> None:
         plan = self.plan
         if plan.tx_src.size == 0:
             return
         if self._lossless:
             # Deliver everything in one stacked scatter; neutral cells are
             # only ever read by neutral (all-ones) factor sweeps.
-            self._recv[:, plan.tx_dest] = self._v2f[:, plan.tx_src]
+            self._recv[:, plan.tx_dest] = state.v2f[:, plan.tx_src]
             for row, lane in enumerate(self._live):
                 count = int(self._lane_tx[lane].size)
                 if count:
@@ -836,7 +593,7 @@ class BatchedEmbeddedMessagePassing:
                 delivered = positions[mask]
             else:
                 continue
-            self._recv[row, plan.tx_dest[delivered]] = self._v2f[
+            self._recv[row, plan.tx_dest[delivered]] = state.v2f[
                 row, plan.tx_src[delivered]
             ]
 
@@ -983,9 +740,11 @@ class BlockedEmbeddedMessagePassing:
         send_probability: float = DEFAULT_SEND_PROBABILITY,
         seed: Optional[int] = DEFAULT_SEED,
         options: Optional[EmbeddedOptions] = None,
+        executor: object = None,
     ) -> None:
         self.plan = plan
         self.options = options or EmbeddedOptions()
+        self._executor = get_executor(executor)
         lanes = list(lanes)
         self.lane_keys: Tuple[str, ...] = tuple(lane.key for lane in lanes)
         if len(set(self.lane_keys)) != len(self.lane_keys):
@@ -1100,31 +859,26 @@ class BlockedEmbeddedMessagePassing:
 
         # Per-structure factor tables, stacked with a unit lane axis so the
         # shared stacked kernels (dense einsum or count space) apply
-        # unchanged; each bucket becomes a rebindable _LiveBucket so frozen
-        # blocks can be compacted out without touching the shared plan.
-        self._buckets: List[_LiveBucket] = []
+        # unchanged.  Kernels and the per-bucket structure → lane ownership
+        # ride beside the live plan; compaction rebuilds all three.
+        self._kernels: List[StackedFactorBatch | StackedCountFactorBatch] = []
+        self._bucket_lanes: List[np.ndarray] = []
         for batch in plan.batches:
             kind_b = kind_codes[batch.feedback_indices]
             tables = _bucket_tables(
                 kind_b, structure_delta[batch.feedback_indices], batch
             )
-            self._buckets.append(
-                _LiveBucket(
-                    arity=batch.arity,
-                    lanes=structure_lane[batch.feedback_indices],
-                    gather=[list(per_target) for per_target in batch.gather],
-                    scatter=list(batch.scatter),
-                    kernel=_bucket_kernel(tables[None], batch),
-                )
-            )
+            self._kernels.append(_bucket_kernel(tables[None], batch))
+            self._bucket_lanes.append(structure_lane[batch.feedback_indices])
 
-        # Shared block-diagonal state (unit lane axis).  Everything below is
-        # the *live* view: initially it covers the whole plan, and
-        # _compact_frozen rebinds it to the still-running blocks as lanes
-        # converge.  Per-row lane ownership (edges via their mapping,
-        # received cells via the structure of the transmissions writing
-        # them, transmissions via their structure) is what compaction keys
-        # on.
+        # Shared block-diagonal state (unit lane axis).  ``_plan_live`` is
+        # the *live* view of the compiled plan: initially the plan itself,
+        # and _compact_frozen rebinds it (``dataclasses.replace``, never
+        # mutation) to the still-running blocks as lanes converge.  Per-row
+        # lane ownership (edges via their mapping, received cells via the
+        # structure of the transmissions writing them, transmissions via
+        # their structure) is what compaction keys on.
+        self._plan_live: SweepPlan = plan
         self._edge_lane = (
             mapping_lane[plan.edge_mapping]
             if plan.edge_count
@@ -1136,16 +890,9 @@ class BlockedEmbeddedMessagePassing:
         self._recv_lane = recv_lane
         self._tx_lane = tx_lane
         self._tx_informative = tx_informative
-        self._tx_src = plan.tx_src
-        self._tx_dest = plan.tx_dest
-        self._edge_mapping = plan.edge_mapping
-        self._segment_starts = plan.segment_starts
-        # Segment index per edge and the mapping id behind each posterior
-        # row; initially segments coincide with mapping ids (every mapping
-        # owns >= 1 edge, grouped in mapping order).
-        self._segment_of_edge = plan.edge_mapping
-        self._post_mappings = np.arange(plan.mapping_count, dtype=np.int64)
-        self._post_priors = self._priors
+        # The mapping id behind each posterior row (the live plan's segment
+        # owners) and their prior rows.
+        self._post_priors = self._priors[plan.segment_mapping]
         #: Current posterior row of each lane's active mappings (equal to
         #: ``_active_indices`` until a compaction renumbers the rows).
         self._active_rows: List[np.ndarray] = list(self._active_indices)
@@ -1186,40 +933,35 @@ class BlockedEmbeddedMessagePassing:
     def _run_round(self, sending: Sequence[int]) -> None:
         """One full round over the live view; ``sending`` lists the lane ids
         still exchanging."""
-        self.round_edge_counts.append(int(self._edge_mapping.size))
-        exclusive = segment_exclusive_products(
-            self._f2v, self._segment_starts, self._segment_of_edge
+        plan = self._plan_live
+        self.round_edge_counts.append(int(plan.edge_count))
+        state = SweepState(
+            v2f=self._v2f,
+            f2v=self._f2v,
+            recv=self._recv,
+            kernels=self._kernels,
+            prior_edges=self._prior_edges,
         )
-        self._v2f = normalize_rows(self._prior_edges * exclusive)
-        self._exchange(sending)
-        if self._recv.shape[1]:
-            pool = np.concatenate((self._v2f, self._recv), axis=1)
-        else:
-            pool = self._v2f
-        for bucket in self._buckets:
-            for target in range(bucket.arity):
-                incoming = [
-                    None if ids is None else pool[:, ids]
-                    for ids in bucket.gather[target]
-                ]
-                fresh = normalize_rows(
-                    bucket.kernel.messages_toward(target, incoming)
-                )
-                self._f2v[:, bucket.scatter[target]] = fresh
+        self._executor.run_round(
+            plan, state, exchange=lambda s: self._exchange(sending, s)
+        )
+        self._v2f = state.v2f
         self._post = normalize_rows(
             self._post_priors[None]
-            * segment_products(self._f2v, self._segment_starts)
+            * segment_products(self._f2v, plan.segment_starts)
         )
 
-    def _exchange(self, sending: Sequence[int]) -> None:
+    def _exchange(self, sending: Sequence[int], state: SweepState) -> None:
+        tx_src = self._plan_live.tx_src
+        tx_dest = self._plan_live.tx_dest
         for lane_id in sending:
             positions = self._lane_tx[lane_id]
             if positions.size == 0:
                 continue
             transport = self._transports[lane_id]
             if transport.send_probability >= 1.0:
-                self._recv[0, self._tx_dest[positions]] = self._v2f[
-                    0, self._tx_src[positions]
+                self._recv[0, tx_dest[positions]] = state.v2f[
+                    0, tx_src[positions]
                 ]
                 transport.statistics.record_many(
                     int(positions.size), int(positions.size)
@@ -1232,8 +974,8 @@ class BlockedEmbeddedMessagePassing:
                 delivered = positions[mask]
             else:
                 continue
-            self._recv[0, self._tx_dest[delivered]] = self._v2f[
-                0, self._tx_src[delivered]
+            self._recv[0, tx_dest[delivered]] = state.v2f[
+                0, tx_src[delivered]
             ]
 
     def _compact_frozen(self, frozen: Sequence[int]) -> None:
@@ -1259,7 +1001,8 @@ class BlockedEmbeddedMessagePassing:
             keep[in_lane] = ~dead[lane_of[in_lane]]
             return keep
 
-        old_edge_count = self._edge_mapping.size
+        old = self._plan_live
+        old_edge_count = old.edge_count
         keep_edges = keep_rows(self._edge_lane)
         keep_recv = keep_rows(self._recv_lane)
         edge_renumber = np.cumsum(keep_edges) - 1
@@ -1275,25 +1018,37 @@ class BlockedEmbeddedMessagePassing:
             ]
             return remapped
 
-        buckets: List[_LiveBucket] = []
-        for bucket in self._buckets:
-            keep = keep_rows(bucket.lanes)
+        batches: List[BucketPlan] = []
+        kernels: List[StackedFactorBatch | StackedCountFactorBatch] = []
+        bucket_lanes: List[np.ndarray] = []
+        for bucket, kernel, lanes in zip(
+            old.batches, self._kernels, self._bucket_lanes
+        ):
+            keep = keep_rows(lanes)
             if not keep.any():
                 continue
-            bucket.gather = [
+            gather = [
                 [
                     None if ids is None else remap_pool(ids[keep])
                     for ids in per_target
                 ]
                 for per_target in bucket.gather
             ]
-            bucket.scatter = [
-                edge_renumber[rows[keep]] for rows in bucket.scatter
-            ]
-            bucket.lanes = bucket.lanes[keep]
-            bucket.kernel = type(bucket.kernel)(bucket.kernel.tables[:, keep])
-            buckets.append(bucket)
-        self._buckets = buckets
+            scatter = [edge_renumber[rows[keep]] for rows in bucket.scatter]
+            batches.append(
+                make_bucket(
+                    bucket.arity,
+                    bucket.feedback_indices[keep],
+                    gather,
+                    scatter,
+                    bucket.use_count_kernel,
+                    incorrect_counts=bucket.incorrect_counts,
+                )
+            )
+            kernels.append(type(kernel)(kernel.tables[:, keep]))
+            bucket_lanes.append(lanes[keep])
+        self._kernels = kernels
+        self._bucket_lanes = bucket_lanes
 
         self._v2f = self._v2f[:, keep_edges]
         self._f2v = self._f2v[:, keep_edges]
@@ -1301,22 +1056,32 @@ class BlockedEmbeddedMessagePassing:
         self._prior_edges = self._prior_edges[:, keep_edges]
         self._edge_lane = self._edge_lane[keep_edges]
         self._recv_lane = self._recv_lane[keep_recv]
-        self._edge_mapping = self._edge_mapping[keep_edges]
-        if self._edge_mapping.size:
-            is_start = np.empty(self._edge_mapping.size, dtype=bool)
-            is_start[0] = True
-            is_start[1:] = self._edge_mapping[1:] != self._edge_mapping[:-1]
-            self._segment_starts = np.flatnonzero(is_start)
-            self._segment_of_edge = np.cumsum(is_start) - 1
-            self._post_mappings = self._edge_mapping[self._segment_starts]
-        else:
-            self._segment_starts = np.empty(0, dtype=np.int64)
-            self._segment_of_edge = np.empty(0, dtype=np.int64)
-            self._post_mappings = np.empty(0, dtype=np.int64)
-        self._post_priors = self._priors[self._post_mappings]
+        edge_mapping = old.edge_mapping[keep_edges]
+        starts, seg_of_edge, seg_ids = segment_plan(edge_mapping)
+        self._post_priors = self._priors[seg_ids]
+
+        keep_tx = keep_rows(self._tx_lane)
+        self._plan_live = replace(
+            old,
+            edge_mapping=edge_mapping,
+            edge_structure=old.edge_structure[keep_edges],
+            segment_starts=starts,
+            segment_of_edge=seg_of_edge,
+            segment_mapping=seg_ids,
+            edge_count=new_edge_count,
+            recv_count=int(keep_recv.sum()),
+            recv_cells=tuple(
+                cell for cell, kept in zip(old.recv_cells, keep_recv) if kept
+            ),
+            tx_src=edge_renumber[old.tx_src[keep_tx]],
+            tx_dest=recv_renumber[old.tx_dest[keep_tx]],
+            tx_feedback=old.tx_feedback[keep_tx],
+            tx_mapping=old.tx_mapping[keep_tx],
+            batches=tuple(batches),
+        )
 
         mapping_row = np.full(self.plan.mapping_count, -1, dtype=np.int64)
-        mapping_row[self._post_mappings] = np.arange(self._post_mappings.size)
+        mapping_row[seg_ids] = np.arange(seg_ids.size)
         self._active_rows = [
             np.empty(0, dtype=np.int64)
             if self._lane_compacted[lane_id] or not self._lane_informative[lane_id]
@@ -1324,9 +1089,6 @@ class BlockedEmbeddedMessagePassing:
             for lane_id in range(lane_count)
         ]
 
-        keep_tx = keep_rows(self._tx_lane)
-        self._tx_src = edge_renumber[self._tx_src[keep_tx]]
-        self._tx_dest = recv_renumber[self._tx_dest[keep_tx]]
         self._tx_lane = self._tx_lane[keep_tx]
         self._tx_informative = self._tx_informative[keep_tx]
         self._lane_tx = [
@@ -1338,7 +1100,7 @@ class BlockedEmbeddedMessagePassing:
         # surviving rows carry exactly the values they had before.
         self._post = normalize_rows(
             self._post_priors[None]
-            * segment_products(self._f2v, self._segment_starts)
+            * segment_products(self._f2v, starts)
         )
 
     # -- public API ---------------------------------------------------------------------

@@ -25,21 +25,26 @@ The engine keeps its message state in three stacked ``(rows, 2)`` matrices:
 * ``_v2f_mat`` / ``_f2v_mat`` — one row per directed *owner edge*
   ``(mapping, feedback)``, grouped contiguously by mapping so phase 1 is a
   single zero-aware segment product
-  (:func:`~repro.factorgraph.compiled.segment_exclusive_products`) over the
+  (:func:`~repro.factorgraph.plan.segment_exclusive_products`) over the
   factor→variable matrix, and posteriors are one inclusive segment product.
 * ``_recv_mat`` — one row per *received cell* ``(peer, feedback, remote
   mapping)``, the last remote message a peer received for a replica.
 
-Phase 2 (the transport exchange) is a single vectorized Bernoulli mask over
-the precomputed transmission list (``_tx_src`` → ``_tx_dest`` index arrays);
-phase 3 gathers the einsum operands for each
-:class:`~repro.factorgraph.compiled.FactorBatch` by fancy indexing into the
-concatenated message pool and scatters the fresh factor→variable rows back
-by edge id.  The historical dict-of-dicts state survives behind
-``backend="dicts"`` as the loop reference the parity tests and the
-throughput benchmark compare against; the array backend exposes the same
-``_f2v`` / ``_v2f`` / ``_received`` attributes as thin read-only dict views
-over the matrices, so introspection code works against either backend.
+That layout is no longer derived per engine: construction lowers the
+feedback list to a shared :class:`~repro.factorgraph.plan.SweepPlan`
+(:func:`~repro.factorgraph.plan.compile_sweep_plan`), the plan IR capturing
+once the edge row space, segment index plans, transmission list
+(``tx_src`` → ``tx_dest`` index arrays) and arity-bucketed kernel batches,
+and every phase of a round is delegated to a pluggable *executor*
+(:func:`~repro.factorgraph.plan.get_executor`): phase 2 is one vectorized
+Bernoulli mask over the plan's transmission list; phase 3 gathers each
+bucket's operands by fancy indexing into the concatenated message pool and
+scatters the fresh factor→variable rows back by edge id.  The historical
+dict-of-dicts state survives behind ``backend="dicts"`` as the loop
+reference the parity tests and the throughput benchmark compare against;
+the array backend exposes the same ``_f2v`` / ``_v2f`` / ``_received``
+attributes as thin read-only dict views over the matrices, so introspection
+code works against either backend.
 
 The Bernoulli keep/send decisions are drawn from the transport's single
 ``random.Random`` stream in transmission order by both backends
@@ -47,59 +52,72 @@ The Bernoulli keep/send decisions are drawn from the transport's single
 :meth:`MessageTransport.try_send`), so lossy runs with a shared seed make
 identical drop decisions and stay reproducible across backends.
 
-Backend / engine matrix
------------------------
-Four interchangeable executions of the same decentralised algorithm exist;
-all agree on posteriors to floating-point accuracy under shared seeds:
+Plan lowering × executor matrix
+-------------------------------
+Every array-state execution of the decentralised algorithm is a point on
+two orthogonal axes — *how the structures are lowered* to a
+:class:`~repro.factorgraph.plan.SweepPlan` and *which executor runs its
+rounds*; all combinations agree on posteriors to floating-point accuracy
+under shared seeds (the per-message ``backend="dicts"`` state sits off the
+matrix as the loop reference everything is compared against).
 
-===========================  ==========================  =======================================
-engine                       state                       selected when
-===========================  ==========================  =======================================
-``EmbeddedMessagePassing``   per-message dicts           ``backend="dicts"`` — the loop
-(``backend="dicts"``)                                    reference for parity tests and the
-                                                         embedded throughput benchmark.
-``EmbeddedMessagePassing``   ``(edges, 2)`` matrices     ``backend="arrays"`` — the default for
-(``backend="arrays"``)                                   single-attribute runs
-                                                         (``assess_attribute``,
-                                                         ``assess_local``, schedules,
-                                                         experiments driving one engine).
-``BatchedEmbeddedMessage-    ``(lanes, edges, 2)``       Multi-attribute assessor sweeps
-Passing``                    stacked matrices over one   (``assess_attributes`` /
-(:mod:`repro.core.batched`)  compiled                    ``assess_all_attributes`` / EM rounds)
-                             ``AssessmentPlan``          when ``use_batched_engine`` (default)
-                                                         and the structure cache are enabled;
-                                                         one lane per attribute over the full
-                                                         structure list (``from_lanes`` binds
-                                                         arbitrary evidence subsets);
-                                                         structures of any arity compile —
-                                                         long buckets ride the count-space
-                                                         kernels (see below).
-``BlockedEmbeddedMessage-    block-diagonal shared       Per-origin decentralised sweeps
-Passing``                    rows over a per-origin      (``assess_locals`` /
-(:mod:`repro.core.batched`)  instance                    ``assess_local_all``): lanes bind
-                             ``AssessmentPlan``          *disjoint* structure blocks (one per
-                                                         origin), so they pack into one shared
-                                                         row space — per-round work equals the
-                                                         sequential engines' total, and frozen
-                                                         origins' blocks are compacted out so
-                                                         it *shrinks* as lanes converge —
-                                                         while keeping per-lane rng streams
-                                                         and convergence counters.
-===========================  ==========================  =======================================
+Lowering axis — who calls
+:func:`~repro.factorgraph.plan.compile_sweep_plan` and with what row space:
 
-Orthogonal to the engine choice is the *kernel family* evaluating each
-factor bucket, selected per structure by the crossover rule: feedback
-factors below :data:`repro.constants.COUNT_KERNEL_MIN_ARITY` mappings keep
-the dense ``FactorBatch`` / ``StackedFactorBatch`` einsum over ``(2,)**
-arity`` tables (tiny tables, one einsum per sweep — fastest for short
-cycles); factors at or beyond the crossover become count-space
-:class:`~repro.factorgraph.factors.CountFactor` replicas evaluated by
-``CountFactorBatch`` / ``StackedCountFactorBatch`` from the ``arity + 1``
-count-value vector in O(arity) per message — which is what lets every
-engine (and the loop references, via ``CountFactor.message_to``) run
-structures far beyond the historical dense limit of
+=============================  ========================================
+lowering                       plan shape / selected when
+=============================  ========================================
+``EmbeddedMessagePassing``     Lowers its single feedback list with
+(``backend="arrays"``)         ``min_mappings=1``; one ``(edges, 2)``
+                               matrix per state.  Default for
+                               single-attribute runs
+                               (``assess_attribute``, ``assess_local``,
+                               schedules, one-engine experiments).
+``BatchedEmbeddedMessage-      Lowers the assessor's structure
+Passing``                      signatures once
+(:mod:`repro.core.batched`)    (``compile_assessment_plan``) and stacks
+                               ``(lanes, edges, 2)`` matrices over the
+                               shared plan — one lane per attribute
+                               (``from_lanes`` binds arbitrary evidence
+                               subsets).  Default for multi-attribute
+                               assessor sweeps and EM rounds.
+``BlockedEmbeddedMessage-      Same assessment-plan lowering over
+Passing``                      *disjoint* per-origin structure blocks
+(:mod:`repro.core.batched`)    packed into one shared row space
+                               (``assess_locals`` /
+                               ``assess_local_all``); frozen origins'
+                               blocks are compacted out of the live
+                               plan, so per-round work *shrinks* as
+                               lanes converge.
+``CompiledFactorGraph``        Lowers a centralised
+(:mod:`repro.factorgraph`)     :class:`~repro.factorgraph.graph.FactorGraph`
+                               (``lower_factor_graph``) for the
+                               vectorized sum-product backend — same IR,
+                               factor-major edge rows.
+=============================  ========================================
+
+Executor axis — any engine above accepts ``executor=`` (defaulting to
+:data:`repro.constants.DEFAULT_EXECUTOR`, i.e. the ``REPRO_EXECUTOR``
+environment variable):
+
+* ``"numpy"`` — sequential NumPy kernels, bit-identical to the historical
+  per-engine sweeps.
+* ``"threaded"`` — fans independent arity buckets out to a shared thread
+  pool; buckets scatter to disjoint edge rows, so results stay
+  bit-identical to the NumPy executor.
+
+The *kernel crossover rule* is stated once, in the plan IR, and applied by
+every lowering: a feedback factor with ``arity >=``
+:data:`repro.constants.COUNT_KERNEL_MIN_ARITY` mappings is represented as a
+count-space :class:`~repro.factorgraph.factors.CountFactor` replica and its
+bucket evaluated by ``CountFactorBatch`` / ``StackedCountFactorBatch`` from
+the ``arity + 1`` count-value vector in O(arity) per message — which lets
+every engine (and the loop references, via ``CountFactor.message_to``) run
+structures far beyond the dense limit of
 :data:`repro.constants.MAX_COMPILED_ARITY` slots with O(arity) factor
-memory.
+memory; below the crossover the dense ``FactorBatch`` /
+``StackedFactorBatch`` einsum over ``(2,)**arity`` tables wins (tiny
+tables, one einsum per sweep — fastest for short cycles).
 
 Rng-stream reproducibility contract: every engine consumes its transport's
 ``random.Random`` uniforms in the same transmission order (structure →
@@ -108,18 +126,22 @@ The batched engines keep one independently seeded stream per lane — exactly
 the fresh per-call transport the sequential assessor builds per attribute
 (global sweeps) or per origin (local sweeps); per-origin lanes additionally
 keep each origin's own structure enumeration order and cycle orientation —
-so for a shared seed all four executions make identical drop decisions,
-lane for lane, and lossy posteriors match bit for bit in practice.
+so for a shared seed every lowering × executor combination makes identical
+drop decisions, lane for lane, and lossy posteriors match bit for bit in
+practice (the executors never touch the rng — the exchange phase stays on
+the engine).
 
-Compiled-kernel equivalence contract
-------------------------------------
-The factor→variable sweep of every round is routed through the same batched
-:class:`~repro.factorgraph.compiled.FactorBatch` einsum kernels that power
-the vectorized :class:`~repro.factorgraph.sum_product.SumProduct` backend:
-the feedback-factor replicas are grouped by table shape once at construction
-and each round computes all messages of a group with one ``einsum`` per
-target slot.  The kernels evaluate exactly the sum–product expression the
-scalar :meth:`repro.factorgraph.factors.Factor.message_to` evaluates, so
+Plan-IR equivalence contract
+----------------------------
+The factor→variable sweep of every round is routed through the kernels
+re-exported by :mod:`repro.factorgraph.plan` — the same batched
+:class:`~repro.factorgraph.plan.FactorBatch` einsum / count-space kernels
+that power the vectorized
+:class:`~repro.factorgraph.sum_product.SumProduct` backend: the
+feedback-factor replicas are grouped into arity buckets once at lowering
+and each round evaluates a bucket's messages in one fused kernel call.
+The kernels evaluate exactly the sum–product expression the scalar
+:meth:`repro.factorgraph.factors.Factor.message_to` evaluates, so
 posteriors agree with the loop formulation to floating-point accuracy.
 Convergence defaults (tolerance, round cap, seeding) are shared with the
 centralised engine through :mod:`repro.constants`.
@@ -141,11 +163,13 @@ from ..constants import (
     DEFAULT_TOLERANCE,
 )
 from ..exceptions import ConvergenceError, FeedbackError
-from ..factorgraph.compiled import (
+from ..factorgraph.plan import (
     CountFactorBatch,
     FactorBatch,
+    SweepPlan,
+    compile_sweep_plan,
+    get_executor,
     normalize_rows,
-    segment_exclusive_products,
     segment_products,
 )
 from ..factorgraph.factors import CountFactor, Factor
@@ -388,10 +412,18 @@ class EmbeddedMessagePassing:
         Optional explicit mapping→peer ownership (defaults to each mapping's
         source peer).
     backend:
-        ``"arrays"`` (default) runs every phase on the stacked message
-        matrices; ``"dicts"`` keeps the historical per-message dict state as
-        the loop reference.  Both produce posteriors matching to
-        floating-point accuracy under identical transport seeds.
+        ``"arrays"`` (default) lowers the feedback structures to a shared
+        :class:`~repro.factorgraph.plan.SweepPlan` and delegates every
+        phase to the configured executor; ``"dicts"`` keeps the historical
+        per-message dict state as the loop reference.  Both produce
+        posteriors matching to floating-point accuracy under identical
+        transport seeds.
+    executor:
+        Executor of the compiled plan (arrays backend only): an executor
+        name (``"numpy"`` / ``"threaded"``), an executor object, or
+        ``None`` for the configured default
+        (:data:`repro.constants.DEFAULT_EXECUTOR`).  Both executors are
+        bit-identical; they differ only in wall-clock.
     """
 
     def __init__(
@@ -403,6 +435,7 @@ class EmbeddedMessagePassing:
         options: Optional[EmbeddedOptions] = None,
         owners: Optional[TMapping[str, str]] = None,
         backend: str = STATE_ARRAYS,
+        executor: object = None,
     ) -> None:
         if backend not in (STATE_ARRAYS, STATE_DICTS):
             raise FeedbackError(
@@ -410,6 +443,7 @@ class EmbeddedMessagePassing:
                 f"expected {STATE_ARRAYS!r} or {STATE_DICTS!r}"
             )
         self.backend = backend
+        self._executor = get_executor(executor)
         self.options = options or EmbeddedOptions()
         self.transport = transport or MessageTransport()
         self.delta = delta
@@ -465,30 +499,6 @@ class EmbeddedMessagePassing:
 
     # -- state construction ------------------------------------------------------------
 
-    def _owner_edge_layout(self) -> List[Tuple[str, str]]:
-        """Directed owner edges ``(mapping, feedback id)``, grouped by mapping.
-
-        The order matches the historical dict construction: mappings in
-        ownership order, feedbacks in each owner fragment's order.
-        """
-        edges: List[Tuple[str, str]] = []
-        for mapping_name, owner in self._owners.items():
-            fragment = self.local_graphs[owner]
-            for feedback in fragment.feedbacks_for(mapping_name):
-                edges.append((mapping_name, feedback.identifier))
-        return edges
-
-    def _received_cell_layout(self) -> List[Tuple[str, str, str]]:
-        """Received cells ``(peer, feedback id, remote mapping)`` in peer order."""
-        cells: Dict[Tuple[str, str, str], None] = {}
-        for peer, fragment in self.local_graphs.items():
-            for feedback in fragment.feedbacks:
-                for mapping_name in feedback.mapping_names:
-                    if self._owners.get(mapping_name) == peer:
-                        continue
-                    cells.setdefault((peer, feedback.identifier, mapping_name), None)
-        return list(cells)
-
     def _init_dict_state(self) -> None:
         """Historical per-message dict state (the ``"dicts"`` backend).
 
@@ -517,61 +527,72 @@ class EmbeddedMessagePassing:
             self._received[peer] = incoming
 
     def _init_array_state(self) -> None:
-        """Stacked array state (the ``"arrays"`` backend) plus dict views."""
-        edges = self._owner_edge_layout()
-        self._edge_rows: Dict[Tuple[str, str], int] = {
-            edge: row for row, edge in enumerate(edges)
-        }
-        self._edge_mapping = np.asarray(
-            [self._mapping_index[mapping_name] for mapping_name, _ in edges],
-            dtype=np.int64,
+        """Stacked array state (the ``"arrays"`` backend) plus dict views.
+
+        The layout is no longer hand-rolled: the feedback structures lower
+        to a shared :class:`~repro.factorgraph.plan.SweepPlan` (edges
+        grouped by mapping, received cells, transmission list in the
+        sequential rng order, arity buckets) and the engine keeps only the
+        name-keyed views over the plan's row space.
+        """
+        # Every (mapping, feedback) pair of a feedback must be replicated
+        # in the mapping owner's local graph; a miss means the ownership
+        # routing and the fragments disagree (a caller bug the lowering
+        # cannot detect because it derives edges from the feedbacks alone).
+        for feedback in self._feedbacks:
+            for mapping_name in feedback.mapping_names:
+                fragment = self.local_graphs[self._owners[mapping_name]]
+                if all(
+                    f.identifier != feedback.identifier
+                    for f in fragment.feedbacks_for(mapping_name)
+                ):
+                    raise FeedbackError(
+                        f"feedback {feedback.identifier!r} missing from the "
+                        f"local graph of {mapping_name!r}'s owner"
+                    )
+
+        plan = compile_sweep_plan(
+            [(f.identifier, tuple(f.mapping_names)) for f in self._feedbacks],
+            owners=self._owners,
+            min_mappings=1,
         )
-        # Every owned mapping appears in at least one feedback, and the
-        # edges are grouped by mapping in ownership order, so segment index
-        # == mapping index and the starts are the first edge of each block.
-        if len(edges):
-            is_start = np.empty(len(edges), dtype=bool)
-            is_start[0] = True
-            is_start[1:] = self._edge_mapping[1:] != self._edge_mapping[:-1]
-            self._segment_starts = np.flatnonzero(is_start)
-        else:
-            self._segment_starts = np.empty(0, dtype=np.int64)
+        self._plan: SweepPlan = plan
 
-        cells = self._received_cell_layout()
+        # Re-key the prior rows to the plan's mapping order (first
+        # appearance across feedbacks) so posterior/segment rows line up
+        # with the prior matrix index for index.
+        self._mapping_list = list(plan.mapping_names)
+        self._mapping_index = dict(plan.mapping_index)
+        self._prior_matrix = np.stack(
+            [self._prior_vectors[name] for name in self._mapping_list]
+        )
+        self._prior_vectors = {
+            name: self._prior_matrix[index]
+            for index, name in enumerate(self._mapping_list)
+        }
+        self._prior_edges = self._prior_matrix[plan.edge_mapping]
+
+        self._edge_rows: Dict[Tuple[str, str], int] = {
+            (
+                plan.mapping_names[plan.edge_mapping[row]],
+                plan.identifiers[plan.edge_structure[row]],
+            ): row
+            for row in range(plan.edge_count)
+        }
         self._recv_rows: Dict[Tuple[str, str, str], int] = {
-            cell: row for row, cell in enumerate(cells)
+            (peer, plan.identifiers[structure_index], mapping_name): row
+            for row, (peer, structure_index, mapping_name) in enumerate(
+                plan.recv_cells
+            )
         }
 
-        self._v2f_mat = np.full((len(edges), 2), 0.5)
-        self._f2v_mat = np.full((len(edges), 2), 0.5)
-        self._recv_mat = np.full((len(cells), 2), 0.5)
+        self._v2f_mat = np.full((plan.edge_count, 2), 0.5)
+        self._f2v_mat = np.full((plan.edge_count, 2), 0.5)
+        self._recv_mat = np.full((plan.recv_count, 2), 0.5)
         # Posterior beliefs only change when a factor sweep rewrites
         # _f2v_mat, so the matrix is memoised between sweeps (the "after"
         # snapshot of one round doubles as the "before" of the next).
         self._posterior_cache: Optional[np.ndarray] = None
-
-        # Transmission list of phase 2, in the exact order the dict backend
-        # walks it (feedback → sender mapping → recipient mapping), so both
-        # backends consume the transport rng identically.
-        tx_src: List[int] = []
-        tx_dest: List[int] = []
-        tx_mapping: List[int] = []
-        for feedback in self._feedbacks:
-            for mapping_name in feedback.mapping_names:
-                sender = self._owners[mapping_name]
-                source_edge = self._edge_rows[(mapping_name, feedback.identifier)]
-                for other_mapping in feedback.mapping_names:
-                    recipient = self._owners[other_mapping]
-                    if recipient == sender:
-                        continue
-                    tx_src.append(source_edge)
-                    tx_dest.append(
-                        self._recv_rows[(recipient, feedback.identifier, mapping_name)]
-                    )
-                    tx_mapping.append(self._mapping_index[mapping_name])
-        self._tx_src = np.asarray(tx_src, dtype=np.int64)
-        self._tx_dest = np.asarray(tx_dest, dtype=np.int64)
-        self._tx_mapping = np.asarray(tx_mapping, dtype=np.int64)
 
         # Read-only dict views preserving the historical attribute layout.
         per_mapping_rows: Dict[str, Dict[str, int]] = {
@@ -605,7 +626,7 @@ class EmbeddedMessagePassing:
         cycles and parallel paths past the
         :data:`~repro.constants.COUNT_KERNEL_MIN_ARITY` crossover — bucket
         by arity and run through the count-space
-        :class:`~repro.factorgraph.compiled.CountFactorBatch`, so the
+        :class:`~repro.factorgraph.plan.CountFactorBatch`, so the
         embedded engine never materialises a ``(2,)**arity`` table either.
         """
         groups: Dict[Tuple, List[Feedback]] = {}
@@ -687,58 +708,33 @@ class EmbeddedMessagePassing:
             self._batches.append((batch, gather, scatter))
 
     def _compile_array_batches(self) -> None:
-        """Index-array gather/scatter plans for the array backend.
+        """Kernels for the plan's arity buckets (array backend).
 
-        The message pool a sweep gathers from is the row-wise concatenation
-        of ``_v2f_mat`` and ``_recv_mat``: pool ids below the edge count
-        select the owner's own fresh µ_{v→F}, ids above it select the last
-        received remote copy.  ``scatter[target]`` holds the µ_{F→v} edge
-        ids the fresh rows of a target slot are written back to.
+        The gather/scatter index plans live in the compiled
+        :class:`~repro.factorgraph.plan.SweepPlan`; the engine only binds
+        each bucket to a kernel built from its factor objects — dense
+        :class:`FactorBatch` below the crossover, count-space
+        :class:`CountFactorBatch` from it on (the plan's bucket family
+        matches :func:`~repro.core.feedback.feedback_factor`'s choice of
+        factor representation, both keyed on
+        :data:`~repro.constants.COUNT_KERNEL_MIN_ARITY`).
         """
-        edge_count = len(self._edge_rows)
-        self._batches = []
-        for group in self._factor_groups():
-            batch = self._batch_for(group)
-            arity = batch.arity
-            gather: List[List[Optional[np.ndarray]]] = []
-            scatter: List[np.ndarray] = []
-            for target in range(arity):
-                target_rows: List[int] = []
-                for feedback in group:
-                    target_mapping = feedback.mapping_names[target]
-                    if (target_mapping, feedback.identifier) not in self._edge_rows:
-                        raise FeedbackError(
-                            f"feedback {feedback.identifier!r} missing from the "
-                            f"local graph of {target_mapping!r}'s owner"
-                        )
-                    target_rows.append(
-                        self._edge_rows[(target_mapping, feedback.identifier)]
-                    )
-                per_source: List[Optional[np.ndarray]] = []
-                for source in range(arity):
-                    if source == target:
-                        per_source.append(None)
-                        continue
-                    pool_ids: List[int] = []
-                    for feedback in group:
-                        target_mapping = feedback.mapping_names[target]
-                        source_mapping = feedback.mapping_names[source]
-                        owner = self._owners[target_mapping]
-                        if self._owners[source_mapping] == owner:
-                            pool_ids.append(
-                                self._edge_rows[(source_mapping, feedback.identifier)]
-                            )
-                        else:
-                            pool_ids.append(
-                                edge_count
-                                + self._recv_rows[
-                                    (owner, feedback.identifier, source_mapping)
-                                ]
-                            )
-                    per_source.append(np.asarray(pool_ids, dtype=np.int64))
-                gather.append(per_source)
-                scatter.append(np.asarray(target_rows, dtype=np.int64))
-            self._batches.append((batch, gather, scatter))
+        plan = self._plan
+        self._kernels: List[FactorBatch | CountFactorBatch] = []
+        for bucket in plan.batches:
+            factors = [
+                self._factors[plan.identifiers[si]]
+                for si in bucket.feedback_indices
+            ]
+            if bucket.use_count_kernel:
+                self._kernels.append(CountFactorBatch(factors))
+            else:
+                self._kernels.append(FactorBatch(factors))
+        # Historical introspection view: (kernel, gather, scatter) triples.
+        self._batches = [
+            (kernel, bucket.gather, bucket.scatter)
+            for bucket, kernel in zip(plan.batches, self._kernels)
+        ]
 
     # -- helpers ---------------------------------------------------------------------
 
@@ -838,12 +834,11 @@ class EmbeddedMessagePassing:
         if self.backend == STATE_DICTS:
             self._compute_variable_messages_dicts(mapping_names)
             return
-        exclusive = segment_exclusive_products(
-            self._f2v_mat, self._segment_starts, self._edge_mapping
+        fresh = self._executor.variable_sweep(
+            self._plan, self._f2v_mat, self._prior_edges
         )
-        fresh = normalize_rows(self._prior_matrix[self._edge_mapping] * exclusive)
         if mapping_names is not None:
-            keep = self._mapping_selection(mapping_names)[self._edge_mapping]
+            keep = self._mapping_selection(mapping_names)[self._plan.edge_mapping]
             fresh = np.where(keep[:, None], fresh, self._v2f_mat)
         self._v2f_mat = fresh
 
@@ -872,13 +867,14 @@ class EmbeddedMessagePassing:
         if self.backend == STATE_DICTS:
             self._exchange_messages_dicts(mapping_names)
             return
-        if self._tx_src.size == 0:
+        plan = self._plan
+        if plan.tx_src.size == 0:
             return
         if mapping_names is None:
-            src, dest = self._tx_src, self._tx_dest
+            src, dest = plan.tx_src, plan.tx_dest
         else:
-            keep = self._mapping_selection(mapping_names)[self._tx_mapping]
-            src, dest = self._tx_src[keep], self._tx_dest[keep]
+            keep = self._mapping_selection(mapping_names)[plan.tx_mapping]
+            src, dest = plan.tx_src[keep], plan.tx_dest[keep]
         if src.size == 0:
             return
         delivered = self.transport.send_mask(src.size)
@@ -908,27 +904,19 @@ class EmbeddedMessagePassing:
         """Phase 3: every replica recomputes µ_{F→v} for its owned variables.
 
         All replicas of same-shape factors are updated together through the
-        compiled :class:`~repro.factorgraph.compiled.FactorBatch` kernels —
-        the same einsum path the vectorized global engine uses — instead of
-        one scalar :meth:`Factor.message_to` call per directed message.  The
-        array backend gathers the einsum operands by fancy indexing into the
-        concatenated µ_{v→F} / received pool and scatters the fresh rows
-        back by edge id.
+        plan's arity buckets — the executor runs each bucket's compiled
+        :class:`~repro.factorgraph.plan.FactorBatch` /
+        :class:`~repro.factorgraph.plan.CountFactorBatch` kernel, the same
+        path the vectorized global engine uses — instead of one scalar
+        :meth:`Factor.message_to` call per directed message.  The executor
+        gathers the kernel operands by fancy indexing into the concatenated
+        µ_{v→F} / received pool and scatters the fresh rows back by edge id.
         """
         if self.backend == STATE_DICTS:
             self._compute_factor_messages_dicts()
             return
-        if self._recv_mat.shape[0]:
-            pool = np.concatenate((self._v2f_mat, self._recv_mat))
-        else:
-            pool = self._v2f_mat
-        for batch, gather, scatter in self._batches:
-            for target in range(batch.arity):
-                incoming = [
-                    None if ids is None else pool[ids] for ids in gather[target]
-                ]
-                fresh = normalize_rows(batch.messages_toward(target, incoming))
-                self._f2v_mat[scatter[target]] = fresh
+        pool = self._executor.message_pool(self._plan, self._v2f_mat, self._recv_mat)
+        self._executor.factor_sweep(self._plan, self._kernels, pool, self._f2v_mat)
         self._posterior_cache = None
 
     def _compute_factor_messages_dicts(self) -> None:
@@ -954,7 +942,7 @@ class EmbeddedMessagePassing:
         slices handed out earlier stay valid snapshots.
         """
         if self._posterior_cache is None:
-            products = segment_products(self._f2v_mat, self._segment_starts)
+            products = segment_products(self._f2v_mat, self._plan.segment_starts)
             self._posterior_cache = normalize_rows(self._prior_matrix * products)
         return self._posterior_cache
 

@@ -12,8 +12,8 @@ core contribution.  Given a PDMS network it
    :class:`~repro.core.batched.BatchedEmbeddedMessagePassing` engine for
    multi-attribute sweeps, or per attribute through
    :mod:`repro.core.embedded` (the parity reference, and the single-attribute
-   path), both executing on the compiled batched kernels of
-   :mod:`repro.factorgraph.compiled`,
+   path), both lowering to the shared :mod:`repro.factorgraph.plan` IR and
+   executing through the assessor-wide ``executor`` choice,
 3. exposes the posterior correctness probabilities, both programmatically
    and as a quality oracle pluggable into the
    :class:`~repro.pdms.routing.QueryRouter`, and
@@ -128,6 +128,12 @@ class MappingQualityAssessor:
         reference, also used for benchmarking).  Requires the structure
         cache; single-attribute :meth:`assess_attribute` always uses the
         sequential engine.
+    executor:
+        Executor of the compiled sweep plans — an executor name
+        (``"numpy"`` / ``"threaded"``), an executor object, or ``None``
+        for the configured default
+        (:data:`repro.constants.DEFAULT_EXECUTOR`).  Forwarded to every
+        engine the assessor builds; bit-identical either way.
     """
 
     def __init__(
@@ -142,6 +148,7 @@ class MappingQualityAssessor:
         include_parallel_paths: Optional[bool] = None,
         use_structure_cache: bool = True,
         use_batched_engine: bool = True,
+        executor: object = None,
     ) -> None:
         self.network = network
         # Note: an empty PriorBeliefStore is falsy (it defines __len__), so
@@ -161,6 +168,11 @@ class MappingQualityAssessor:
         self.include_parallel_paths = include_parallel_paths
         self.use_structure_cache = use_structure_cache
         self.use_batched_engine = use_batched_engine
+        #: Executor of the compiled sweep plans (``"numpy"`` / ``"threaded"``
+        #: / an executor object / ``None`` for the configured default),
+        #: forwarded to every engine the assessor builds.  Executors are
+        #: bit-identical; the choice only affects wall-clock.
+        self.executor = executor
         self.structure_cache = NetworkStructureCache(
             network, ttl=ttl, include_parallel_paths=include_parallel_paths
         )
@@ -236,6 +248,7 @@ class MappingQualityAssessor:
                 delta=self._delta_for(attribute),
                 transport=MessageTransport(self.send_probability, seed=self.seed),
                 options=self.options,
+                executor=self.executor,
             )
             result = engine.run()
             posteriors = dict(result.posteriors)
@@ -319,6 +332,7 @@ class MappingQualityAssessor:
                 delta=self._delta_for(attribute),
                 transport=MessageTransport(self.send_probability, seed=self.seed),
                 options=self.options,
+                executor=self.executor,
             )
             posteriors = engine.run().posteriors
         return self._resolve_local_view(
@@ -450,7 +464,9 @@ class MappingQualityAssessor:
                     ),
                 )
             )
-        engine = BlockedEmbeddedMessagePassing(plan, lanes, options=self.options)
+        engine = BlockedEmbeddedMessagePassing(
+            plan, lanes, options=self.options, executor=self.executor
+        )
         results = engine.run()
         self.last_local_round_edge_counts = tuple(engine.round_edge_counts)
         views: Dict[str, Dict[str, float]] = {}
@@ -573,6 +589,7 @@ class MappingQualityAssessor:
             send_probability=self.send_probability,
             seed=self.seed,
             options=self.options,
+            executor=self.executor,
         )
         results = engine.run()
         assessments: Dict[str, AttributeAssessment] = {}

@@ -892,6 +892,7 @@ def _time_embedded_rounds(
     repeats: int,
     send_probability: float,
     seed: int,
+    executor: object = None,
 ):
     """Best-of-``repeats`` wall time of ``rounds`` embedded rounds.
 
@@ -910,6 +911,7 @@ def _time_embedded_rounds(
             transport=MessageTransport(send_probability, seed=seed),
             options=EmbeddedOptions(record_history=False),
             backend=backend,
+            executor=executor,
         )
         start = time.perf_counter()
         for _ in range(rounds):
@@ -925,6 +927,7 @@ def run_embedded_throughput(
     repeats: int = 3,
     send_probability: float = 1.0,
     seed: int = 0,
+    executor: object = None,
 ) -> EmbeddedThroughputResult:
     """Measure embedded rounds per second of the dict vs array state backends.
 
@@ -933,7 +936,8 @@ def run_embedded_throughput(
     PR 1 per-message dict state) and ``backend="arrays"`` (the stacked
     matrices).  ``send_probability < 1`` exercises the lossy path: both
     transports are seeded identically, so the drop pattern — and therefore
-    the posteriors — must still agree.
+    the posteriors — must still agree.  ``executor`` selects the array
+    backend's plan executor (``"numpy"`` / ``"threaded"``).
     """
     points: List[EmbeddedThroughputPoint] = []
     for peer_count in peer_counts:
@@ -942,7 +946,8 @@ def run_embedded_throughput(
             feedbacks, "dicts", rounds, repeats, send_probability, seed
         )
         array_engine, array_seconds = _time_embedded_rounds(
-            feedbacks, "arrays", rounds, repeats, send_probability, seed
+            feedbacks, "arrays", rounds, repeats, send_probability, seed,
+            executor=executor,
         )
         dict_posteriors = dict_engine.posteriors()
         array_posteriors = array_engine.posteriors()
@@ -1170,6 +1175,7 @@ def run_batched_assessment(
     send_probability: float = 1.0,
     error_rate: float = 0.15,
     seed: Optional[int] = 0,
+    executor: object = None,
 ) -> BatchedAssessmentResult:
     """Measure ``assess_all_attributes`` on the batched vs sequential engine.
 
@@ -1206,6 +1212,7 @@ def run_batched_assessment(
                     seed=seed,
                     send_probability=send_probability,
                     use_batched_engine=use_batched,
+                    executor=executor,
                 )
                 assessor.structure_cache.structures()
                 start = time.perf_counter()
@@ -1316,6 +1323,7 @@ def run_local_assessment(
     send_probability: float = 1.0,
     error_rate: float = 0.15,
     seed: Optional[int] = 0,
+    executor: object = None,
 ) -> LocalAssessmentResult:
     """Measure ``assess_local_all`` batched vs per-origin sequential engines.
 
@@ -1353,6 +1361,7 @@ def run_local_assessment(
                     seed=seed,
                     send_probability=send_probability,
                     use_batched_engine=use_batched,
+                    executor=executor,
                 )
                 for origin in network.peer_names:
                     assessor.neighborhood_cache.structures_for(origin)
@@ -1526,6 +1535,7 @@ def run_long_cycle_throughput(
     iterations: int = 25,
     repeats: int = 3,
     seed: int = 0,
+    executor: object = None,
 ) -> LongCycleThroughputResult:
     """Measure the count-space kernels against the loop reference on long
     cycles, and verify every engine family agrees on them.
@@ -1604,6 +1614,7 @@ def run_long_cycle_throughput(
             delta=0.1,
             ttl=cycle_length,
             include_parallel_paths=False,
+            executor=executor,
         )
         assessment = assessor.assess_attributes([attribute])[attribute]
         plan = assessor.assessment_plan()

@@ -4,7 +4,10 @@ This subpackage is the probabilistic substrate of the reproduction: binary
 mapping-correctness variables, dense table factors, a bipartite factor-graph
 container, a loopy sum–product engine (with damping and message-loss
 injection) and an exact-inference reference used to quantify the loopy
-approximation error.
+approximation error.  The :mod:`~repro.factorgraph.plan` module is the
+shared plan IR: every sweep engine lowers to one
+:class:`~repro.factorgraph.plan.SweepPlan` and runs it through a pluggable
+executor.
 """
 
 from .variables import (
@@ -22,6 +25,17 @@ from .compiled import (
     StackedCountFactorBatch,
     compile_factor_graph,
     normalize_rows,
+)
+from .plan import (
+    BucketPlan,
+    Executor,
+    NumpyExecutor,
+    SweepPlan,
+    SweepState,
+    ThreadedExecutor,
+    compile_sweep_plan,
+    get_executor,
+    lower_factor_graph,
 )
 from .factors import (
     CountFactor,
@@ -48,6 +62,15 @@ __all__ = [
     "StackedCountFactorBatch",
     "compile_factor_graph",
     "normalize_rows",
+    "BucketPlan",
+    "Executor",
+    "NumpyExecutor",
+    "SweepPlan",
+    "SweepState",
+    "ThreadedExecutor",
+    "compile_sweep_plan",
+    "get_executor",
+    "lower_factor_graph",
     "CountFactor",
     "Factor",
     "observation_factor",

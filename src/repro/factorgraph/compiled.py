@@ -337,9 +337,24 @@ def _count_space_messages(
     in O(arity) operations — no ``(2,)**arity`` table, no divisions (exact
     zeros in the messages are safe by construction).
     """
+    stacked = np.stack(operands, axis=0) if operands else None
+    return _count_space_from_stacked(count_tables, stacked)
+
+
+def _count_space_from_stacked(
+    count_tables: np.ndarray, stacked: Optional[np.ndarray]
+) -> np.ndarray:
+    """:func:`_count_space_messages` over pre-stacked operands.
+
+    ``stacked`` carries the non-target incoming messages along its leading
+    axis (``None`` for arity-1 factors, which have no operands).  Every
+    reduction below runs along that axis elementwise in the trailing axes,
+    so evaluating *all* targets of a bucket at once — an extra target axis
+    inside ``...`` — produces, per target, bitwise the same floats as the
+    historical one-target-at-a-time calls.
+    """
     lead_shape = count_tables.shape[:-1]
-    if operands:
-        stacked = np.stack(operands, axis=0)
+    if stacked is not None:
         low = stacked[..., 0]
         high = stacked[..., 1]
         coeff0 = np.multiply.reduce(low, axis=0)
@@ -452,6 +467,32 @@ class CountFactorBatch:
             operands.append(matrix)
         return _count_space_messages(self.tables, operands)
 
+    def messages_all(self, gathered: np.ndarray) -> np.ndarray:
+        """Count-space messages toward *every* slot in one fused evaluation.
+
+        ``gathered`` is the ``(arity, arity - 1, size, 2)`` array of
+        incoming messages — for each target slot, the non-target operands
+        in ascending slot order (the gather plans of
+        :mod:`repro.factorgraph.plan` produce exactly this layout).  The
+        result is the unnormalised ``(arity, size, 2)`` message array;
+        slice ``[target]`` is bitwise identical to
+        ``messages_toward(target, ...)``, but the per-target operand
+        re-stacking — the O(arity²) constant of the historical sweep loop —
+        is replaced by one strided gather.
+        """
+        gathered = np.asarray(gathered, dtype=float)
+        expected = (self.arity, self.arity - 1, self.size, 2)
+        if gathered.shape != expected:
+            raise FactorShapeError(
+                f"gathered operand array has shape {gathered.shape}, "
+                f"expected {expected}"
+            )
+        if self.arity == 1:
+            return _count_space_from_stacked(self.tables, None)[None]
+        return _count_space_from_stacked(
+            self.tables, np.moveaxis(gathered, -3, 0)
+        )
+
 
 class StackedCountFactorBatch:
     """Count-value tables stacked along a leading batch axis.
@@ -523,6 +564,27 @@ class StackedCountFactorBatch:
             operands.append(matrix)
         return _count_space_messages(tables, operands)
 
+    def messages_all(self, gathered: np.ndarray) -> np.ndarray:
+        """Count-space messages toward every slot of every stack element.
+
+        ``gathered`` is the ``(stack, arity, arity - 1, size, 2)`` operand
+        array (per target slot, the non-target operands in ascending slot
+        order); the result is the unnormalised ``(stack, arity, size, 2)``
+        message array, slice ``[:, target]`` bitwise identical to
+        ``messages_toward(target, ...)``.
+        """
+        gathered = np.asarray(gathered, dtype=float)
+        expected = (self.stack, self.arity, self.arity - 1, self.size, 2)
+        if gathered.shape != expected:
+            raise FactorShapeError(
+                f"gathered operand array has shape {gathered.shape}, "
+                f"expected {expected}"
+            )
+        tables = self.tables[:, None]
+        if self.arity == 1:
+            return _count_space_from_stacked(tables, None)
+        return _count_space_from_stacked(tables, np.moveaxis(gathered, -3, 0))
+
 
 class CompiledFactorGraph:
     """A :class:`FactorGraph` flattened into batched message-passing arrays.
@@ -535,11 +597,14 @@ class CompiledFactorGraph:
     soft-failure variant.
     """
 
-    def __init__(self, graph: FactorGraph) -> None:
+    def __init__(self, graph: FactorGraph, executor: object = None) -> None:
+        # Imported lazily: repro.factorgraph.plan imports the kernels from
+        # this module at import time.
+        from .plan import get_executor, lower_factor_graph
+
         graph.validate()
         self.graph = graph
         variables = graph.variables
-        factors = graph.factors
         cardinalities = {variable.cardinality for variable in variables}
         if len(cardinalities) > 1:
             raise FactorGraphError(
@@ -553,74 +618,26 @@ class CompiledFactorGraph:
         }
         self._variable_index = {name: i for i, name in enumerate(self.variable_names)}
 
-        # -- edge layout (factor-major, matching SumProduct._edges order) ------
-        edge_variable: List[int] = []
-        edge_ids: Dict[Tuple[int, int], int] = {}
-        for factor_index, factor in enumerate(factors):
-            for slot, variable in enumerate(factor.variables):
-                if variable.name not in self._variable_index:
-                    raise VariableDomainError(
-                        f"factor {factor.name!r} references unknown variable "
-                        f"{variable.name!r}"
-                    )
-                edge_ids[(factor_index, slot)] = len(edge_variable)
-                edge_variable.append(self._variable_index[variable.name])
-        self.edge_count = len(edge_variable)
-        self.edge_variable = np.asarray(edge_variable, dtype=np.int64)
-
-        # -- arity buckets ------------------------------------------------------
-        # Count-symmetric factors are bucketed by arity and evaluated in
-        # count space (no dense table, no arity limit); everything else is
-        # bucketed by dense table shape for the einsum kernels, which cap at
-        # MAX_COMPILED_ARITY subscript letters.  Which representation a
-        # feedback factor uses is decided at construction time
-        # (repro.core.feedback.feedback_factor switches to CountFactor at
-        # the COUNT_KERNEL_MIN_ARITY crossover).
-        by_shape: Dict[Tuple, List[int]] = {}
-        for factor_index, factor in enumerate(factors):
-            if isinstance(factor, CountFactor):
-                key: Tuple = ("count", factor.arity)
-            else:
-                if factor.arity > MAX_COMPILED_ARITY:
-                    raise FactorGraphError(
-                        f"cannot compile graph {graph.name!r}: dense factor "
-                        f"{factor.name!r} has arity {factor.arity} > "
-                        f"{MAX_COMPILED_ARITY} (use the loops backend, or a "
-                        f"count-symmetric CountFactor)"
-                    )
-                key = factor.table.shape
-            by_shape.setdefault(key, []).append(factor_index)
-        self.batches: List[Tuple[FactorBatch | CountFactorBatch, np.ndarray]] = []
-        for key, factor_indices in by_shape.items():
-            bucket = [factors[i] for i in factor_indices]
-            if key and key[0] == "count":
-                batch: FactorBatch | CountFactorBatch = CountFactorBatch(bucket)
-            else:
-                batch = FactorBatch(bucket)
-            ids = np.asarray(
-                [
-                    [edge_ids[(factor_index, slot)] for slot in range(batch.arity)]
-                    for factor_index in factor_indices
-                ],
-                dtype=np.int64,
-            )
-            self.batches.append((batch, ids))
-
-        # -- variable segments for the exclusive/inclusive products -------------
-        order = np.argsort(self.edge_variable, kind="stable")
-        self._order = order
-        grouped = self.edge_variable[order]
-        if self.edge_count:
-            is_start = np.empty(self.edge_count, dtype=bool)
-            is_start[0] = True
-            is_start[1:] = grouped[1:] != grouped[:-1]
-            self._segment_starts = np.flatnonzero(is_start)
-            self._segment_variable = grouped[self._segment_starts]
-            self._segment_of_edge = np.cumsum(is_start) - 1
-        else:
-            self._segment_starts = np.empty(0, dtype=np.int64)
-            self._segment_variable = np.empty(0, dtype=np.int64)
-            self._segment_of_edge = np.empty(0, dtype=np.int64)
+        # -- lower to the shared sweep-plan IR ---------------------------------
+        # Edge layout, arity buckets (dense einsum vs count space), and the
+        # variable segment plans all come out of the one lowering every
+        # engine shares; execution is delegated to the pluggable executor.
+        self._executor = get_executor(executor)
+        plan, kernels = lower_factor_graph(graph)
+        self.plan = plan
+        self._kernels = kernels
+        self.edge_count = plan.edge_count
+        self.edge_variable = plan.edge_mapping
+        self._order = plan.edge_order
+        self._segment_starts = plan.segment_starts
+        self._segment_of_edge = plan.segment_of_edge
+        self._segment_variable = plan.segment_mapping
+        #: Historical ``(kernel, (size, arity) edge-id table)`` view of the
+        #: plan's buckets, kept for introspection.
+        self.batches: List[Tuple[FactorBatch | CountFactorBatch, np.ndarray]] = [
+            (kernel, np.stack(bucket.scatter, axis=1))
+            for bucket, kernel in zip(plan.batches, kernels)
+        ]
 
         self.reset()
 
@@ -638,33 +655,17 @@ class CompiledFactorGraph:
 
     # -- kernels ----------------------------------------------------------------
 
-    def _exclusive_products(self, matrix: np.ndarray) -> np.ndarray:
-        """For every edge, the product of the *other* rows of its variable.
-
-        Zero-aware: a zero entry elsewhere in the segment forces the product
-        to zero without ever dividing by zero.
-        """
-        if self.edge_count == 0:
-            return matrix.copy()
-        exclusive = segment_exclusive_products(
-            matrix[self._order], self._segment_starts, self._segment_of_edge
-        )
-        result = np.empty_like(exclusive)
-        result[self._order] = exclusive
-        return result
-
     def variable_to_factor_sweep(self) -> np.ndarray:
         """µ_{x→f} for every edge, from the current factor→variable matrix."""
-        return normalize_rows(self._exclusive_products(self.factor_to_variable))
+        return self._executor.variable_sweep(self.plan, self.factor_to_variable)
 
     def factor_to_variable_sweep(self, variable_to_factor: np.ndarray) -> np.ndarray:
         """µ_{f→x} for every edge, from the given variable→factor matrix."""
         fresh = np.empty_like(variable_to_factor)
-        for batch, ids in self.batches:
-            incoming = [variable_to_factor[ids[:, slot]] for slot in range(batch.arity)]
-            for target in range(batch.arity):
-                fresh[ids[:, target]] = batch.messages_toward(target, incoming)
-        return normalize_rows(fresh)
+        self._executor.factor_sweep(
+            self.plan, self._kernels, variable_to_factor, fresh
+        )
+        return fresh
 
     def draw_send_mask(self, rng: random.Random, send_probability: float) -> np.ndarray:
         """One vectorized Bernoulli mask over all edges.
@@ -770,7 +771,9 @@ class CompiledFactorGraph:
         return self.marginal_matrix()[index].copy()
 
 
-def compile_factor_graph(graph: FactorGraph) -> Optional[CompiledFactorGraph]:
+def compile_factor_graph(
+    graph: FactorGraph, executor: object = None
+) -> Optional[CompiledFactorGraph]:
     """Compile ``graph``, or return ``None`` when it is not compilable.
 
     The only graphs the vectorized backend rejects are those with mixed
@@ -782,6 +785,6 @@ def compile_factor_graph(graph: FactorGraph) -> Optional[CompiledFactorGraph]:
     the count-space kernels.
     """
     try:
-        return CompiledFactorGraph(graph)
+        return CompiledFactorGraph(graph, executor=executor)
     except FactorGraphError:
         return None

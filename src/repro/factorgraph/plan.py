@@ -1,0 +1,878 @@
+"""The shared sweep-plan IR and pluggable executors of every sweep engine.
+
+Four engines run the paper's sum–product sweep: the centralised
+:class:`~repro.factorgraph.compiled.CompiledFactorGraph`, the sequential
+embedded engine's arrays backend (:mod:`repro.core.embedded`), and the two
+stacked engines of :mod:`repro.core.batched` (multi-attribute and blocked
+per-origin).  Historically each of them re-derived the same compilation
+artefacts — edge layout, segment index plans, transmission lists, arity
+buckets with gather/scatter operands, and the dense-vs-count kernel choice —
+and re-implemented the same three-phase round on top.  This module hoists
+all of that into one IR:
+
+* :class:`SweepPlan` — the topology-only compilation: a stacked edge row
+  space (owner edges first, received cells after), per-mapping segment
+  plans for the exclusive/inclusive products, the phase-2 transmission
+  list in sequential rng order, and per-arity :class:`BucketPlan` buckets
+  whose kernel family is decided **once**, here: dense einsum below the
+  :data:`repro.constants.COUNT_KERNEL_MIN_ARITY` crossover, count-space
+  from it on (no dense table, no arity limit).
+* :func:`compile_sweep_plan` — lowering from ``(identifier, mapping
+  names)`` structure lists (the embedded/batched engines).
+* :func:`lower_factor_graph` — lowering from a
+  :class:`~repro.factorgraph.graph.FactorGraph` (the centralised engine),
+  which additionally records the variable-grouping permutation
+  (:attr:`SweepPlan.edge_order`) because graph edges arrive factor-major.
+* :class:`NumpyExecutor` / :class:`ThreadedExecutor` — the pluggable
+  execution layer behind the ``run_round(plan, state)`` protocol
+  (:class:`Executor`).  The NumPy executor reproduces the historical
+  engine loops bit for bit; the threaded executor runs independent arity
+  buckets concurrently (their scatter rows are disjoint, so it is
+  race-free and bit-identical too).
+
+The count-space buckets also carry a combined all-targets gather plan
+(:attr:`BucketPlan.gather_all`): one fused gather + count-space evaluation
+(:meth:`~repro.factorgraph.compiled.CountFactorBatch.messages_all`) replaces
+the historical per-target operand re-stacking, cutting the O(arity²)
+constant of long-cycle sweeps while keeping every float operation — and
+therefore every bit of the result — identical.
+
+Engines import kernels (``segment_products``, ``FactorBatch``, …) from
+*this* module rather than :mod:`repro.factorgraph.compiled`; a lint test
+(``tests/core/test_plan_ir.py``) enforces it so the collapse stays
+collapsed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping as TMapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..constants import (
+    COUNT_KERNEL_MIN_ARITY,
+    DEFAULT_EXECUTOR,
+    EXECUTOR_NUMPY,
+    EXECUTOR_THREADED,
+    MAX_COMPILED_ARITY,
+)
+from ..exceptions import FactorGraphError, FeedbackError, VariableDomainError
+from .compiled import (
+    CountFactorBatch,
+    FactorBatch,
+    StackedCountFactorBatch,
+    StackedFactorBatch,
+    normalize_rows,
+    segment_exclusive_products,
+    segment_products,
+)
+from .factors import CountFactor
+from .graph import FactorGraph
+
+__all__ = [
+    "MAX_COMPILED_ARITY",
+    "COUNT_KERNEL_MIN_ARITY",
+    "KIND_NEUTRAL",
+    "KIND_POSITIVE",
+    "KIND_NEGATIVE",
+    "normalize_rows",
+    "segment_products",
+    "segment_exclusive_products",
+    "FactorBatch",
+    "StackedFactorBatch",
+    "CountFactorBatch",
+    "StackedCountFactorBatch",
+    "BucketPlan",
+    "SweepPlan",
+    "SweepState",
+    "Executor",
+    "NumpyExecutor",
+    "ThreadedExecutor",
+    "bucket_tables",
+    "bucket_kernel",
+    "compile_sweep_plan",
+    "get_executor",
+    "lower_factor_graph",
+    "make_bucket",
+    "segment_plan",
+]
+
+#: Integer codes of the per-(lane, structure) feedback kinds, shared by the
+#: CPT builder (:func:`bucket_tables`) and its callers in
+#: :mod:`repro.core.batched`.
+KIND_NEUTRAL, KIND_POSITIVE, KIND_NEGATIVE = 0, 1, 2
+
+
+# ---------------------------------------------------------------------------
+# The IR
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BucketPlan:
+    """One arity bucket of a compiled sweep plan.
+
+    ``gather[target][source]`` holds, per structure of the bucket, the pool
+    id of the message feeding slot ``source`` of the sweep toward slot
+    ``target`` — ids below the plan's edge count select the owner's own
+    fresh µ_{v→F} row, ids above it the last received remote copy (``None``
+    at ``source == target``).  ``scatter[target]`` holds the µ_{F→v} edge
+    rows the fresh messages are written back to.
+
+    Derived combined plans (built by :func:`make_bucket`):
+
+    * ``scatter_all`` — ``(arity, size)`` stack of the scatter rows, also
+      the historical ``(size, arity)`` edge-id table transposed.
+    * ``gather_all`` — for count-space buckets, the ``(arity, arity - 1,
+      size)`` all-targets gather plan feeding the fused ``messages_all``
+      kernels: row ``t`` lists the non-target source rows of target ``t``
+      in ascending slot order, exactly the operand order of the per-target
+      ``messages_toward`` loop.
+    * ``shared_gather`` — for buckets whose operand rows are
+      target-independent (graph lowering: every slot's message row feeds
+      every other target), the per-slot pool ids gathered once per bucket
+      instead of once per target.
+
+    ``incorrect_counts`` feeds the evidence-time CPT builder
+    (:func:`bucket_tables`): the ``arange(arity + 1)`` count axis for
+    count-space buckets, the dense ``(2,)*arity`` count tensor for short
+    dense buckets.  Graph lowerings leave it ``None`` — their kernels are
+    built from factor objects, and materialising ``(2,)**arity`` indices
+    for a long count bucket would defeat the count-space representation.
+    """
+
+    arity: int
+    feedback_indices: np.ndarray
+    gather: Tuple[Tuple[Optional[np.ndarray], ...], ...]
+    scatter: Tuple[np.ndarray, ...]
+    incorrect_counts: Optional[np.ndarray]
+    use_count_kernel: bool = False
+    scatter_all: Optional[np.ndarray] = None
+    gather_all: Optional[np.ndarray] = None
+    shared_gather: Optional[Tuple[np.ndarray, ...]] = None
+
+    @property
+    def size(self) -> int:
+        return int(self.feedback_indices.size)
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """Topology-only compilation shared by every sweep engine.
+
+    Holds everything the engines derive from the structure list (or factor
+    graph) alone — the directed owner-edge layout grouped by mapping, the
+    segment index plans behind the exclusive/inclusive products, the
+    received-cell layout, the phase-2 transmission list in sequential rng
+    order, and the arity-bucketed gather/scatter operands — so it is
+    compiled exactly once per topology and shared across attributes, EM
+    rounds and engines.
+
+    ``edge_mapping[row]`` is the mapping (variable) id of each edge row and
+    ``edge_structure[row]`` its structure (factor) id.  ``segment_starts``
+    / ``segment_of_edge`` describe the per-mapping segments **in grouped
+    row order**; for structure-list lowerings the rows are built grouped
+    (``edge_order is None``), for factor-graph lowerings ``edge_order`` is
+    the stable permutation that groups the factor-major rows.
+    ``segment_mapping[k]`` is the mapping id owning segment ``k`` (the row
+    behind each posterior snapshot).  ``tx_mapping`` carries the sender
+    mapping id of each transmission (the sequential engine's round-
+    restriction filter).
+    """
+
+    identifiers: Tuple[str, ...]
+    structure_mappings: Tuple[Tuple[str, ...], ...]
+    owners: TMapping[str, str]
+    mapping_names: Tuple[str, ...]
+    mapping_index: TMapping[str, int]
+    edge_mapping: np.ndarray
+    edge_structure: np.ndarray
+    segment_starts: np.ndarray
+    segment_of_edge: np.ndarray
+    segment_mapping: np.ndarray
+    edge_count: int
+    recv_count: int
+    recv_cells: Tuple[Tuple[str, int, str], ...]
+    tx_src: np.ndarray
+    tx_dest: np.ndarray
+    tx_feedback: np.ndarray
+    tx_mapping: np.ndarray
+    batches: Tuple[BucketPlan, ...]
+    edge_order: Optional[np.ndarray] = None
+
+    @property
+    def structure_count(self) -> int:
+        return len(self.identifiers)
+
+    @property
+    def mapping_count(self) -> int:
+        return len(self.mapping_names)
+
+
+def segment_plan(
+    grouped_ids: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Segment layout of an already-grouped id array.
+
+    Returns ``(segment_starts, segment_of_row, segment_ids)``: the start
+    offsets of each contiguous run, the run index of every row, and the id
+    each run carries.  The single home of the ``is_start``/``cumsum``
+    pattern the engines used to re-derive.
+    """
+    grouped_ids = np.asarray(grouped_ids, dtype=np.int64)
+    if grouped_ids.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    is_start = np.empty(grouped_ids.size, dtype=bool)
+    is_start[0] = True
+    is_start[1:] = grouped_ids[1:] != grouped_ids[:-1]
+    starts = np.flatnonzero(is_start)
+    return starts, np.cumsum(is_start) - 1, grouped_ids[starts]
+
+
+def make_bucket(
+    arity: int,
+    feedback_indices: np.ndarray,
+    gather: Sequence[Sequence[Optional[np.ndarray]]],
+    scatter: Sequence[np.ndarray],
+    use_count_kernel: bool,
+    incorrect_counts: Optional[np.ndarray] = None,
+    shared_gather: Optional[Sequence[np.ndarray]] = None,
+) -> BucketPlan:
+    """Assemble a :class:`BucketPlan`, deriving the combined plans.
+
+    Compaction and both lowerings funnel through this so the
+    ``gather_all``/``scatter_all`` derivation exists exactly once.
+    """
+    gather = tuple(
+        tuple(
+            None if ids is None else np.asarray(ids, dtype=np.int64)
+            for ids in per_target
+        )
+        for per_target in gather
+    )
+    scatter = tuple(np.asarray(rows, dtype=np.int64) for rows in scatter)
+    gather_all = None
+    if use_count_kernel and arity > 1:
+        gather_all = np.stack(
+            [
+                np.stack(
+                    [ids for ids in per_target if ids is not None], axis=0
+                )
+                for per_target in gather
+            ],
+            axis=0,
+        )
+    return BucketPlan(
+        arity=arity,
+        feedback_indices=np.asarray(feedback_indices, dtype=np.int64),
+        gather=gather,
+        scatter=scatter,
+        incorrect_counts=incorrect_counts,
+        use_count_kernel=use_count_kernel,
+        scatter_all=np.stack(scatter, axis=0) if scatter else None,
+        gather_all=gather_all,
+        shared_gather=(
+            None
+            if shared_gather is None
+            else tuple(np.asarray(ids, dtype=np.int64) for ids in shared_gather)
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lowering: structure lists (embedded / batched / blocked engines)
+# ---------------------------------------------------------------------------
+
+
+def compile_sweep_plan(
+    structures: Sequence[Tuple[str, Sequence[str]]],
+    owners: Optional[TMapping[str, str]] = None,
+    min_mappings: int = 2,
+    default_owner: Optional[Callable[[str], str]] = None,
+) -> SweepPlan:
+    """Compile ``(identifier, mapping names)`` structures into a plan.
+
+    ``structures`` lists the network's cycles and parallel paths in the
+    order :func:`repro.core.analysis.analyze_network` numbers them, so the
+    per-attribute :class:`~repro.core.feedback.Feedback` evidence derived
+    from the same structures aligns with the plan index for index.
+
+    ``min_mappings`` is the smallest legal structure size: the assessment
+    engines keep the historical two-mapping floor (a cycle or parallel
+    path over a single mapping is a caller bug), the sequential embedded
+    engine accepts singleton structures.  ``default_owner`` maps a mapping
+    name to its owning peer when ``owners`` does not list it; without one,
+    every name must be covered by ``owners``.
+    """
+    normalized: List[Tuple[str, Tuple[str, ...]]] = [
+        (identifier, tuple(names)) for identifier, names in structures
+    ]
+    owner_map: Dict[str, str] = {}
+    mapping_list: List[str] = []
+    for identifier, names in normalized:
+        if len(names) < min_mappings:
+            noun = "two mappings" if min_mappings == 2 else (
+                f"{min_mappings} mapping" + ("s" if min_mappings != 1 else "")
+            )
+            raise FeedbackError(
+                f"structure {identifier!r} needs at least {noun}, "
+                f"got {names!r}"
+            )
+        for name in names:
+            if name not in owner_map:
+                if owners is not None and name in owners:
+                    owner_map[name] = owners[name]
+                elif default_owner is not None:
+                    owner_map[name] = default_owner(name)
+                else:
+                    raise FeedbackError(
+                        f"no owner supplied for mapping {name!r}"
+                    )
+                mapping_list.append(name)
+    mapping_index = {name: index for index, name in enumerate(mapping_list)}
+
+    # Directed owner edges (mapping, structure), grouped contiguously by
+    # mapping so phase 1 and the posterior read are single segment products.
+    structures_of: Dict[str, List[int]] = {name: [] for name in mapping_list}
+    for structure_index, (_, names) in enumerate(normalized):
+        for name in names:
+            structures_of[name].append(structure_index)
+    edge_rows: Dict[Tuple[str, int], int] = {}
+    edge_mapping_list: List[int] = []
+    edge_structure_list: List[int] = []
+    for m_index, name in enumerate(mapping_list):
+        for structure_index in structures_of[name]:
+            edge_rows[(name, structure_index)] = len(edge_mapping_list)
+            edge_mapping_list.append(m_index)
+            edge_structure_list.append(structure_index)
+    edge_mapping = np.asarray(edge_mapping_list, dtype=np.int64)
+    segment_starts, segment_of_edge, segment_mapping = segment_plan(
+        edge_mapping
+    )
+    edge_count = len(edge_mapping)
+
+    # Received cells (peer, structure, remote mapping): one per replica a
+    # peer holds of a structure it does not own every mapping of.
+    recv_rows: Dict[Tuple[str, int, str], int] = {}
+    for structure_index, (_, names) in enumerate(normalized):
+        for peer in dict.fromkeys(owner_map[name] for name in names):
+            for name in names:
+                if owner_map[name] != peer:
+                    recv_rows.setdefault(
+                        (peer, structure_index, name), len(recv_rows)
+                    )
+
+    # Transmission list in the exact order the sequential engine walks it
+    # (structure → sender mapping → recipient mapping), so per-attribute rng
+    # streams are consumed identically.
+    tx_src: List[int] = []
+    tx_dest: List[int] = []
+    tx_feedback: List[int] = []
+    tx_mapping: List[int] = []
+    for structure_index, (_, names) in enumerate(normalized):
+        for name in names:
+            sender = owner_map[name]
+            source_edge = edge_rows[(name, structure_index)]
+            for other in names:
+                recipient = owner_map[other]
+                if recipient == sender:
+                    continue
+                tx_src.append(source_edge)
+                tx_dest.append(recv_rows[(recipient, structure_index, name)])
+                tx_feedback.append(structure_index)
+                tx_mapping.append(mapping_index[name])
+
+    # Arity buckets with index-array gather/scatter plans; the kernel
+    # family — dense einsum vs count space — is decided here, once, by the
+    # COUNT_KERNEL_MIN_ARITY crossover (long structures are never rejected:
+    # count-value vectors replace the (2,)**arity CPTs).
+    by_arity: Dict[int, List[int]] = {}
+    for structure_index, (_, names) in enumerate(normalized):
+        by_arity.setdefault(len(names), []).append(structure_index)
+    batches: List[BucketPlan] = []
+    for arity, structure_indices in by_arity.items():
+        use_count_kernel = arity >= COUNT_KERNEL_MIN_ARITY
+        gather: List[List[Optional[np.ndarray]]] = []
+        scatter: List[np.ndarray] = []
+        for target in range(arity):
+            target_rows = np.asarray(
+                [
+                    edge_rows[(normalized[si][1][target], si)]
+                    for si in structure_indices
+                ],
+                dtype=np.int64,
+            )
+            per_source: List[Optional[np.ndarray]] = []
+            for source in range(arity):
+                if source == target:
+                    per_source.append(None)
+                    continue
+                pool_ids: List[int] = []
+                for si in structure_indices:
+                    names = normalized[si][1]
+                    target_name, source_name = names[target], names[source]
+                    owner = owner_map[target_name]
+                    if owner_map[source_name] == owner:
+                        pool_ids.append(edge_rows[(source_name, si)])
+                    else:
+                        pool_ids.append(
+                            edge_count + recv_rows[(owner, si, source_name)]
+                        )
+                per_source.append(np.asarray(pool_ids, dtype=np.int64))
+            gather.append(per_source)
+            scatter.append(target_rows)
+        batches.append(
+            make_bucket(
+                arity=arity,
+                feedback_indices=np.asarray(structure_indices, dtype=np.int64),
+                gather=gather,
+                scatter=scatter,
+                use_count_kernel=use_count_kernel,
+                incorrect_counts=(
+                    np.arange(arity + 1, dtype=np.int64)
+                    if use_count_kernel
+                    else np.indices((2,) * arity).sum(axis=0)
+                ),
+            )
+        )
+
+    recv_cells = [None] * len(recv_rows)
+    for cell, row in recv_rows.items():
+        recv_cells[row] = cell
+
+    return SweepPlan(
+        identifiers=tuple(identifier for identifier, _ in normalized),
+        structure_mappings=tuple(names for _, names in normalized),
+        owners=owner_map,
+        mapping_names=tuple(mapping_list),
+        mapping_index=mapping_index,
+        edge_mapping=edge_mapping,
+        edge_structure=np.asarray(edge_structure_list, dtype=np.int64),
+        segment_starts=segment_starts,
+        segment_of_edge=segment_of_edge,
+        segment_mapping=segment_mapping,
+        edge_count=edge_count,
+        recv_count=len(recv_rows),
+        recv_cells=tuple(recv_cells),
+        tx_src=np.asarray(tx_src, dtype=np.int64),
+        tx_dest=np.asarray(tx_dest, dtype=np.int64),
+        tx_feedback=np.asarray(tx_feedback, dtype=np.int64),
+        tx_mapping=np.asarray(tx_mapping, dtype=np.int64),
+        batches=tuple(batches),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lowering: factor graphs (centralised engine)
+# ---------------------------------------------------------------------------
+
+
+def lower_factor_graph(
+    graph: FactorGraph,
+) -> Tuple[SweepPlan, List[FactorBatch | CountFactorBatch]]:
+    """Lower a validated :class:`FactorGraph` to a plan plus kernels.
+
+    Edges are laid out factor-major (matching the loop engine's order);
+    the returned plan records the stable variable-grouping permutation in
+    :attr:`SweepPlan.edge_order` so the segment products can run in
+    grouped space.  Kernels are built directly from the factor objects —
+    :class:`~repro.factorgraph.compiled.CountFactorBatch` for
+    count-symmetric factors (any arity), dense
+    :class:`~repro.factorgraph.compiled.FactorBatch` otherwise (capped at
+    :data:`repro.constants.MAX_COMPILED_ARITY`).
+    """
+    variables = graph.variables
+    factors = graph.factors
+    variable_names = tuple(v.name for v in variables)
+    variable_index = {name: i for i, name in enumerate(variable_names)}
+
+    edge_mapping_list: List[int] = []
+    edge_structure_list: List[int] = []
+    edge_ids: Dict[Tuple[int, int], int] = {}
+    for factor_index, factor in enumerate(factors):
+        for slot, variable in enumerate(factor.variables):
+            if variable.name not in variable_index:
+                raise VariableDomainError(
+                    f"factor {factor.name!r} references unknown variable "
+                    f"{variable.name!r}"
+                )
+            edge_ids[(factor_index, slot)] = len(edge_mapping_list)
+            edge_mapping_list.append(variable_index[variable.name])
+            edge_structure_list.append(factor_index)
+    edge_mapping = np.asarray(edge_mapping_list, dtype=np.int64)
+    edge_count = len(edge_mapping)
+
+    # Count-symmetric factors are bucketed by arity and evaluated in count
+    # space (no dense table, no arity limit); everything else is bucketed
+    # by dense table shape for the einsum kernels, which cap at
+    # MAX_COMPILED_ARITY subscript letters.  Which representation a
+    # feedback factor uses is decided at construction time
+    # (repro.core.feedback.feedback_factor switches to CountFactor at the
+    # COUNT_KERNEL_MIN_ARITY crossover).
+    by_shape: Dict[Tuple, List[int]] = {}
+    for factor_index, factor in enumerate(factors):
+        if isinstance(factor, CountFactor):
+            key: Tuple = ("count", factor.arity)
+        else:
+            if factor.arity > MAX_COMPILED_ARITY:
+                raise FactorGraphError(
+                    f"cannot compile graph {graph.name!r}: dense factor "
+                    f"{factor.name!r} has arity {factor.arity} > "
+                    f"{MAX_COMPILED_ARITY} (use the loops backend, or a "
+                    f"count-symmetric CountFactor)"
+                )
+            key = factor.table.shape
+        by_shape.setdefault(key, []).append(factor_index)
+
+    batches: List[BucketPlan] = []
+    kernels: List[FactorBatch | CountFactorBatch] = []
+    for key, factor_indices in by_shape.items():
+        bucket_factors = [factors[i] for i in factor_indices]
+        use_count_kernel = bool(key) and key[0] == "count"
+        kernel: FactorBatch | CountFactorBatch = (
+            CountFactorBatch(bucket_factors)
+            if use_count_kernel
+            else FactorBatch(bucket_factors)
+        )
+        arity = kernel.arity
+        ids = np.asarray(
+            [
+                [edge_ids[(factor_index, slot)] for slot in range(arity)]
+                for factor_index in factor_indices
+            ],
+            dtype=np.int64,
+        )
+        shared = tuple(ids[:, slot] for slot in range(arity))
+        batches.append(
+            make_bucket(
+                arity=arity,
+                feedback_indices=np.asarray(factor_indices, dtype=np.int64),
+                gather=[
+                    [
+                        None if source == target else shared[source]
+                        for source in range(arity)
+                    ]
+                    for target in range(arity)
+                ],
+                scatter=shared,
+                use_count_kernel=use_count_kernel,
+                incorrect_counts=None,
+                shared_gather=shared,
+            )
+        )
+        kernels.append(kernel)
+
+    edge_order = np.argsort(edge_mapping, kind="stable")
+    segment_starts, segment_of_edge, segment_mapping = segment_plan(
+        edge_mapping[edge_order]
+    )
+    empty = np.empty(0, dtype=np.int64)
+    plan = SweepPlan(
+        identifiers=tuple(factor.name for factor in factors),
+        structure_mappings=tuple(
+            tuple(v.name for v in factor.variables) for factor in factors
+        ),
+        owners={},
+        mapping_names=variable_names,
+        mapping_index=variable_index,
+        edge_mapping=edge_mapping,
+        edge_structure=np.asarray(edge_structure_list, dtype=np.int64),
+        segment_starts=segment_starts,
+        segment_of_edge=segment_of_edge,
+        segment_mapping=segment_mapping,
+        edge_count=edge_count,
+        recv_count=0,
+        recv_cells=(),
+        tx_src=empty,
+        tx_dest=empty.copy(),
+        tx_feedback=empty.copy(),
+        tx_mapping=empty.copy(),
+        batches=tuple(batches),
+        edge_order=edge_order,
+    )
+    return plan, kernels
+
+
+# ---------------------------------------------------------------------------
+# Evidence-time CPT builders (shared by the stacked engines)
+# ---------------------------------------------------------------------------
+
+
+def bucket_tables(
+    kinds: np.ndarray, deltas: np.ndarray, bucket: BucketPlan
+) -> np.ndarray:
+    """Per-(row, structure) CPT tables of one plan bucket.
+
+    ``kinds`` holds the ``(..., size)`` kind codes of the bucket's
+    structures and ``deltas`` the matching Δ values (broadcastable against
+    ``kinds`` — per lane for the stacked engine, per structure for the
+    blocked one).  Dense buckets yield ``(..., size, *(2,)*arity)`` tables
+    for the einsum kernels; count-space buckets yield
+    ``(..., size, arity + 1)`` count-value vectors — ``P(f± | k incorrect)``
+    — for the :class:`~repro.factorgraph.compiled.StackedCountFactorBatch`
+    kernel, never touching ``2**arity`` memory.  Neutral structures are
+    all-ones either way, which is what masks them out of the sum–product.
+    """
+    counts = bucket.incorrect_counts
+    if counts is None:
+        raise FactorGraphError(
+            "bucket carries no incorrect-count axis (graph lowerings build "
+            "kernels from factor objects, not kind codes)"
+        )
+    extra = (1,) * counts.ndim
+    delta_full = np.broadcast_to(np.asarray(deltas, dtype=float), kinds.shape)
+    delta_shaped = delta_full.reshape(delta_full.shape + extra)
+    positive = np.where(
+        counts == 0, 1.0, np.where(counts == 1, 0.0, delta_shaped)
+    )
+    kind_shaped = kinds.reshape(kinds.shape + extra)
+    return np.where(
+        kind_shaped == KIND_POSITIVE,
+        positive,
+        np.where(kind_shaped == KIND_NEGATIVE, 1.0 - positive, 1.0),
+    )
+
+
+def bucket_kernel(
+    tables: np.ndarray, bucket: BucketPlan
+) -> StackedFactorBatch | StackedCountFactorBatch:
+    """The stacked kernel evaluating one bucket's tables."""
+    if bucket.use_count_kernel:
+        return StackedCountFactorBatch(tables)
+    return StackedFactorBatch(tables)
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepState:
+    """The mutable message state one executor round advances.
+
+    ``v2f`` / ``f2v`` are the ``(..., edges, 2)`` directed message
+    matrices, ``recv`` the ``(..., recv, 2)`` received remote copies (may
+    be ``None`` for engines without an exchange phase), ``kernels`` the
+    per-bucket kernels aligned with ``plan.batches``, and ``prior_edges``
+    the optional per-edge prior rows folded into the variable sweep.
+    """
+
+    v2f: np.ndarray
+    f2v: np.ndarray
+    recv: Optional[np.ndarray]
+    kernels: Sequence[FactorBatch | CountFactorBatch | StackedFactorBatch | StackedCountFactorBatch]
+    prior_edges: Optional[np.ndarray] = None
+
+
+class Executor(Protocol):
+    """Pluggable execution layer of a compiled :class:`SweepPlan`."""
+
+    name: str
+
+    def run_round(
+        self,
+        plan: SweepPlan,
+        state: SweepState,
+        exchange: Optional[Callable[[SweepState], None]] = None,
+    ) -> SweepState:
+        """Advance ``state`` by one synchronous round and return it."""
+        ...  # pragma: no cover - protocol
+
+
+class NumpyExecutor:
+    """Single-threaded executor, bit-identical to the historical loops.
+
+    Each phase is exposed separately (``variable_sweep`` /
+    ``message_pool`` / ``factor_sweep``) because the engines interleave
+    their own bookkeeping — selection masks, transport exchanges, posterior
+    snapshots — between phases; :meth:`run_round` is the plain composition
+    with an optional exchange callback in phase-2 position.
+    """
+
+    name = EXECUTOR_NUMPY
+
+    def variable_sweep(
+        self,
+        plan: SweepPlan,
+        f2v: np.ndarray,
+        prior_edges: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Fresh µ_{v→F} rows: normalised exclusive segment products,
+        optionally scaled by per-edge prior rows."""
+        order = plan.edge_order
+        if plan.edge_count == 0:
+            exclusive = f2v.copy()
+        elif order is None:
+            exclusive = segment_exclusive_products(
+                f2v, plan.segment_starts, plan.segment_of_edge
+            )
+        else:
+            grouped = segment_exclusive_products(
+                f2v[..., order, :], plan.segment_starts, plan.segment_of_edge
+            )
+            exclusive = np.empty_like(grouped)
+            exclusive[..., order, :] = grouped
+        if prior_edges is None:
+            return normalize_rows(exclusive)
+        return normalize_rows(prior_edges * exclusive)
+
+    def message_pool(
+        self,
+        plan: SweepPlan,
+        v2f: np.ndarray,
+        recv: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """The gather pool: owner rows first, received cells stacked after."""
+        if recv is not None and recv.shape[-2]:
+            return np.concatenate((v2f, recv), axis=-2)
+        return v2f
+
+    def sweep_bucket(
+        self,
+        bucket: BucketPlan,
+        kernel,
+        pool: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """One bucket's factor→variable messages, scattered into ``out``.
+
+        Scatter rows are disjoint across buckets and targets (every edge
+        belongs to exactly one (factor, slot)), so buckets may run
+        concurrently and per-target normalisation equals the historical
+        whole-matrix normalisation bit for bit.
+        """
+        if bucket.gather_all is not None:
+            fresh = normalize_rows(
+                kernel.messages_all(pool[..., bucket.gather_all, :])
+            )
+            out[..., bucket.scatter_all, :] = fresh
+            return
+        if bucket.shared_gather is not None:
+            incoming = [pool[..., ids, :] for ids in bucket.shared_gather]
+            for target in range(bucket.arity):
+                out[..., bucket.scatter[target], :] = normalize_rows(
+                    kernel.messages_toward(target, incoming)
+                )
+            return
+        for target in range(bucket.arity):
+            incoming = [
+                None if ids is None else pool[..., ids, :]
+                for ids in bucket.gather[target]
+            ]
+            out[..., bucket.scatter[target], :] = normalize_rows(
+                kernel.messages_toward(target, incoming)
+            )
+
+    def factor_sweep(
+        self,
+        plan: SweepPlan,
+        kernels: Sequence,
+        pool: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """All buckets' factor→variable messages, scattered into ``out``."""
+        for bucket, kernel in zip(plan.batches, kernels):
+            self.sweep_bucket(bucket, kernel, pool, out)
+
+    def run_round(
+        self,
+        plan: SweepPlan,
+        state: SweepState,
+        exchange: Optional[Callable[[SweepState], None]] = None,
+    ) -> SweepState:
+        state.v2f = self.variable_sweep(plan, state.f2v, state.prior_edges)
+        if exchange is not None:
+            exchange(state)
+        pool = self.message_pool(plan, state.v2f, state.recv)
+        self.factor_sweep(plan, state.kernels, pool, state.f2v)
+        return state
+
+
+_POOL_LOCK = threading.Lock()
+_POOL: Optional[ThreadPoolExecutor] = None
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    """The lazily created process-wide sweep thread pool."""
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL = ThreadPoolExecutor(
+                max_workers=max(2, min(8, os.cpu_count() or 1)),
+                thread_name_prefix="sweep",
+            )
+        return _POOL
+
+
+class ThreadedExecutor(NumpyExecutor):
+    """Executor running independent arity buckets on a thread pool.
+
+    Each bucket's sweep reads the shared pool and writes a disjoint set of
+    ``out`` rows, so the concurrent execution is race-free and the results
+    are bit-identical to :class:`NumpyExecutor` — only wall-clock changes.
+    NumPy releases the GIL inside the kernels, so plans with several
+    buckets (mixed arities) overlap on multi-core hosts.
+    """
+
+    name = EXECUTOR_THREADED
+
+    def factor_sweep(
+        self,
+        plan: SweepPlan,
+        kernels: Sequence,
+        pool: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        pairs = list(zip(plan.batches, kernels))
+        if len(pairs) <= 1:
+            for bucket, kernel in pairs:
+                self.sweep_bucket(bucket, kernel, pool, out)
+            return
+        futures = [
+            _shared_pool().submit(self.sweep_bucket, bucket, kernel, pool, out)
+            for bucket, kernel in pairs
+        ]
+        for future in futures:
+            future.result()
+
+
+_EXECUTORS: Dict[str, Executor] = {}
+
+
+def get_executor(spec: object = None) -> Executor:
+    """Resolve an executor spec: ``None`` (the configured default), a name
+    (:data:`~repro.constants.EXECUTOR_NUMPY` /
+    :data:`~repro.constants.EXECUTOR_THREADED`), or an
+    :class:`Executor` instance passed through unchanged."""
+    if spec is None:
+        spec = DEFAULT_EXECUTOR
+    if isinstance(spec, str):
+        if spec == EXECUTOR_NUMPY:
+            return _EXECUTORS.setdefault(spec, NumpyExecutor())
+        if spec == EXECUTOR_THREADED:
+            return _EXECUTORS.setdefault(spec, ThreadedExecutor())
+        raise FactorGraphError(
+            f"unknown executor {spec!r}; expected "
+            f"{EXECUTOR_NUMPY!r} or {EXECUTOR_THREADED!r}"
+        )
+    if hasattr(spec, "run_round"):
+        return spec  # type: ignore[return-value]
+    raise FactorGraphError(
+        f"executor must be an executor name or object, got "
+        f"{type(spec).__name__}"
+    )

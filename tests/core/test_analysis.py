@@ -163,7 +163,7 @@ class TestNetworkStructureCache:
             c.canonical_key() for c in fresh.cycles
         }
 
-    def test_added_mapping_with_parallel_paths_falls_back_to_full_probe(self):
+    def test_added_mapping_refreshes_incrementally_for_parallel_paths(self):
         from repro.mapping.mapping import Mapping
 
         network = self._fresh_network()
@@ -174,12 +174,59 @@ class TestNetworkStructureCache:
             bidirectional=False,
         )
         after = cache.evidence_for("Creator")
-        assert cache.statistics.probes == 2
-        assert cache.statistics.partial_refreshes == 0
+        assert cache.statistics.probes == 1
+        assert cache.statistics.partial_refreshes == 1
         fresh = analyze_network(
             network, "Creator", ttl=4, include_parallel_paths=True
         )
-        assert len(after.feedbacks) == len(fresh.feedbacks)
+        assert {c.canonical_key() for c in after.cycles} == {
+            c.canonical_key() for c in fresh.cycles
+        }
+        assert {p.canonical_key() for p in after.parallel_paths} == {
+            p.canonical_key() for p in fresh.parallel_paths
+        }
+
+    def test_mutation_churn_is_served_incrementally(self):
+        """A burst of adds and removals with parallel paths enabled is
+        absorbed by incremental grafting/filtering: every refresh matches a
+        fresh probe and partial refreshes dominate full re-probes."""
+        from repro.mapping.mapping import Mapping
+
+        network = self._fresh_network()
+        cache = NetworkStructureCache(network, ttl=4, include_parallel_paths=True)
+        cache.evidence_for("Creator")
+
+        def check():
+            after = cache.evidence_for("Creator")
+            fresh = analyze_network(
+                network, "Creator", ttl=4, include_parallel_paths=True
+            )
+            assert {c.canonical_key() for c in after.cycles} == {
+                c.canonical_key() for c in fresh.cycles
+            }
+            assert {p.canonical_key() for p in after.parallel_paths} == {
+                p.canonical_key() for p in fresh.parallel_paths
+            }
+
+        network.add_mapping(
+            Mapping.from_pairs("p4", "p2", {"Creator": "Creator"}),
+            bidirectional=False,
+        )
+        check()
+        network.add_mapping(
+            Mapping.from_pairs("p3", "p1", {"Creator": "Creator"}),
+            bidirectional=False,
+        )
+        check()
+        network.remove_mapping("p2->p4")
+        check()
+        network.remove_mapping("p4->p2")
+        check()
+        assert cache.statistics.probes == 1
+        assert cache.statistics.partial_refreshes == 4
+        assert (
+            cache.statistics.partial_refreshes > cache.statistics.full_refreshes
+        )
 
     def test_added_peer_falls_back_to_full_probe(self):
         from repro.pdms.peer import Peer

@@ -1,0 +1,174 @@
+"""Plan-IR contract tests.
+
+Two guarantees land here:
+
+1. A lint-style sweep over ``repro/core/*.py``: engines must reach the
+   compiled kernels (``segment_products``, ``FactorBatch``,
+   ``CountFactorBatch``, ...) through :mod:`repro.factorgraph.plan` — the
+   sanctioned re-export surface of the plan IR — never directly from
+   :mod:`repro.factorgraph.compiled`.
+2. The cross-engine x cross-executor parity matrix: the loop reference
+   (dict-state backend), the NumPy executor and the threaded executor must
+   agree on posteriors, iteration counts and rng-stream replay at dense
+   (3, 8) and count-space (25, 40) arities, lossless and lossy.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+import repro.core
+from repro.core.analysis import analyze_network
+from repro.core.embedded import EmbeddedMessagePassing, MessageTransport
+from repro.core.quality import MappingQualityAssessor
+from repro.generators.topologies import cycle_network
+
+#: Kernel functions and batch classes that live in
+#: ``repro.factorgraph.compiled`` but are re-exported by the plan IR.
+#: Engines must import them from ``repro.factorgraph.plan`` only.
+KERNEL_NAMES = frozenset(
+    {
+        "segment_products",
+        "segment_exclusive_products",
+        "normalize_rows",
+        "FactorBatch",
+        "StackedFactorBatch",
+        "CountFactorBatch",
+        "StackedCountFactorBatch",
+        "MAX_COMPILED_ARITY",
+    }
+)
+
+
+class TestEnginesUseThePlanIR:
+    def test_no_engine_imports_kernels_from_compiled(self):
+        core_dir = pathlib.Path(repro.core.__file__).parent
+        offenders = []
+        for path in sorted(core_dir.glob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom):
+                    module = node.module or ""
+                    if not module.endswith("factorgraph.compiled"):
+                        continue
+                    for alias in node.names:
+                        if alias.name in KERNEL_NAMES or alias.name == "*":
+                            offenders.append(
+                                f"{path.name}:{node.lineno} imports "
+                                f"{alias.name!r} from factorgraph.compiled"
+                            )
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if "factorgraph.compiled" in alias.name:
+                            offenders.append(
+                                f"{path.name}:{node.lineno} imports module "
+                                f"{alias.name!r}"
+                            )
+        assert not offenders, (
+            "engines must import kernels via repro.factorgraph.plan, "
+            "not repro.factorgraph.compiled:\n" + "\n".join(offenders)
+        )
+
+
+@pytest.mark.parametrize("arity", [3, 8, 25, 40])
+class TestExecutorParityMatrix:
+    """One ring of ``arity`` mappings — a single feedback of that size —
+    run through every executor against the loop reference."""
+
+    def _informative(self, arity):
+        network = cycle_network(arity, attribute_count=2, seed=arity)
+        attribute = network.attribute_universe()[0]
+        evidence = analyze_network(
+            network, attribute, ttl=arity, include_parallel_paths=False
+        )
+        informative = evidence.informative_feedbacks
+        assert len(informative) == 1 and informative[0].size == arity
+        return network, attribute, informative
+
+    def test_lossless_executors_match_loop_reference(self, arity):
+        _, _, informative = self._informative(arity)
+        dicts = EmbeddedMessagePassing(
+            informative, priors=0.5, delta=0.1, backend="dicts"
+        ).run()
+        results = {}
+        for executor in ("numpy", "threaded"):
+            results[executor] = EmbeddedMessagePassing(
+                informative,
+                priors=0.5,
+                delta=0.1,
+                backend="arrays",
+                executor=executor,
+            ).run()
+            assert results[executor].iterations == dicts.iterations
+            for name, value in dicts.posteriors.items():
+                assert results[executor].posteriors[name] == pytest.approx(
+                    value, abs=1e-9
+                )
+        # The two executors schedule the same kernels over disjoint rows, so
+        # they agree bit for bit, not just within tolerance.
+        assert results["numpy"].posteriors == results["threaded"].posteriors
+
+    def test_lossy_executors_replay_the_same_rng_streams(self, arity):
+        _, _, informative = self._informative(arity)
+
+        def run(backend, executor=None):
+            return EmbeddedMessagePassing(
+                informative,
+                priors=0.5,
+                delta=0.1,
+                transport=MessageTransport(0.8, seed=arity),
+                backend=backend,
+                executor=executor,
+            ).run()
+
+        dicts = run("dicts")
+        numpy_result = run("arrays", "numpy")
+        threaded = run("arrays", "threaded")
+        assert numpy_result.iterations == dicts.iterations
+        assert threaded.iterations == dicts.iterations
+        for name, value in dicts.posteriors.items():
+            assert numpy_result.posteriors[name] == pytest.approx(
+                value, abs=1e-12
+            )
+        assert numpy_result.posteriors == threaded.posteriors
+
+    def test_batched_and_blocked_engines_under_both_executors(self, arity):
+        network, attribute, _ = self._informative(arity)
+
+        def assessor(executor, use_batched=True):
+            return MappingQualityAssessor(
+                network,
+                delta=0.1,
+                ttl=arity,
+                include_parallel_paths=False,
+                send_probability=0.7,
+                seed=3,
+                use_batched_engine=use_batched,
+                executor=executor,
+            )
+
+        sequential = assessor(None, use_batched=False)
+        reference = sequential.assess_attribute(attribute)
+        posteriors = {}
+        views = {}
+        for executor in ("numpy", "threaded"):
+            batched = assessor(executor)
+            outcome = batched.assess_attributes([attribute])[attribute]
+            assert outcome.iterations == reference.iterations
+            for name, value in reference.posteriors.items():
+                assert outcome.posteriors[name] == pytest.approx(
+                    value, abs=1e-12
+                )
+            posteriors[executor] = outcome.posteriors
+            views[executor] = batched.assess_local_all(attribute)
+        assert posteriors["numpy"] == posteriors["threaded"]
+        assert views["numpy"] == views["threaded"]
+
+        origin = network.peer_names[0]
+        reference_view = sequential.assess_local(origin, attribute)
+        assert set(views["numpy"][origin]) == set(reference_view)
+        for name, value in reference_view.items():
+            assert views["numpy"][origin][name] == pytest.approx(
+                value, abs=1e-12
+            )

@@ -295,6 +295,48 @@ class TestNeighborhoodCache:
             for cycle in cycles:
                 assert cycle.mappings[0].source == origin
 
+    def test_mutation_churn_with_parallel_paths_is_served_incrementally(self):
+        """Adds and removals with parallel paths enabled are absorbed by
+        grafting/filtering per origin — partial refreshes dominate — and
+        every origin's view still matches a fresh probe."""
+        network = intro_example_network(with_records=False)
+        cache = NeighborhoodStructureCache(
+            network, ttl=4, include_parallel_paths=True
+        )
+        for origin in network.peer_names:
+            cache.structures_for(origin)
+
+        def check():
+            fresh_cache = NeighborhoodStructureCache(
+                network, ttl=4, include_parallel_paths=True
+            )
+            for origin in network.peer_names:
+                cycles, paths = cache.structures_for(origin)
+                expected_cycles, expected_paths = fresh_cache.structures_for(
+                    origin
+                )
+                assert self._canonical(cycles) == self._canonical(expected_cycles)
+                assert {p.canonical_key() for p in paths} == {
+                    p.canonical_key() for p in expected_paths
+                }
+
+        network.add_mapping(
+            Mapping.from_pairs("p4", "p2", {"Creator": "Creator"}),
+            bidirectional=False,
+        )
+        check()
+        network.remove_mapping("p2->p4")
+        check()
+        network.add_mapping(
+            Mapping.from_pairs("p3", "p1", {"Creator": "Creator"}),
+            bidirectional=False,
+        )
+        check()
+        assert cache.statistics.partial_refreshes == 3 * len(network.peer_names)
+        assert (
+            cache.statistics.partial_refreshes > cache.statistics.full_refreshes
+        )
+
     def test_add_peer_falls_back_to_full_probe(self):
         network = intro_example_network(with_records=False)
         cache = NeighborhoodStructureCache(network, ttl=4)
