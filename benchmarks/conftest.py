@@ -48,16 +48,24 @@ def emit_json_report(name: str, payload: dict) -> None:
     """Persist machine-readable benchmark metrics as BENCH_<name>.json.
 
     ``payload`` holds the benchmark's own metrics (rates, speedups, peer
-    counts…); the emitter stamps the git revision, a unix timestamp and the
+    counts…); the emitter stamps the git revision, a unix timestamp, the
     plan executor the run used (``REPRO_EXECUTOR``, the process-wide
     default — benchmarks that pin a different ``executor=`` override it in
-    their payload) so the perf trajectory across PRs stays attributable.
+    their payload) and the discovery executor / worker count of the probe
+    phase (``REPRO_PROBE_EXECUTOR`` / ``REPRO_PROBE_WORKERS``, same
+    override rule) so the perf trajectory across PRs stays attributable.
     """
     record = dict(payload)
     record.setdefault("benchmark", name)
     record.setdefault("git_rev", _git_revision())
     record.setdefault("unix_time", int(time.time()))
     record.setdefault("executor", os.environ.get("REPRO_EXECUTOR", "numpy"))
+    record.setdefault(
+        "probe_executor", os.environ.get("REPRO_PROBE_EXECUTOR", "serial")
+    )
+    record.setdefault(
+        "probe_workers", os.environ.get("REPRO_PROBE_WORKERS") or None
+    )
     REPORT_DIR.mkdir(exist_ok=True)
     path = REPORT_DIR / f"BENCH_{name}.json"
     path.write_text(

@@ -35,6 +35,7 @@ from .evaluation.experiments import (
     run_intro_example,
     run_local_assessment,
     run_long_cycle_throughput,
+    run_probe_throughput,
     run_real_world,
     run_relative_error,
     run_schedule_comparison,
@@ -95,26 +96,31 @@ def build_parser() -> argparse.ArgumentParser:
         "throughput",
         help="throughput of the inference engines (centralised sum-product "
         "backends, embedded dict vs array state with --mode embedded, "
-        "the batched per-origin decentralised view with --mode local, or "
+        "the batched per-origin decentralised view with --mode local, "
         "the count-space kernels on long mapping rings with "
-        "--mode long-cycle)",
+        "--mode long-cycle, or origin-sharded structure discovery with "
+        "--mode probe)",
     )
     throughput.add_argument(
         "--sizes", type=int, nargs="+", default=None,
         help="peer counts of the generated scale-free networks "
         "(default 8 16 32 64 128; 8 16 32 64 in embedded mode; "
-        "8 16 32 in local mode); in long-cycle mode the *cycle lengths* "
-        "of the generated mapping rings (default 20 30 40)",
+        "8 16 32 in local mode; 64 128 256 in probe mode); in long-cycle "
+        "mode the *cycle lengths* of the generated mapping rings "
+        "(default 20 30 40)",
     )
     throughput.add_argument(
-        "--mode", choices=("sum-product", "embedded", "local", "long-cycle"),
+        "--mode",
+        choices=("sum-product", "embedded", "local", "long-cycle", "probe"),
         default="sum-product",
         help="'sum-product' times the centralised loop vs vectorized "
         "backends; 'embedded' times decentralised rounds on the dict vs "
         "array state backends; 'local' times the all-origins §4.5 decision "
         "batched (one block-diagonal stacked engine) vs engine-per-origin; "
         "'long-cycle' times the count-space kernels against the loop "
-        "reference on rings far beyond the dense arity limit",
+        "reference on rings far beyond the dense arity limit; 'probe' times "
+        "full-probe structure discovery on the process-pool executor vs the "
+        "serial walkers",
     )
     throughput.add_argument(
         "--ttl", type=int, default=None,
@@ -143,6 +149,11 @@ def build_parser() -> argparse.ArgumentParser:
         "fans independent arity buckets out to a thread pool; not "
         "applicable in sum-product mode, which times the centralised "
         "loop vs vectorized backends",
+    )
+    throughput.add_argument(
+        "--probe-workers", type=int, default=None,
+        help="probe mode only: worker count of the process-pool discovery "
+        "executor (default: REPRO_PROBE_WORKERS or the CPU count)",
     )
 
     amortization = subparsers.add_parser(
@@ -289,6 +300,8 @@ def _render_throughput(args: argparse.Namespace) -> str:
         return _render_local_throughput(args)
     if args.mode == "long-cycle":
         return _render_long_cycle_throughput(args)
+    if args.mode == "probe":
+        return _render_probe_throughput(args)
     sizes = tuple(args.sizes) if args.sizes else (8, 16, 32, 64, 128)
     result = run_engine_throughput(
         peer_counts=sizes,
@@ -395,6 +408,47 @@ def _render_local_throughput(args: argparse.Namespace) -> str:
         title=(
             "Local assessment throughput — batched per-origin lanes vs "
             f"engine-per-origin (P(send)={send_probability})"
+        ),
+    )
+
+
+def _render_probe_throughput(args: argparse.Namespace) -> str:
+    sizes = tuple(args.sizes) if args.sizes else (64, 128, 256)
+    result = run_probe_throughput(
+        peer_counts=sizes,
+        ttl=args.ttl if args.ttl is not None else THROUGHPUT_DEFAULT_TTL,
+        repeats=args.repeats,
+        probe_workers=args.probe_workers,
+    )
+    rows = [
+        (
+            point.peer_count,
+            point.mapping_count,
+            point.work_units,
+            point.structure_count,
+            f"{point.serial_seconds * 1e3:.1f}",
+            f"{point.process_seconds * 1e3:.1f}",
+            f"{point.speedup:.1f}x",
+            f"{point.workers}" if point.sharded else "inline",
+        )
+        for point in result.points
+    ]
+    return format_table(
+        (
+            "peers",
+            "mappings",
+            "work units",
+            "structures",
+            "serial ms",
+            "process ms",
+            "speedup",
+            "workers",
+        ),
+        rows,
+        title=(
+            "Probe throughput — origin-sharded process-pool discovery vs "
+            f"serial walkers (ttl={args.ttl if args.ttl is not None else THROUGHPUT_DEFAULT_TTL}, "
+            "structure sets verified identical)"
         ),
     )
 
@@ -537,11 +591,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--max-iterations only applies to --mode sum-product")
         if args.mode != "embedded" and args.rounds is not None:
             parser.error("--rounds only applies to --mode embedded")
-        if args.mode in ("sum-product", "long-cycle") and args.send_probability is not None:
+        if args.mode in ("sum-product", "long-cycle", "probe") and args.send_probability is not None:
             parser.error(
                 "--send-probability only applies to --mode embedded or local"
             )
-        if args.mode == "sum-product" and args.executor is not None:
+        if args.mode in ("sum-product", "probe") and args.executor is not None:
             parser.error(
                 "--executor only applies to --mode embedded, local or "
                 "long-cycle"
@@ -551,6 +605,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "--ttl does not apply to --mode long-cycle (each ring is "
                 "probed with its full cycle length)"
             )
+        if args.mode != "probe" and args.probe_workers is not None:
+            parser.error("--probe-workers only applies to --mode probe")
     if args.command == "intro":
         output = _render_intro()
     elif args.command == "convergence":

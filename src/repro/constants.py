@@ -37,6 +37,10 @@ __all__ = [
     "EXECUTOR_NUMPY",
     "EXECUTOR_THREADED",
     "DEFAULT_EXECUTOR",
+    "PROBE_EXECUTOR_SERIAL",
+    "PROBE_EXECUTOR_PROCESS",
+    "DEFAULT_PROBE_EXECUTOR",
+    "DEFAULT_PROBE_WORKERS",
 ]
 
 #: Hard cap on synchronous rounds, shared by the centralised and embedded runs.
@@ -106,3 +110,37 @@ EXECUTOR_THREADED: str = "threaded"
 #: be switched without touching call sites (CI exercises the threaded
 #: executor this way).
 DEFAULT_EXECUTOR: str = os.environ.get("REPRO_EXECUTOR", EXECUTOR_NUMPY)
+
+#: In-process discovery executor of the probe-plan IR
+#: (:mod:`repro.pdms.discovery`) — result-identical to the historical
+#: recursive walkers, discovery order included.
+PROBE_EXECUTOR_SERIAL: str = "serial"
+
+#: Origin-sharded discovery executor fanning a probe plan's work units out
+#: to a ``multiprocessing`` pool and merging the streamed results
+#: canonically, so the structure sets match :data:`PROBE_EXECUTOR_SERIAL`
+#: exactly regardless of worker scheduling.
+PROBE_EXECUTOR_PROCESS: str = "process"
+
+#: Discovery executor used when none is requested, overridable via the
+#: ``REPRO_PROBE_EXECUTOR`` environment variable (mirrors
+#: :data:`DEFAULT_EXECUTOR` / ``REPRO_EXECUTOR`` one layer up, at the probe
+#: phase instead of the sweep phase).
+DEFAULT_PROBE_EXECUTOR: str = os.environ.get(
+    "REPRO_PROBE_EXECUTOR", PROBE_EXECUTOR_SERIAL
+)
+
+
+def _probe_workers_from_env() -> "int | None":
+    raw = os.environ.get("REPRO_PROBE_WORKERS", "").strip()
+    if not raw:
+        return None
+    workers = int(raw)
+    return workers if workers > 0 else None
+
+
+#: Worker count of the process-pool discovery executor when none is passed
+#: explicitly: the ``REPRO_PROBE_WORKERS`` environment variable (unset, empty
+#: or ``<= 0`` meaning "decide at runtime"), else ``None`` — resolved to the
+#: machine's CPU count by :func:`repro.pdms.discovery.resolve_probe_workers`.
+DEFAULT_PROBE_WORKERS: "int | None" = _probe_workers_from_env()

@@ -2,37 +2,47 @@
 
 This is the glue between the PDMS substrate and the probabilistic model:
 given a network and an attribute, it enumerates the cycles and parallel
-paths (via :mod:`repro.pdms.probing`), evaluates each of them by pushing the
-attribute through the transitive closure of its mappings, and returns the
-resulting :class:`~repro.core.feedback.Feedback` evidence, ready to be
-turned into factors.
-
-It also reports, per mapping, whether the mapping provides *any*
+paths, evaluates each of them by pushing the attribute through the
+transitive closure of its mappings, and returns the resulting
+:class:`~repro.core.feedback.Feedback` evidence, ready to be turned into
+factors.  It also reports, per mapping, whether the mapping provides *any*
 correspondence for the attribute — the paper treats a missing correspondence
 as correctness probability zero for that attribute (§3.2.1, the ⊥ case).
 
-Amortised probing
------------------
-Cycle and parallel-path *structures* are attribute-independent (§3.2.1):
-only their evaluation — pushing one attribute through the transitive
-closure of the traversed correspondences — depends on the attribute.
-:class:`NetworkStructureCache` exploits this: it probes the network once per
-``(network version, ttl, include_parallel_paths)`` key and derives the
-per-attribute :class:`NetworkEvidence` by re-evaluating the cached
-structures, so assessing N attributes (or N EM rounds) costs one
-exponential enumeration instead of N.
+Structure discovery is organised along two independent axes:
 
-:class:`NeighborhoodStructureCache` is the same idea for the fully
-decentralised view of §4.5: each *origin*'s local structures — the cycles
-through it and the parallel paths departing from it, exactly what the peer's
-own probes can discover — are cached per ``(origin, network version, ttl,
-include_parallel_paths)``, so per-peer assessments over many origins,
-attributes and EM rounds run exactly one neighbourhood probe per origin and
-topology version.
+**Cache scope** — *which* structures a consumer sees.
+:class:`NetworkStructureCache` caches the experimenter's global view: every
+cycle and parallel-path pair in the network, keyed on ``(network version,
+ttl, include_parallel_paths)``.  :class:`NeighborhoodStructureCache` caches
+the fully decentralised view of §4.5, one entry per *origin* peer: the
+cycles through the origin and the parallel paths departing from it —
+exactly what the peer's own TTL-bounded probes can discover.  Structures
+are attribute-independent (§3.2.1), so either cache amortises one
+enumeration across all attributes and EM rounds of a topology version; both
+replay the network's mutation log (:func:`repro.pdms.discovery.replay_structure_log`)
+to refresh incrementally when only mappings changed.
+
+**Discovery executor** — *how* the probe work runs.  Neither cache walks
+the network itself: both lower their full probes and their
+incremental-refresh deltas onto :class:`~repro.pdms.discovery.ProbePlan`
+frontiers of per-origin work units, executed by a pluggable
+:class:`~repro.pdms.discovery.DiscoveryExecutor` (``probe_executor=``,
+defaulting through ``REPRO_PROBE_EXECUTOR`` /
+:data:`repro.constants.DEFAULT_PROBE_EXECUTOR`): ``"serial"`` runs the
+walkers in-process, result-identical to the historical recursive sweeps;
+``"process"`` shards the frontier by origin across a ``multiprocessing``
+pool and merges the streamed results canonically, so both executors produce
+identical structure sets at every cache scope.
+
+The axes compose freely — any scope runs on any executor — and
+:attr:`StructureCacheStatistics` accounts for both: lookups/refreshes per
+scope, work units / sharded probes / probe wall time per executor.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -40,15 +50,17 @@ from ..constants import DEFAULT_TTL
 from ..exceptions import FeedbackError
 from ..mapping.mapping import Mapping
 from ..pdms.network import PDMSNetwork
+from ..pdms.discovery import (
+    TopologySnapshot,
+    plan_full_probe,
+    plan_mapping_delta,
+    plan_neighborhood_probe,
+    replay_structure_log,
+    resolve_discovery_executor,
+)
 from ..pdms.probing import (
     MappingCycle,
     ParallelPaths,
-    find_all_cycles,
-    find_all_parallel_paths,
-    find_cycles_through,
-    find_parallel_paths_from,
-    find_parallel_paths_through,
-    probe_neighborhood,
     validate_ttl,
 )
 from .feedback import Feedback, FeedbackKind, feedback_from_cycle, feedback_from_parallel_paths
@@ -159,7 +171,7 @@ def _evidence_from_structures(
 
 @dataclass
 class StructureCacheStatistics:
-    """Hit/miss accounting of a :class:`NetworkStructureCache`.
+    """Lookup and probe-work accounting of a structure cache.
 
     ``probes`` counts *full* cycle/parallel-path enumerations — the quantity
     the cache exists to minimise; ``hits`` and ``misses`` count lookups.  A
@@ -167,6 +179,14 @@ class StructureCacheStatistics:
     equal to ``probes``) or — when the network's mutation log shows only
     mapping-level changes the cache can replay — by an incremental update of
     the affected structures (``partial_refreshes``).
+
+    The remaining fields account for the probe *work* the discovery executor
+    performed on the cache's behalf: ``work_units`` counts the
+    :class:`~repro.pdms.discovery.ProbeWorkUnit`\\ s executed (full probes
+    and incremental deltas alike), ``sharded_probes`` the plan runs that
+    actually fanned out to a worker pool (an inlined small plan is not
+    sharded), and ``probe_seconds`` / ``last_probe_seconds`` the wall time
+    spent inside plan runs — cumulative and for the most recent run.
     """
 
     probes: int = 0
@@ -174,10 +194,97 @@ class StructureCacheStatistics:
     misses: int = 0
     partial_refreshes: int = 0
     full_refreshes: int = 0
+    work_units: int = 0
+    sharded_probes: int = 0
+    probe_seconds: float = 0.0
+    last_probe_seconds: float = 0.0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
+
+
+class _ProbeDriver:
+    """Shared probe-execution plumbing of both structure caches.
+
+    Owns the resolved :class:`~repro.pdms.discovery.DiscoveryExecutor`, a
+    per-topology-version memo of the network snapshot plans are built on,
+    and the probe-work accounting: every plan — full probe, neighbourhood
+    batch or incremental delta — runs through :meth:`run`, which times it
+    and updates the cache's :class:`StructureCacheStatistics`.
+    """
+
+    def __init__(
+        self,
+        network: PDMSNetwork,
+        ttl: int,
+        statistics: StructureCacheStatistics,
+        probe_executor: object = None,
+        probe_workers: Optional[int] = None,
+    ) -> None:
+        self.network = network
+        self.ttl = ttl
+        self.statistics = statistics
+        self.executor = resolve_discovery_executor(probe_executor, workers=probe_workers)
+        self._snapshot: Optional[Tuple[int, TopologySnapshot]] = None
+
+    def snapshot(self) -> TopologySnapshot:
+        """The network's current topology snapshot, rebuilt only on mutation."""
+        version = self.network.version
+        if self._snapshot is None or self._snapshot[0] != version:
+            self._snapshot = (version, TopologySnapshot.of(self.network))
+        return self._snapshot[1]
+
+    def run(self, plan):
+        started = time.perf_counter()
+        run = self.executor.run(plan)
+        elapsed = time.perf_counter() - started
+        stats = self.statistics
+        stats.work_units += len(plan.work_units)
+        stats.probe_seconds += elapsed
+        stats.last_probe_seconds = elapsed
+        if run.sharded:
+            stats.sharded_probes += 1
+        return run
+
+    def full_probe(
+        self, include_parallel_paths: bool
+    ) -> Tuple[Tuple[MappingCycle, ...], Tuple[ParallelPaths, ...]]:
+        """The whole network's structures via one full-probe frontier."""
+        plan = plan_full_probe(
+            self.snapshot(), ttl=self.ttl, include_parallel_paths=include_parallel_paths
+        )
+        return self.run(plan).merged()
+
+    def neighborhood_probe(
+        self, origins: Sequence[str], include_parallel_paths: bool
+    ) -> Dict[str, Tuple[Tuple[MappingCycle, ...], Tuple[ParallelPaths, ...]]]:
+        """Each origin's local structures, batched into one (possibly
+        sharded) neighbourhood plan."""
+        plan = plan_neighborhood_probe(
+            self.snapshot(),
+            origins,
+            ttl=self.ttl,
+            include_parallel_paths=include_parallel_paths,
+        )
+        run = self.run(plan)
+        return {
+            unit.subject: (outcome.cycles, outcome.parallel_paths)
+            for unit, outcome in zip(plan.work_units, run.outcomes)
+        }
+
+    def structures_through(
+        self, mapping_name: str, include_parallel_paths: bool
+    ) -> Tuple[Tuple[MappingCycle, ...], Tuple[ParallelPaths, ...]]:
+        """The structures through a freshly added mapping (the graft set of
+        an incremental refresh), via a mapping-delta plan."""
+        plan = plan_mapping_delta(
+            self.snapshot(),
+            mapping_name,
+            ttl=self.ttl,
+            include_parallel_paths=include_parallel_paths,
+        )
+        return self.run(plan).merged()
 
 
 class NetworkStructureCache:
@@ -204,11 +311,15 @@ class NetworkStructureCache:
       edge*: the cycles from the new mapping's source peer that contain
       the new mapping (every genuinely new cycle must contain it) and —
       when parallel paths are enabled — the parallel-path pairs with one
-      branch traversing it
-      (:func:`~repro.pdms.probing.find_parallel_paths_through`; every
+      branch traversing it (a
+      :func:`~repro.pdms.discovery.plan_mapping_delta` frontier; every
       genuinely new pair must route a branch through the new edge).
       Unseen structures are appended;
     * ``add_peer`` always falls back to a full re-probe.
+
+    Both the full probes and the incremental deltas run through the cache's
+    discovery executor (``probe_executor=``); the replay itself is the
+    shared :func:`~repro.pdms.discovery.replay_structure_log`.
 
     ``statistics.partial_refreshes`` / ``full_refreshes`` record which path
     served each miss.  Incrementally added structures are appended after the
@@ -231,6 +342,8 @@ class NetworkStructureCache:
         network: PDMSNetwork,
         ttl: int = DEFAULT_TTL,
         include_parallel_paths: Optional[bool] = None,
+        probe_executor: object = None,
+        probe_workers: Optional[int] = None,
     ) -> None:
         self.network = network
         # Fail fast: a nonsense ttl would otherwise only surface at the
@@ -238,9 +351,18 @@ class NetworkStructureCache:
         self.ttl = validate_ttl(ttl)
         self.include_parallel_paths = include_parallel_paths
         self.statistics = StructureCacheStatistics()
+        self._driver = _ProbeDriver(
+            network, self.ttl, self.statistics, probe_executor, probe_workers
+        )
         self._key: Optional[Tuple[int, int, bool]] = None
         self._cycles: Tuple[MappingCycle, ...] = ()
         self._parallel_paths: Tuple[ParallelPaths, ...] = ()
+
+    @property
+    def probe_executor(self):
+        """The resolved :class:`~repro.pdms.discovery.DiscoveryExecutor`
+        running this cache's probe plans."""
+        return self._driver.executor
 
     def _resolved_include_parallel_paths(self) -> bool:
         if self.include_parallel_paths is None:
@@ -272,10 +394,7 @@ class NetworkStructureCache:
         else:
             self.statistics.probes += 1
             self.statistics.full_refreshes += 1
-            self._cycles = find_all_cycles(self.network, ttl=self.ttl)
-            self._parallel_paths = (
-                find_all_parallel_paths(self.network, ttl=self.ttl) if include else ()
-            )
+            self._cycles, self._parallel_paths = self._driver.full_probe(include)
         self._key = key
         return self._cycles, self._parallel_paths
 
@@ -285,7 +404,10 @@ class NetworkStructureCache:
         Returns ``True`` when the cached cycles / parallel paths were brought
         up to ``key`` without a full enumeration; ``False`` requests a full
         re-probe (peer additions, truncated logs, or ttl / parallel-path
-        flag changes).
+        flag changes).  The replay is the shared
+        :func:`~repro.pdms.discovery.replay_structure_log`; the graft sets of
+        added mappings are mapping-delta plans run through the cache's
+        discovery executor.
         """
         if self._key is None or self._key[1:] != key[1:]:
             return False
@@ -293,58 +415,19 @@ class NetworkStructureCache:
         if mutations is None or not mutations:
             return False
         include = key[2]
-        kinds = {kind for _, kind, _ in mutations}
-        if "add_peer" in kinds:
+        refreshed = replay_structure_log(
+            mutations,
+            self._cycles,
+            self._parallel_paths,
+            include_parallel_paths=include,
+            has_mapping=self.network.has_mapping,
+            structures_through=lambda version, name: self._driver.structures_through(
+                name, include
+            ),
+        )
+        if refreshed is None:
             return False
-        cycles = list(self._cycles)
-        parallel_paths = list(self._parallel_paths)
-        # Canonical keys are only needed to dedupe additions; remove-only
-        # logs (the common case) never pay for the sets.
-        seen: Optional[set] = None
-        seen_paths: Optional[set] = None
-        for _, kind, name in mutations:
-            if kind == "remove_mapping":
-                cycles = [c for c in cycles if name not in c.mapping_names]
-                parallel_paths = [
-                    p for p in parallel_paths if name not in p.mapping_names
-                ]
-                seen = None
-                seen_paths = None
-            elif kind == "add_mapping":
-                if not self.network.has_mapping(name):
-                    # Added and removed again later in the log; the removal
-                    # entry keeps the cached set consistent.
-                    continue
-                mapping = self.network.mapping(name)
-                if seen is None:
-                    seen = {cycle.canonical_key() for cycle in cycles}
-                for cycle in find_cycles_through(
-                    self.network, mapping.source, ttl=self.ttl
-                ):
-                    if name not in cycle.mapping_names:
-                        continue
-                    cycle_key = cycle.canonical_key()
-                    if cycle_key in seen:
-                        continue
-                    seen.add(cycle_key)
-                    cycles.append(cycle)
-                if include:
-                    if seen_paths is None:
-                        seen_paths = {
-                            pair.canonical_key() for pair in parallel_paths
-                        }
-                    for pair in find_parallel_paths_through(
-                        self.network, name, ttl=self.ttl
-                    ):
-                        pair_key = pair.canonical_key()
-                        if pair_key in seen_paths:
-                            continue
-                        seen_paths.add(pair_key)
-                        parallel_paths.append(pair)
-            else:  # pragma: no cover - defensive: unknown mutation kind
-                return False
-        self._cycles = tuple(cycles)
-        self._parallel_paths = tuple(parallel_paths)
+        self._cycles, self._parallel_paths = refreshed
         return True
 
     def evidence_for(self, attribute: str) -> NetworkEvidence:
@@ -400,14 +483,19 @@ class NeighborhoodStructureCache:
     * ``remove_mapping`` filters each origin's cached cycles and parallel
       paths (exact);
     * ``add_mapping`` enumerates the structures *through the new edge*
-      once — the cycles containing the new mapping and, when parallel
+      once — a :func:`~repro.pdms.discovery.plan_mapping_delta` frontier
+      yielding the cycles containing the new mapping and, when parallel
       paths are enabled, the parallel-path pairs routing a branch through
-      it (:func:`~repro.pdms.probing.find_parallel_paths_through`) — then
-      grafts onto each cached origin the new cycles passing through it
-      (rotated to start at that origin, the orientation its own probe
-      would report) and the new pairs departing from it;
+      it — then grafts onto each cached origin the new cycles passing
+      through it (rotated to start at that origin, the orientation its own
+      probe would report) and the new pairs departing from it;
     * ``add_peer`` (or a truncated log) always falls back to a full
       re-probe of the origin on its next lookup.
+
+    Full probes and deltas run through the cache's discovery executor
+    (``probe_executor=``); :meth:`warm` batches many origins' pending full
+    probes into one frontier so a sharded executor fans them out together
+    instead of origin-by-origin.
 
     As with the global cache, incrementally appended cycles are numbered
     after the surviving ones, so feedback identifiers may differ from what a
@@ -419,6 +507,8 @@ class NeighborhoodStructureCache:
         network: PDMSNetwork,
         ttl: int = DEFAULT_TTL,
         include_parallel_paths: Optional[bool] = None,
+        probe_executor: object = None,
+        probe_workers: Optional[int] = None,
     ) -> None:
         self.network = network
         # Fail fast: a nonsense ttl would otherwise only surface at the
@@ -426,14 +516,25 @@ class NeighborhoodStructureCache:
         self.ttl = validate_ttl(ttl)
         self.include_parallel_paths = include_parallel_paths
         self.statistics = StructureCacheStatistics()
+        self._driver = _ProbeDriver(
+            network, self.ttl, self.statistics, probe_executor, probe_workers
+        )
         self._entries: Dict[str, _NeighborhoodEntry] = {}
         # Structures through a freshly added mapping, shared across the
         # origins replaying the same log entry at the same topology version.
-        self._added_cycles_memo: Dict[Tuple[int, str, int], Tuple[MappingCycle, ...]] = {}
-        self._added_paths_memo: Dict[Tuple[int, str, int], Tuple[ParallelPaths, ...]] = {}
+        self._delta_memo: Dict[
+            Tuple[int, str, int, bool],
+            Tuple[Tuple[MappingCycle, ...], Tuple[ParallelPaths, ...]],
+        ] = {}
         # The unmappable-mapping scan is origin-independent; share it across
         # the per-origin evidence_for calls of one (attribute, version).
         self._unmappable_memo: Dict[Tuple[str, int], Tuple[str, ...]] = {}
+
+    @property
+    def probe_executor(self):
+        """The resolved :class:`~repro.pdms.discovery.DiscoveryExecutor`
+        running this cache's probe plans."""
+        return self._driver.executor
 
     def _resolved_include_parallel_paths(self) -> bool:
         if self.include_parallel_paths is None:
@@ -466,55 +567,67 @@ class NeighborhoodStructureCache:
             return entry.cycles, entry.parallel_paths
         self.statistics.probes += 1
         self.statistics.full_refreshes += 1
-        cycles = find_cycles_through(self.network, origin, ttl=self.ttl)
-        parallel_paths = (
-            find_parallel_paths_from(self.network, origin, ttl=self.ttl)
-            if key[2]
-            else ()
-        )
+        cycles, parallel_paths = self._driver.neighborhood_probe((origin,), key[2])[
+            origin
+        ]
         self._entries[origin] = _NeighborhoodEntry(key, cycles, parallel_paths)
         return cycles, parallel_paths
 
-    def _cycles_through_added(self, entry_version: int, name: str) -> Tuple[MappingCycle, ...]:
-        """All cycles containing the freshly added mapping ``name``.
+    def warm(self, origins: Sequence[str]) -> None:
+        """Bring many origins' entries up to the current key in one pass.
 
-        Enumerated once per (log entry, current topology version) from the
-        mapping's source peer — every cycle containing the mapping passes
-        through it — and shared across the origins replaying the same entry.
+        Fresh entries are left untouched (and unaccounted: no lookup
+        happens), refreshable entries replay the mutation log exactly as a
+        lazy lookup would, and the remaining origins' full probes are
+        batched into a *single* neighbourhood frontier — the plan a sharded
+        executor fans out across its worker pool.  Per-origin statistics
+        (``misses`` / ``probes`` / ``partial_refreshes`` /
+        ``full_refreshes``) are identical to probing the origins one
+        :meth:`structures_for` call at a time.
         """
-        memo_key = (entry_version, name, self.network.version)
-        cached = self._added_cycles_memo.get(memo_key)
-        if cached is not None:
-            return cached
-        mapping = self.network.mapping(name)
-        cycles = tuple(
-            cycle
-            for cycle in find_cycles_through(
-                self.network, mapping.source, ttl=self.ttl
-            )
-            if name in cycle.mapping_names
-        )
-        if len(self._added_cycles_memo) > 64:
-            self._added_cycles_memo.clear()
-        self._added_cycles_memo[memo_key] = cycles
-        return cycles
+        key = self.current_key()
+        pending: List[str] = []
+        for origin in dict.fromkeys(origins):
+            entry = self._entries.get(origin)
+            if entry is not None and entry.key == key:
+                continue
+            if entry is not None and self._refresh_incrementally(entry, origin, key):
+                self.statistics.misses += 1
+                self.statistics.partial_refreshes += 1
+                entry.key = key
+                continue
+            pending.append(origin)
+        if not pending:
+            return
+        probed = self._driver.neighborhood_probe(tuple(pending), key[2])
+        for origin in pending:
+            cycles, parallel_paths = probed[origin]
+            self.statistics.misses += 1
+            self.statistics.probes += 1
+            self.statistics.full_refreshes += 1
+            self._entries[origin] = _NeighborhoodEntry(key, cycles, parallel_paths)
 
-    def _paths_through_added(
-        self, entry_version: int, name: str
-    ) -> Tuple[ParallelPaths, ...]:
-        """All parallel-path pairs routing a branch through the freshly added
-        mapping ``name``, enumerated once per (log entry, current topology
-        version) and shared across the origins replaying the same entry.
-        Each pair carries the origin whose probe would discover it."""
-        memo_key = (entry_version, name, self.network.version)
-        cached = self._added_paths_memo.get(memo_key)
+    def _structures_through_added(
+        self, entry_version: int, name: str, include_parallel_paths: bool
+    ) -> Tuple[Tuple[MappingCycle, ...], Tuple[ParallelPaths, ...]]:
+        """The structures through the freshly added mapping ``name`` — the
+        cycles containing it (oriented from its source peer) and the pairs
+        routing a branch through it, each pair carrying the origin whose
+        probe would discover it.
+
+        Enumerated once per (log entry, current topology version) via a
+        mapping-delta plan and shared across the origins replaying the same
+        entry.
+        """
+        memo_key = (entry_version, name, self.network.version, include_parallel_paths)
+        cached = self._delta_memo.get(memo_key)
         if cached is not None:
             return cached
-        pairs = find_parallel_paths_through(self.network, name, ttl=self.ttl)
-        if len(self._added_paths_memo) > 64:
-            self._added_paths_memo.clear()
-        self._added_paths_memo[memo_key] = pairs
-        return pairs
+        structures = self._driver.structures_through(name, include_parallel_paths)
+        if len(self._delta_memo) > 64:
+            self._delta_memo.clear()
+        self._delta_memo[memo_key] = structures
+        return structures
 
     @staticmethod
     def _rotate_to(cycle: MappingCycle, origin: str) -> Optional[MappingCycle]:
@@ -533,63 +646,37 @@ class NeighborhoodStructureCache:
     def _refresh_incrementally(
         self, entry: _NeighborhoodEntry, origin: str, key: Tuple[int, int, bool]
     ) -> bool:
-        """Replay the mutation log onto one origin's entry when possible."""
+        """Replay the mutation log onto one origin's entry when possible.
+
+        The replay is the shared
+        :func:`~repro.pdms.discovery.replay_structure_log`, localised to the
+        origin's view: grafted cycles are rotated to start at the origin
+        (the orientation its own probe would report; cycles not passing
+        through it are dropped), and grafted pairs are kept only when they
+        depart from the origin — parallel paths are only discoverable by
+        the probe of their shared start peer.
+        """
         if entry.key[1:] != key[1:]:
             return False
         mutations = self.network.mutations_since(entry.key[0])
         if mutations is None or not mutations:
             return False
-        kinds = {kind for _, kind, _ in mutations}
-        if "add_peer" in kinds:
+        include = key[2]
+        refreshed = replay_structure_log(
+            mutations,
+            entry.cycles,
+            entry.parallel_paths,
+            include_parallel_paths=include,
+            has_mapping=self.network.has_mapping,
+            structures_through=lambda version, name: self._structures_through_added(
+                version, name, include
+            ),
+            adapt_cycle=lambda cycle: self._rotate_to(cycle, origin),
+            adapt_path=lambda pair: pair if pair.source == origin else None,
+        )
+        if refreshed is None:
             return False
-        cycles = list(entry.cycles)
-        parallel_paths = list(entry.parallel_paths)
-        seen: Optional[set] = None
-        seen_paths: Optional[set] = None
-        for version, kind, name in mutations:
-            if kind == "remove_mapping":
-                cycles = [c for c in cycles if name not in c.mapping_names]
-                parallel_paths = [
-                    p for p in parallel_paths if name not in p.mapping_names
-                ]
-                seen = None
-                seen_paths = None
-            elif kind == "add_mapping":
-                if not self.network.has_mapping(name):
-                    # Added and removed again later in the log; the removal
-                    # entry keeps the cached set consistent.
-                    continue
-                if seen is None:
-                    seen = {cycle.canonical_key() for cycle in cycles}
-                for cycle in self._cycles_through_added(version, name):
-                    local = self._rotate_to(cycle, origin)
-                    if local is None:
-                        continue
-                    cycle_key = local.canonical_key()
-                    if cycle_key in seen:
-                        continue
-                    seen.add(cycle_key)
-                    cycles.append(local)
-                if key[2]:
-                    # Parallel paths are only discoverable by the probe of
-                    # their shared start peer, so the origin grafts exactly
-                    # the new pairs departing from it.
-                    if seen_paths is None:
-                        seen_paths = {
-                            pair.canonical_key() for pair in parallel_paths
-                        }
-                    for pair in self._paths_through_added(version, name):
-                        if pair.source != origin:
-                            continue
-                        pair_key = pair.canonical_key()
-                        if pair_key in seen_paths:
-                            continue
-                        seen_paths.add(pair_key)
-                        parallel_paths.append(pair)
-            else:  # pragma: no cover - defensive: unknown mutation kind
-                return False
-        entry.cycles = tuple(cycles)
-        entry.parallel_paths = tuple(parallel_paths)
+        entry.cycles, entry.parallel_paths = refreshed
         return True
 
     def evidence_for(self, origin: str, attribute: str) -> NetworkEvidence:
@@ -619,8 +706,7 @@ class NeighborhoodStructureCache:
     def invalidate(self) -> None:
         """Drop every origin's cached view; the next lookups re-probe."""
         self._entries.clear()
-        self._added_cycles_memo.clear()
-        self._added_paths_memo.clear()
+        self._delta_memo.clear()
         self._unmappable_memo.clear()
 
 
@@ -629,6 +715,8 @@ def analyze_network(
     attribute: str,
     ttl: int = DEFAULT_TTL,
     include_parallel_paths: Optional[bool] = None,
+    probe_executor: object = None,
+    probe_workers: Optional[int] = None,
 ) -> NetworkEvidence:
     """Gather all feedback evidence for ``attribute`` across ``network``.
 
@@ -636,16 +724,21 @@ def analyze_network(
     parallel paths are only meaningful in directed PDMS (§3.3) — in an
     undirected network they already appear as cycles.
 
+    The enumeration is a full-probe plan run through ``probe_executor``
+    (default: the configured discovery executor); all executors yield the
+    same evidence, identifiers included.
+
     This probes the network from scratch on every call; use a
     :class:`NetworkStructureCache` when gathering evidence for several
     attributes (or repeatedly, as the EM update does) on the same topology.
     """
     if include_parallel_paths is None:
         include_parallel_paths = network.directed
-    cycles = find_all_cycles(network, ttl=ttl)
-    parallel_paths: Tuple[ParallelPaths, ...] = ()
-    if include_parallel_paths:
-        parallel_paths = find_all_parallel_paths(network, ttl=ttl)
+    executor = resolve_discovery_executor(probe_executor, workers=probe_workers)
+    plan = plan_full_probe(
+        network, ttl=ttl, include_parallel_paths=include_parallel_paths
+    )
+    cycles, parallel_paths = executor.run(plan).merged()
     feedbacks = _evidence_from_structures(cycles, parallel_paths, attribute)
     return NetworkEvidence(
         attribute=attribute,
@@ -662,22 +755,31 @@ def analyze_neighborhood(
     attribute: str,
     ttl: int = DEFAULT_TTL,
     include_parallel_paths: Optional[bool] = None,
+    probe_executor: object = None,
+    probe_workers: Optional[int] = None,
 ) -> NetworkEvidence:
     """Gather the feedback evidence one peer can see by probing with ``ttl``.
 
     This is the fully decentralised view: only cycles through ``origin`` and
     parallel paths departing from ``origin`` are considered, which is
     exactly what the peer can learn from its own probes (§3.2.1, §4.5).
+    The probe is a one-origin neighbourhood plan run through
+    ``probe_executor`` (default: the configured discovery executor).
     """
     if include_parallel_paths is None:
         include_parallel_paths = network.directed
-    probe = probe_neighborhood(network, origin, ttl=ttl)
-    parallel_paths = probe.parallel_paths if include_parallel_paths else ()
-    feedbacks = _evidence_from_structures(probe.cycles, parallel_paths, attribute)
+    executor = resolve_discovery_executor(probe_executor, workers=probe_workers)
+    plan = plan_neighborhood_probe(
+        network, (origin,), ttl=ttl, include_parallel_paths=include_parallel_paths
+    )
+    run = executor.run(plan)
+    (outcome,) = run.outcomes
+    cycles, parallel_paths = outcome.cycles, outcome.parallel_paths
+    feedbacks = _evidence_from_structures(cycles, parallel_paths, attribute)
     return NetworkEvidence(
         attribute=attribute,
         feedbacks=tuple(feedbacks),
         unmappable=_unmappable_mappings(network, attribute),
-        cycles=probe.cycles,
+        cycles=cycles,
         parallel_paths=parallel_paths,
     )

@@ -11,7 +11,10 @@ gather/scatter operands, factor tables) from scratch for each attribute.
 
 This module splits that work along the topology/evidence boundary, on the
 same two axes the engine matrix in :mod:`repro.core.embedded` documents —
-*plan-IR lowering* × *executor choice*:
+*plan-IR lowering* × *executor choice* (plus the upstream probe-executor
+row of that matrix: the structure lists compiled here arrive from the
+discovery frontier of :mod:`repro.pdms.discovery`, serial or
+origin-sharded via ``probe_executor=``, identical either way):
 
 * :func:`compile_assessment_plan` lowers the structures **once** into an
   :class:`AssessmentPlan` (an alias of the shared

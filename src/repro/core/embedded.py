@@ -106,6 +106,18 @@ environment variable):
   pool; buckets scatter to disjoint edge rows, so results stay
   bit-identical to the NumPy executor.
 
+Probe-executor row — the same pattern one layer *up*: the structures every
+lowering consumes are themselves discovered by a
+:class:`~repro.pdms.discovery.ProbePlan` frontier run through a pluggable
+discovery executor (``probe_executor=`` on the assessor and both structure
+caches, defaulting to :data:`repro.constants.DEFAULT_PROBE_EXECUTOR`, i.e.
+the ``REPRO_PROBE_EXECUTOR`` environment variable): ``"serial"`` walks the
+frontier in-process, ``"process"`` shards it by origin over a
+``multiprocessing`` pool and merges canonically.  Both yield identical
+structure lists, so the sweep axes above are completely independent of the
+probe axis — any lowering × sweep executor × probe executor combination
+agrees.
+
 The *kernel crossover rule* is stated once, in the plan IR, and applied by
 every lowering: a feedback factor with ``arity >=``
 :data:`repro.constants.COUNT_KERNEL_MIN_ARITY` mappings is represented as a

@@ -105,6 +105,12 @@ class EvolvingPDMS:
         for the affected attributes — the traffic model of a live PDMS,
         where each peer re-judges its own mappings after churn — and records
         the per-origin views in :attr:`AssessmentRound.local_posteriors`.
+    probe_executor / probe_workers:
+        Discovery executor of the probe plans (``"serial"`` /
+        ``"process"`` / an executor object / ``None`` for the configured
+        default) and its pool size, forwarded to every assessor's structure
+        caches — structure sets are identical across executors, so churn
+        replays are invariant to the choice.
     assessor_kwargs:
         Extra keyword arguments forwarded to every
         :class:`~repro.core.quality.MappingQualityAssessor` built after an
@@ -116,12 +122,18 @@ class EvolvingPDMS:
         network: PDMSNetwork,
         priors: Optional[PriorBeliefStore] = None,
         track_local_views: bool = False,
+        probe_executor: object = None,
+        probe_workers: Optional[int] = None,
         **assessor_kwargs,
     ) -> None:
         self.network = network
         self.priors = priors if priors is not None else PriorBeliefStore()
         self.track_local_views = track_local_views
-        self.assessor_kwargs = assessor_kwargs
+        self.assessor_kwargs = dict(
+            assessor_kwargs,
+            probe_executor=probe_executor,
+            probe_workers=probe_workers,
+        )
         self.history: List[AssessmentRound] = []
 
     # -- event application -------------------------------------------------------

@@ -134,6 +134,14 @@ class MappingQualityAssessor:
         for the configured default
         (:data:`repro.constants.DEFAULT_EXECUTOR`).  Forwarded to every
         engine the assessor builds; bit-identical either way.
+    probe_executor / probe_workers:
+        Discovery executor of the probe plans — ``"serial"`` /
+        ``"process"``, a :class:`~repro.pdms.discovery.DiscoveryExecutor`
+        object, or ``None`` for the configured default
+        (:data:`repro.constants.DEFAULT_PROBE_EXECUTOR`).  Forwarded to
+        both structure caches; structure sets are identical across
+        executors, so the choice only affects probe wall-clock.
+        ``probe_workers`` sizes the process pool (``None`` = CPU count).
     """
 
     def __init__(
@@ -149,6 +157,8 @@ class MappingQualityAssessor:
         use_structure_cache: bool = True,
         use_batched_engine: bool = True,
         executor: object = None,
+        probe_executor: object = None,
+        probe_workers: Optional[int] = None,
     ) -> None:
         self.network = network
         # Note: an empty PriorBeliefStore is falsy (it defines __len__), so
@@ -173,11 +183,25 @@ class MappingQualityAssessor:
         #: forwarded to every engine the assessor builds.  Executors are
         #: bit-identical; the choice only affects wall-clock.
         self.executor = executor
+        #: Discovery executor of the probe plans (``"serial"`` /
+        #: ``"process"`` / an executor object / ``None`` for the configured
+        #: default), forwarded to both structure caches.  Executors produce
+        #: identical structure sets; the choice only affects wall-clock.
+        self.probe_executor = probe_executor
+        self.probe_workers = probe_workers
         self.structure_cache = NetworkStructureCache(
-            network, ttl=ttl, include_parallel_paths=include_parallel_paths
+            network,
+            ttl=ttl,
+            include_parallel_paths=include_parallel_paths,
+            probe_executor=probe_executor,
+            probe_workers=probe_workers,
         )
         self.neighborhood_cache = NeighborhoodStructureCache(
-            network, ttl=ttl, include_parallel_paths=include_parallel_paths
+            network,
+            ttl=ttl,
+            include_parallel_paths=include_parallel_paths,
+            probe_executor=probe_executor,
+            probe_workers=probe_workers,
         )
         self._assessments: Dict[str, AttributeAssessment] = {}
         self._plan: Optional[AssessmentPlan] = None
@@ -420,6 +444,10 @@ class MappingQualityAssessor:
                 origin: self.assess_local(origin, attribute)
                 for origin in origin_list
             }
+        # Batch the pending neighbourhood probes into one frontier so a
+        # sharded discovery executor fans them out across its pool instead
+        # of probing origin-by-origin inside the plan compilation below.
+        self.neighborhood_cache.warm(origin_list)
         try:
             plan, blocks = self._local_assessment_plan(origin_list)
         except FactorGraphError:

@@ -28,6 +28,7 @@ from ..exceptions import EvaluationError
 from ..factorgraph.exact import exact_marginals
 from ..factorgraph.sum_product import run_sum_product
 from ..generators.scenarios import generate_scenario
+from ..generators.topologies import scale_free_network
 from ..generators.paper import (
     INTRO_ATTRIBUTE,
     extended_cycle_feedbacks,
@@ -37,6 +38,12 @@ from ..generators.paper import (
     single_cycle_feedback,
 )
 from ..alignment.eon import EONScenario, build_eon_network
+from ..pdms.discovery import (
+    ProcessPoolDiscoveryExecutor,
+    SerialDiscoveryExecutor,
+    plan_full_probe,
+    resolve_probe_workers,
+)
 from ..pdms.probing import find_cycles_through
 from ..pdms.query import Query, substring_predicate
 from ..pdms.routing import QueryRouter, RoutingPolicy
@@ -80,6 +87,9 @@ __all__ = [
     "LongCycleThroughputResult",
     "long_cycle_network",
     "run_long_cycle_throughput",
+    "ProbeThroughputPoint",
+    "ProbeThroughputResult",
+    "run_probe_throughput",
 ]
 
 
@@ -1682,3 +1692,148 @@ def run_long_cycle_throughput(
             )
         )
     return LongCycleThroughputResult(points=tuple(points))
+
+
+# ---------------------------------------------------------------------------
+# EX — probe throughput: origin-sharded discovery vs the serial walkers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProbeThroughputPoint:
+    """Timing of one full-probe frontier on both discovery executors.
+
+    Both executors run the *same* :class:`~repro.pdms.discovery.ProbePlan`
+    (one snapshot, one frontier of cycles-through / paths-from work units),
+    so the comparison isolates exactly what the sharding targets: the
+    recursive enumeration work.  The merged structure lists must be
+    canonically identical — the runner raises
+    :class:`~repro.exceptions.EvaluationError` otherwise, so a reported
+    speedup is always a speedup on verified-equal output.
+    """
+
+    peer_count: int
+    ttl: int
+    mapping_count: int
+    work_units: int
+    cycle_count: int
+    parallel_path_count: int
+    serial_seconds: float
+    process_seconds: float
+    sharded: bool
+    workers: int
+
+    @property
+    def structure_count(self) -> int:
+        return self.cycle_count + self.parallel_path_count
+
+    @property
+    def speedup(self) -> float:
+        if self.process_seconds <= 0.0:
+            return float("inf")
+        return self.serial_seconds / self.process_seconds
+
+    @property
+    def serial_structures_per_second(self) -> float:
+        if self.serial_seconds <= 0.0:
+            return float("inf")
+        return self.structure_count / self.serial_seconds
+
+    @property
+    def process_structures_per_second(self) -> float:
+        if self.process_seconds <= 0.0:
+            return float("inf")
+        return self.structure_count / self.process_seconds
+
+
+@dataclass(frozen=True)
+class ProbeThroughputResult:
+    """Full-probe discovery timings across network sizes."""
+
+    points: Tuple[ProbeThroughputPoint, ...]
+    ttl: int = 3
+
+    def point_for(self, peer_count: int) -> ProbeThroughputPoint:
+        for point in self.points:
+            if point.peer_count == peer_count:
+                return point
+        raise EvaluationError(
+            f"no probe throughput point for {peer_count} peers"
+        )
+
+
+def run_probe_throughput(
+    peer_counts: Sequence[int] = (256,),
+    ttl: int = 3,
+    repeats: int = 2,
+    probe_workers: Optional[int] = None,
+    min_units: int = 4,
+) -> ProbeThroughputResult:
+    """Measure full-probe discovery: process-pool sharding vs serial walkers.
+
+    For each peer count a scale-free PDMS is generated (mappings in both
+    directions, the probe-heavy regime) and one full-probe plan — every
+    peer's cycles-through and paths-from units at ``ttl`` — is executed on
+    the :class:`~repro.pdms.discovery.SerialDiscoveryExecutor` and on the
+    :class:`~repro.pdms.discovery.ProcessPoolDiscoveryExecutor` (best of
+    ``repeats`` each).  ``probe_workers=None`` resolves through
+    ``REPRO_PROBE_WORKERS`` / the CPU count; on a single-core machine the
+    pool executor degenerates to an inlined serial run and the point records
+    ``sharded=False``.  The merged structure lists of the two executors are
+    compared structure-for-structure (canonical keys in merge order) and an
+    :class:`~repro.exceptions.EvaluationError` is raised on any divergence.
+    """
+    workers = resolve_probe_workers(probe_workers)
+    points: List[ProbeThroughputPoint] = []
+    for peer_count in peer_counts:
+        network = scale_free_network(peer_count, seed=peer_count)
+        plan = plan_full_probe(network, ttl=ttl, include_parallel_paths=True)
+
+        serial_executor = SerialDiscoveryExecutor()
+        process_executor = ProcessPoolDiscoveryExecutor(
+            workers=workers, min_units=min_units
+        )
+
+        def best_of(executor):
+            best_seconds = float("inf")
+            run = None
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                run = executor.run(plan)
+                best_seconds = min(best_seconds, time.perf_counter() - start)
+            return run, best_seconds
+
+        serial_run, serial_seconds = best_of(serial_executor)
+        process_run, process_seconds = best_of(process_executor)
+
+        serial_cycles, serial_paths = serial_run.merged()
+        process_cycles, process_paths = process_run.merged()
+        if [c.canonical_key() for c in serial_cycles] != [
+            c.canonical_key() for c in process_cycles
+        ]:
+            raise EvaluationError(
+                f"sharded and serial cycle sets diverge at {peer_count} peers"
+            )
+        if [p.canonical_key() for p in serial_paths] != [
+            p.canonical_key() for p in process_paths
+        ]:
+            raise EvaluationError(
+                f"sharded and serial parallel-path sets diverge at "
+                f"{peer_count} peers"
+            )
+
+        points.append(
+            ProbeThroughputPoint(
+                peer_count=peer_count,
+                ttl=ttl,
+                mapping_count=len(network.mapping_names),
+                work_units=len(plan.work_units),
+                cycle_count=len(serial_cycles),
+                parallel_path_count=len(serial_paths),
+                serial_seconds=serial_seconds,
+                process_seconds=process_seconds,
+                sharded=process_run.sharded,
+                workers=process_run.workers,
+            )
+        )
+    return ProbeThroughputResult(points=tuple(points), ttl=ttl)

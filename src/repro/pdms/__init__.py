@@ -1,5 +1,5 @@
-"""PDMS substrate: peers, mapping networks, queries, reformulation, routing
-and neighbourhood probing."""
+"""PDMS substrate: peers, mapping networks, queries, reformulation, routing,
+neighbourhood probing and the sharded discovery core."""
 
 from .peer import Peer
 from .network import PDMSNetwork
@@ -17,6 +17,22 @@ from .probing import (
     find_parallel_paths_from,
     probe_neighborhood,
     validate_ttl,
+)
+from .discovery import (
+    DiscoveryExecutor,
+    ProbeOutcome,
+    ProbePlan,
+    ProbeRun,
+    ProbeWorkUnit,
+    ProcessPoolDiscoveryExecutor,
+    SerialDiscoveryExecutor,
+    TopologySnapshot,
+    plan_full_probe,
+    plan_mapping_delta,
+    plan_neighborhood_probe,
+    replay_structure_log,
+    resolve_discovery_executor,
+    resolve_probe_workers,
 )
 
 __all__ = [
@@ -44,4 +60,18 @@ __all__ = [
     "find_parallel_paths_from",
     "probe_neighborhood",
     "validate_ttl",
+    "DiscoveryExecutor",
+    "ProbeOutcome",
+    "ProbePlan",
+    "ProbeRun",
+    "ProbeWorkUnit",
+    "ProcessPoolDiscoveryExecutor",
+    "SerialDiscoveryExecutor",
+    "TopologySnapshot",
+    "plan_full_probe",
+    "plan_mapping_delta",
+    "plan_neighborhood_probe",
+    "replay_structure_log",
+    "resolve_discovery_executor",
+    "resolve_probe_workers",
 ]

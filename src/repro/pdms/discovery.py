@@ -1,0 +1,737 @@
+"""The discovery core: origin-sharded probe plans behind the structure caches.
+
+Cycle / parallel-path discovery is the probe phase of §3.2.1 — peers flood
+their neighbourhood with TTL-bounded probe messages.  The recursive walkers
+living in :mod:`repro.pdms.probing` enumerate one origin's view at a time;
+this module is the layer above them, mirroring what
+:mod:`repro.factorgraph.plan` did for the sweep engines one level down:
+
+* a :class:`ProbePlan` IR — an immutable, picklable
+  :class:`TopologySnapshot` of the network plus a *frontier* of per-origin
+  :class:`ProbeWorkUnit`\\ s (cycles-through, parallel-paths-from/-through
+  and full-neighbourhood probes), with the TTL and the parallel-path flag
+  stated once for the whole plan;
+* a :class:`DiscoveryExecutor` protocol running a plan, with two
+  implementations: :class:`SerialDiscoveryExecutor` (in-process, result
+  order identical to the historical recursive sweeps) and
+  :class:`ProcessPoolDiscoveryExecutor` (origin-sharded fan-out over a
+  ``multiprocessing`` pool — origins partition cleanly, every structure is
+  discoverable from exactly the origins its work unit names — with results
+  streamed back as compact name tuples and rehydrated against the parent's
+  snapshot);
+* a canonical merge (:func:`merge_structures` via :meth:`ProbeRun.merged`):
+  outcomes are reassembled by work-unit position and deduplicated by the
+  structures' rotation/order-invariant canonical keys, so the merged
+  structure set is deterministic and independent of worker completion
+  order — sharded and serial discovery produce identical structure lists.
+
+Both structure caches of :mod:`repro.core.analysis` lower their full probes
+*and* their mutation-log incremental refreshes onto this frontier
+(:func:`replay_structure_log` is the shared replay that used to be
+duplicated per cache).  The executor is selected per consumer
+(``probe_executor=``), falling back to the ``REPRO_PROBE_EXECUTOR``
+environment variable and :data:`repro.constants.DEFAULT_PROBE_EXECUTOR`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..constants import (
+    DEFAULT_PROBE_EXECUTOR,
+    DEFAULT_PROBE_WORKERS,
+    DEFAULT_TTL,
+    PROBE_EXECUTOR_PROCESS,
+    PROBE_EXECUTOR_SERIAL,
+)
+from ..exceptions import PDMSError, UnknownPeerError
+from ..mapping.mapping import Mapping
+from .probing import (
+    MappingCycle,
+    ParallelPaths,
+    find_cycles_through,
+    find_parallel_paths_from,
+    find_parallel_paths_through,
+    validate_ttl,
+)
+
+__all__ = [
+    "TopologySnapshot",
+    "ProbeWorkUnit",
+    "ProbePlan",
+    "ProbeOutcome",
+    "ProbeRun",
+    "CYCLES_THROUGH",
+    "PATHS_FROM",
+    "PATHS_THROUGH",
+    "NEIGHBORHOOD",
+    "plan_full_probe",
+    "plan_neighborhood_probe",
+    "plan_mapping_delta",
+    "execute_work_unit",
+    "merge_structures",
+    "replay_structure_log",
+    "DiscoveryExecutor",
+    "SerialDiscoveryExecutor",
+    "ProcessPoolDiscoveryExecutor",
+    "resolve_discovery_executor",
+    "resolve_probe_workers",
+]
+
+
+# ---------------------------------------------------------------------------
+# topology snapshot
+# ---------------------------------------------------------------------------
+
+
+class _SnapshotPeer:
+    """One peer's probe-relevant view inside a snapshot: name + out-edges."""
+
+    __slots__ = ("name", "outgoing_mappings")
+
+    def __init__(self, name: str, outgoing_mappings: Tuple[Mapping, ...]) -> None:
+        self.name = name
+        self.outgoing_mappings = outgoing_mappings
+
+
+class TopologySnapshot:
+    """Immutable, picklable topology view a probe plan is executed against.
+
+    Captures exactly what the recursive walkers of
+    :mod:`repro.pdms.probing` consult — the peer names and the mapping
+    edges, in network insertion order — and exposes the same duck-typed
+    surface (:meth:`peer`, :meth:`mapping`, :attr:`mappings`,
+    :meth:`has_peer`), so every walker runs unchanged against a live
+    :class:`~repro.pdms.network.PDMSNetwork` or a snapshot of it.  The
+    derived adjacency indexes are rebuilt lazily after unpickling instead of
+    being shipped to workers.
+    """
+
+    __slots__ = (
+        "name",
+        "version",
+        "directed",
+        "peer_names",
+        "mappings",
+        "_peers",
+        "_by_name",
+    )
+
+    def __init__(
+        self,
+        peer_names: Sequence[str],
+        mappings: Sequence[Mapping],
+        *,
+        name: str = "pdms",
+        version: int = 0,
+        directed: bool = True,
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.directed = directed
+        self.peer_names = tuple(peer_names)
+        self.mappings = tuple(mappings)
+        self._peers: Optional[Dict[str, _SnapshotPeer]] = None
+        self._by_name: Optional[Dict[str, Mapping]] = None
+
+    @classmethod
+    def of(cls, source) -> "TopologySnapshot":
+        """Snapshot a :class:`~repro.pdms.network.PDMSNetwork` (idempotent on
+        snapshots: an existing snapshot is returned as-is)."""
+        if isinstance(source, cls):
+            return source
+        return cls(
+            source.peer_names,
+            source.mappings,
+            name=source.name,
+            version=source.version,
+            directed=source.directed,
+        )
+
+    # -- pickling: core fields only, adjacency rebuilt lazily ----------------
+
+    def __getstate__(self):
+        return (self.name, self.version, self.directed, self.peer_names, self.mappings)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.version, self.directed, self.peer_names, self.mappings = state
+        self._peers = None
+        self._by_name = None
+
+    # -- probe surface (mirrors PDMSNetwork) ---------------------------------
+
+    def _index(self) -> Dict[str, _SnapshotPeer]:
+        if self._peers is None:
+            outgoing: Dict[str, List[Mapping]] = {name: [] for name in self.peer_names}
+            by_name: Dict[str, Mapping] = {}
+            for mapping in self.mappings:
+                by_name[mapping.name] = mapping
+                outgoing[mapping.source].append(mapping)
+            self._peers = {
+                name: _SnapshotPeer(name, tuple(edges))
+                for name, edges in outgoing.items()
+            }
+            self._by_name = by_name
+        return self._peers
+
+    def peer(self, name: str) -> _SnapshotPeer:
+        try:
+            return self._index()[name]
+        except KeyError:
+            raise UnknownPeerError(f"unknown peer {name!r} in snapshot") from None
+
+    def has_peer(self, name: str) -> bool:
+        return name in self._index()
+
+    def mapping(self, name: str) -> Mapping:
+        self._index()
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise PDMSError(f"unknown mapping {name!r} in snapshot") from None
+
+    def has_mapping(self, name: str) -> bool:
+        self._index()
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.peer_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TopologySnapshot({self.name!r}, version={self.version}, "
+            f"peers={len(self.peer_names)}, mappings={len(self.mappings)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# work units and plans
+# ---------------------------------------------------------------------------
+
+#: Simple directed cycles through an origin peer (``subject`` = peer name).
+CYCLES_THROUGH = "cycles-through"
+
+#: Edge-disjoint parallel-path pairs departing from an origin peer.
+PATHS_FROM = "paths-from"
+
+#: Parallel-path pairs routing one branch through a mapping (``subject`` =
+#: mapping name) — the incremental complement used after ``add_mapping``.
+PATHS_THROUGH = "paths-through"
+
+#: Full neighbourhood probe of one origin: its cycles and (when the plan
+#: includes them) its departing parallel paths, in one unit.
+NEIGHBORHOOD = "neighborhood"
+
+_UNIT_KINDS = frozenset({CYCLES_THROUGH, PATHS_FROM, PATHS_THROUGH, NEIGHBORHOOD})
+
+
+@dataclass(frozen=True)
+class ProbeWorkUnit:
+    """One origin-addressable piece of probe work.
+
+    ``subject`` names the origin peer (or, for :data:`PATHS_THROUGH`, the
+    mapping whose source peer anchors the unit).  ``via`` optionally
+    restricts the unit's results to structures traversing that mapping —
+    stated on the unit so the added-edge filter of incremental refreshes
+    runs inside the worker instead of shipping discarded structures back.
+    """
+
+    kind: str
+    subject: str
+    via: str = ""
+
+
+@dataclass(frozen=True)
+class ProbePlan:
+    """An immutable, picklable description of one discovery problem.
+
+    The TTL and the parallel-path flag are stated once for the whole plan;
+    executors and workers never re-derive them per unit.  Plans are
+    self-contained (snapshot included), so any executor — in-process or a
+    worker pool — produces identical outcomes from the same plan.
+    """
+
+    snapshot: TopologySnapshot
+    work_units: Tuple[ProbeWorkUnit, ...]
+    ttl: int
+    include_parallel_paths: bool
+
+    def origin_of(self, unit: ProbeWorkUnit) -> str:
+        """The peer whose neighbourhood a unit probes (the sharding key)."""
+        if unit.kind == PATHS_THROUGH:
+            return self.snapshot.mapping(unit.subject).source
+        return unit.subject
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """What one work unit discovered, tagged with its plan position."""
+
+    index: int
+    cycles: Tuple[MappingCycle, ...]
+    parallel_paths: Tuple[ParallelPaths, ...]
+
+
+def plan_full_probe(
+    snapshot,
+    ttl: int = DEFAULT_TTL,
+    include_parallel_paths: bool = True,
+) -> ProbePlan:
+    """The global structure enumeration as a frontier: one cycles-through
+    unit per peer, then one paths-from unit per peer (when enabled) — the
+    unit order whose canonical merge reproduces the historical
+    ``find_all_cycles`` / ``find_all_parallel_paths`` structure lists
+    exactly, orientation and order included."""
+    snapshot = TopologySnapshot.of(snapshot)
+    validate_ttl(ttl)
+    units = [ProbeWorkUnit(CYCLES_THROUGH, name) for name in snapshot.peer_names]
+    if include_parallel_paths:
+        units.extend(
+            ProbeWorkUnit(PATHS_FROM, name) for name in snapshot.peer_names
+        )
+    return ProbePlan(snapshot, tuple(units), ttl, include_parallel_paths)
+
+
+def plan_neighborhood_probe(
+    snapshot,
+    origins: Iterable[str],
+    ttl: int = DEFAULT_TTL,
+    include_parallel_paths: bool = True,
+) -> ProbePlan:
+    """Per-origin local views (§4.5): one neighbourhood unit per origin."""
+    snapshot = TopologySnapshot.of(snapshot)
+    validate_ttl(ttl)
+    units = tuple(ProbeWorkUnit(NEIGHBORHOOD, origin) for origin in origins)
+    for unit in units:
+        snapshot.peer(unit.subject)  # raises UnknownPeerError eagerly
+    return ProbePlan(snapshot, units, ttl, include_parallel_paths)
+
+
+def plan_mapping_delta(
+    snapshot,
+    mapping_name: str,
+    ttl: int = DEFAULT_TTL,
+    include_parallel_paths: bool = True,
+) -> ProbePlan:
+    """The structures *through* a freshly added mapping — everything an
+    incremental refresh must graft: the cycles containing it (enumerated
+    from its source peer, ``via``-filtered in the worker) and, when parallel
+    paths are enabled, the pairs routing a branch through it."""
+    snapshot = TopologySnapshot.of(snapshot)
+    validate_ttl(ttl)
+    source = snapshot.mapping(mapping_name).source
+    units = [ProbeWorkUnit(CYCLES_THROUGH, source, via=mapping_name)]
+    if include_parallel_paths:
+        units.append(ProbeWorkUnit(PATHS_THROUGH, mapping_name))
+    return ProbePlan(snapshot, tuple(units), ttl, include_parallel_paths)
+
+
+def execute_work_unit(plan: ProbePlan, index: int) -> ProbeOutcome:
+    """Run one unit of a plan with the recursive walkers of
+    :mod:`repro.pdms.probing` against the plan's snapshot."""
+    unit = plan.work_units[index]
+    snapshot, ttl = plan.snapshot, plan.ttl
+    cycles: Tuple[MappingCycle, ...] = ()
+    parallel_paths: Tuple[ParallelPaths, ...] = ()
+    if unit.kind == CYCLES_THROUGH:
+        cycles = find_cycles_through(snapshot, unit.subject, ttl=ttl)
+    elif unit.kind == PATHS_FROM:
+        if plan.include_parallel_paths:
+            parallel_paths = find_parallel_paths_from(snapshot, unit.subject, ttl=ttl)
+    elif unit.kind == PATHS_THROUGH:
+        if plan.include_parallel_paths:
+            parallel_paths = find_parallel_paths_through(
+                snapshot, unit.subject, ttl=ttl
+            )
+    elif unit.kind == NEIGHBORHOOD:
+        cycles = find_cycles_through(snapshot, unit.subject, ttl=ttl)
+        if plan.include_parallel_paths:
+            parallel_paths = find_parallel_paths_from(snapshot, unit.subject, ttl=ttl)
+    else:
+        raise PDMSError(f"unknown probe work unit kind {unit.kind!r}")
+    if unit.via:
+        cycles = tuple(c for c in cycles if unit.via in c.mapping_names)
+        parallel_paths = tuple(
+            p for p in parallel_paths if unit.via in p.mapping_names
+        )
+    return ProbeOutcome(index=index, cycles=cycles, parallel_paths=parallel_paths)
+
+
+# ---------------------------------------------------------------------------
+# canonical merge
+# ---------------------------------------------------------------------------
+
+
+def merge_structures(
+    outcomes: Iterable[Optional[ProbeOutcome]],
+) -> Tuple[Tuple[MappingCycle, ...], Tuple[ParallelPaths, ...]]:
+    """Merge per-unit outcomes into one deduplicated structure set.
+
+    Outcomes are consumed in plan position (callers reassemble streamed
+    results by :attr:`ProbeOutcome.index` first) and deduplicated by the
+    structures' canonical keys — rotation-invariant for cycles,
+    branch-order-invariant for parallel paths — keeping the first
+    discovery's orientation.  The merged lists therefore depend only on the
+    plan, never on which worker finished first, and coincide with the
+    historical sequential enumeration for the plans
+    :func:`plan_full_probe` builds.
+    """
+    cycles: List[MappingCycle] = []
+    parallel_paths: List[ParallelPaths] = []
+    seen_cycles: set = set()
+    seen_paths: set = set()
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        for cycle in outcome.cycles:
+            key = cycle.canonical_key()
+            if key not in seen_cycles:
+                seen_cycles.add(key)
+                cycles.append(cycle)
+        for pair in outcome.parallel_paths:
+            key = pair.canonical_key()
+            if key not in seen_paths:
+                seen_paths.add(key)
+                parallel_paths.append(pair)
+    return tuple(cycles), tuple(parallel_paths)
+
+
+@dataclass(frozen=True)
+class ProbeRun:
+    """A plan's executed outcomes plus how they were produced."""
+
+    plan: ProbePlan
+    outcomes: Tuple[ProbeOutcome, ...]
+    sharded: bool
+    workers: int
+
+    def merged(self) -> Tuple[Tuple[MappingCycle, ...], Tuple[ParallelPaths, ...]]:
+        return merge_structures(self.outcomes)
+
+
+# ---------------------------------------------------------------------------
+# executors
+# ---------------------------------------------------------------------------
+
+
+@runtime_checkable
+class DiscoveryExecutor(Protocol):
+    """Anything that can run a :class:`ProbePlan` to a :class:`ProbeRun`."""
+
+    name: str
+
+    def run(self, plan: ProbePlan) -> ProbeRun:  # pragma: no cover - protocol
+        ...
+
+
+class SerialDiscoveryExecutor:
+    """In-process execution, one unit after the other.
+
+    Result-identical to the historical recursive walkers: the units run in
+    plan order on the calling thread, so even discovery *order* (not just
+    the canonical sets) matches the pre-frontier sequential code.
+    """
+
+    name = PROBE_EXECUTOR_SERIAL
+
+    def run(self, plan: ProbePlan) -> ProbeRun:
+        outcomes = tuple(
+            execute_work_unit(plan, index) for index in range(len(plan.work_units))
+        )
+        return ProbeRun(plan=plan, outcomes=outcomes, sharded=False, workers=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialDiscoveryExecutor()"
+
+
+# -- worker-side machinery of the process pool --------------------------------
+
+#: Plan installed once per worker by the pool initializer, so shards only
+#: ship unit indices instead of re-pickling the snapshot per task.
+_WORKER_PLAN: Optional[ProbePlan] = None
+
+
+def _install_worker_plan(plan: ProbePlan) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = plan
+
+
+def _wire_cycle(cycle: MappingCycle) -> Tuple[str, Tuple[str, ...]]:
+    return (cycle.origin, cycle.mapping_names)
+
+
+def _wire_pair(pair: ParallelPaths) -> Tuple[str, str, Tuple[str, ...], Tuple[str, ...]]:
+    return (
+        pair.source,
+        pair.target,
+        tuple(m.name for m in pair.first),
+        tuple(m.name for m in pair.second),
+    )
+
+
+def _execute_shard(indices: Sequence[int]):
+    """Run one shard of unit indices; return *wire* outcomes.
+
+    Structures cross the process boundary as mapping-name tuples, not as
+    full :class:`~repro.mapping.mapping.Mapping` objects — a large probe
+    returns tens of thousands of structures, and shipping the (shared)
+    mapping objects per structure would make result pickling dominate the
+    fan-out.  The parent rehydrates against its own snapshot, so merged
+    structures reference the parent's mapping instances exactly as serial
+    discovery would.
+    """
+    plan = _WORKER_PLAN
+    assert plan is not None, "worker pool initialized without a probe plan"
+    wired = []
+    for index in indices:
+        outcome = execute_work_unit(plan, index)
+        wired.append(
+            (
+                index,
+                tuple(_wire_cycle(c) for c in outcome.cycles),
+                tuple(_wire_pair(p) for p in outcome.parallel_paths),
+            )
+        )
+    return wired
+
+
+def _rehydrate_outcome(snapshot: TopologySnapshot, wire) -> ProbeOutcome:
+    index, wire_cycles, wire_pairs = wire
+    cycles = tuple(
+        MappingCycle(
+            origin=origin,
+            mappings=tuple(snapshot.mapping(name) for name in names),
+        )
+        for origin, names in wire_cycles
+    )
+    parallel_paths = tuple(
+        ParallelPaths(
+            source=source,
+            target=target,
+            first=tuple(snapshot.mapping(name) for name in first),
+            second=tuple(snapshot.mapping(name) for name in second),
+        )
+        for source, target, first, second in wire_pairs
+    )
+    return ProbeOutcome(index=index, cycles=cycles, parallel_paths=parallel_paths)
+
+
+def resolve_probe_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit argument, then
+    ``REPRO_PROBE_WORKERS`` (via :data:`~repro.constants.DEFAULT_PROBE_WORKERS`),
+    then the machine's CPU count."""
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"probe workers must be >= 1, got {workers}")
+        return workers
+    if DEFAULT_PROBE_WORKERS is not None:
+        return DEFAULT_PROBE_WORKERS
+    return os.cpu_count() or 1
+
+
+class ProcessPoolDiscoveryExecutor:
+    """Origin-sharded fan-out of a probe plan over a ``multiprocessing`` pool.
+
+    The plan's units are grouped by origin peer (one origin's units never
+    split across workers — the per-origin caches key on exactly that
+    partition) and the origin groups are dealt round-robin into a few
+    shards per worker.  Each worker receives the plan once through the pool
+    initializer, executes its shards with the same per-unit walkers the
+    serial executor uses, and streams compact results back
+    (``imap_unordered``); the parent reassembles them by unit index, so the
+    outcome tuple — and hence the canonical merge — is bit-identical to
+    serial discovery regardless of scheduling.
+
+    Plans smaller than ``min_units`` (or a 1-worker pool) run inline: the
+    fork/pickle overhead would dwarf the work, and incremental-refresh delta
+    plans are routinely 1–2 units.
+    """
+
+    name = PROBE_EXECUTOR_PROCESS
+
+    #: Shards dealt per worker — small enough to keep shard payloads chunky,
+    #: large enough that an unlucky hub-heavy shard cannot serialize the run.
+    SHARDS_PER_WORKER = 4
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        min_units: int = 4,
+    ) -> None:
+        self.workers = resolve_probe_workers(workers)
+        self.min_units = min_units
+        self._serial = SerialDiscoveryExecutor()
+
+    def _shards(self, plan: ProbePlan) -> List[List[int]]:
+        groups: Dict[str, List[int]] = {}
+        for index, unit in enumerate(plan.work_units):
+            groups.setdefault(plan.origin_of(unit), []).append(index)
+        shard_count = min(len(groups), self.workers * self.SHARDS_PER_WORKER)
+        shards: List[List[int]] = [[] for _ in range(shard_count)]
+        for position, indices in enumerate(groups.values()):
+            shards[position % shard_count].extend(indices)
+        return shards
+
+    def run(self, plan: ProbePlan) -> ProbeRun:
+        if self.workers < 2 or len(plan.work_units) < self.min_units:
+            run = self._serial.run(plan)
+            return ProbeRun(
+                plan=plan, outcomes=run.outcomes, sharded=False, workers=1
+            )
+        shards = self._shards(plan)
+        outcomes: List[Optional[ProbeOutcome]] = [None] * len(plan.work_units)
+        with multiprocessing.get_context().Pool(
+            processes=min(self.workers, len(shards)),
+            initializer=_install_worker_plan,
+            initargs=(plan,),
+        ) as pool:
+            for batch in pool.imap_unordered(_execute_shard, shards, chunksize=1):
+                for wire in batch:
+                    outcome = _rehydrate_outcome(plan.snapshot, wire)
+                    outcomes[outcome.index] = outcome
+        missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
+        if missing:  # pragma: no cover - defensive: a shard vanished
+            raise PDMSError(f"probe work units {missing!r} returned no outcome")
+        return ProbeRun(
+            plan=plan,
+            outcomes=tuple(outcomes),  # type: ignore[arg-type]
+            sharded=True,
+            workers=min(self.workers, len(shards)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessPoolDiscoveryExecutor(workers={self.workers})"
+
+
+def resolve_discovery_executor(
+    executor: object = None, workers: Optional[int] = None
+) -> DiscoveryExecutor:
+    """Resolve a ``probe_executor=`` specification to an executor object.
+
+    ``None`` selects the configured default
+    (:data:`repro.constants.DEFAULT_PROBE_EXECUTOR`, overridable through the
+    ``REPRO_PROBE_EXECUTOR`` environment variable); strings name the
+    built-in executors; anything with a ``run`` method passes through
+    unchanged (``workers`` is ignored for it).
+    """
+    if executor is None:
+        executor = DEFAULT_PROBE_EXECUTOR
+    if isinstance(executor, str):
+        if executor == PROBE_EXECUTOR_SERIAL:
+            return SerialDiscoveryExecutor()
+        if executor == PROBE_EXECUTOR_PROCESS:
+            return ProcessPoolDiscoveryExecutor(workers=workers)
+        raise ValueError(
+            f"unknown probe executor {executor!r}; expected "
+            f"{PROBE_EXECUTOR_SERIAL!r}, {PROBE_EXECUTOR_PROCESS!r} or an "
+            "executor object"
+        )
+    if isinstance(executor, DiscoveryExecutor):
+        return executor
+    raise ValueError(
+        f"probe executor must be a name or expose run(plan), got {executor!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# shared incremental replay
+# ---------------------------------------------------------------------------
+
+
+def replay_structure_log(
+    mutations: Sequence[Tuple[int, str, str]],
+    cycles: Sequence[MappingCycle],
+    parallel_paths: Sequence[ParallelPaths],
+    *,
+    include_parallel_paths: bool,
+    has_mapping: Callable[[str], bool],
+    structures_through: Callable[
+        [int, str], Tuple[Sequence[MappingCycle], Sequence[ParallelPaths]]
+    ],
+    adapt_cycle: Optional[Callable[[MappingCycle], Optional[MappingCycle]]] = None,
+    adapt_path: Optional[Callable[[ParallelPaths], Optional[ParallelPaths]]] = None,
+) -> Optional[Tuple[Tuple[MappingCycle, ...], Tuple[ParallelPaths, ...]]]:
+    """Replay a network mutation log onto a cached structure set.
+
+    This is the one incremental-refresh algorithm both structure caches
+    lower to (they used to duplicate it):
+
+    * ``remove_mapping`` filters the cached structures (exact: a structure
+      stays valid iff all of its own mappings still exist);
+    * ``add_mapping`` grafts the structures *through* the new edge —
+      enumerated by ``structures_through(entry_version, name)``, typically a
+      :func:`plan_mapping_delta` run through the consumer's discovery
+      executor — deduplicated against the survivors by canonical key.
+      ``adapt_cycle`` / ``adapt_path`` localise each grafted structure to
+      the consumer's view first (the per-origin cache rotates cycles to its
+      origin and keeps only pairs departing from it); returning ``None``
+      drops the structure;
+    * ``add_peer`` (or an unknown mutation kind) aborts: the caller must
+      fall back to a full re-probe.
+
+    Returns the refreshed ``(cycles, parallel_paths)`` or ``None`` when the
+    log cannot be replayed.  Mappings added and removed again later in the
+    log are skipped (the later removal entry keeps the set consistent).
+    """
+    kinds = {kind for _, kind, _ in mutations}
+    if "add_peer" in kinds:
+        return None
+    if not kinds <= {"add_mapping", "remove_mapping"}:
+        return None
+    live_cycles = list(cycles)
+    live_paths = list(parallel_paths)
+    # Canonical keys are only needed to dedupe grafts; remove-only logs (the
+    # common case) never pay for the sets.
+    seen: Optional[set] = None
+    seen_paths: Optional[set] = None
+    for version, kind, name in mutations:
+        if kind == "remove_mapping":
+            live_cycles = [c for c in live_cycles if name not in c.mapping_names]
+            live_paths = [p for p in live_paths if name not in p.mapping_names]
+            seen = None
+            seen_paths = None
+        else:  # add_mapping
+            if not has_mapping(name):
+                continue
+            new_cycles, new_paths = structures_through(version, name)
+            if seen is None:
+                seen = {cycle.canonical_key() for cycle in live_cycles}
+            for cycle in new_cycles:
+                if adapt_cycle is not None:
+                    adapted = adapt_cycle(cycle)
+                    if adapted is None:
+                        continue
+                    cycle = adapted
+                key = cycle.canonical_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                live_cycles.append(cycle)
+            if include_parallel_paths:
+                if seen_paths is None:
+                    seen_paths = {pair.canonical_key() for pair in live_paths}
+                for pair in new_paths:
+                    if adapt_path is not None:
+                        adapted_pair = adapt_path(pair)
+                        if adapted_pair is None:
+                            continue
+                        pair = adapted_pair
+                    key = pair.canonical_key()
+                    if key in seen_paths:
+                        continue
+                    seen_paths.add(key)
+                    live_paths.append(pair)
+    return tuple(live_cycles), tuple(live_paths)

@@ -198,6 +198,17 @@ class PDMSNetwork:
 
     # -- topology ------------------------------------------------------------------------
 
+    def snapshot(self):
+        """An immutable, picklable :class:`~repro.pdms.discovery.TopologySnapshot`
+        of the current peers and mappings (insertion order preserved), the
+        topology view probe plans are built on and shipped to worker
+        processes.  Tagged with :attr:`version` so cached snapshots can be
+        invalidated on mutation.
+        """
+        from .discovery import TopologySnapshot
+
+        return TopologySnapshot.of(self)
+
     def to_networkx(self) -> nx.MultiDiGraph:
         """Export the mapping graph; edge key is the mapping name."""
         graph = nx.MultiDiGraph(name=self.name)

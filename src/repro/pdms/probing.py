@@ -10,6 +10,14 @@ departing from it, both bounded by a TTL (maximum number of mapping hops).
 
 The returned structures are lists of :class:`~repro.mapping.mapping.Mapping`
 objects in traversal order, ready to be fed to the feedback analysis.
+
+This module holds only the *per-work-unit* walkers: each entry point
+enumerates one origin peer's view (or one mapping's delta).  Whole-network
+enumeration is a composition concern — :mod:`repro.pdms.discovery` builds
+frontiers of per-origin work units over these walkers and runs them through
+pluggable serial / process-pool executors; :func:`find_all_cycles` and
+:func:`find_all_parallel_paths` remain as thin conveniences delegating to a
+serial full-probe plan.
 """
 
 from __future__ import annotations
@@ -335,32 +343,40 @@ def probe_neighborhood(
 def find_all_cycles(
     network: PDMSNetwork, ttl: int = DEFAULT_TTL
 ) -> Tuple[MappingCycle, ...]:
-    """All distinct mapping cycles in the network (deduplicated across peers)."""
-    validate_ttl(ttl)
-    seen: set[Tuple[str, ...]] = set()
-    cycles: List[MappingCycle] = []
-    for peer in network.peers:
-        for cycle in find_cycles_through(network, peer.name, ttl=ttl):
-            key = cycle.canonical_key()
-            if key in seen:
-                continue
-            seen.add(key)
-            cycles.append(cycle)
-    return tuple(cycles)
+    """All distinct mapping cycles in the network (deduplicated across peers).
+
+    Delegates to a serial full-probe plan of :mod:`repro.pdms.discovery`
+    (imported lazily — discovery composes this module's walkers); the
+    canonical merge reproduces the historical per-peer sweep exactly.
+    """
+    from .discovery import SerialDiscoveryExecutor, plan_full_probe
+
+    plan = plan_full_probe(network, ttl=ttl, include_parallel_paths=False)
+    cycles, _ = SerialDiscoveryExecutor().run(plan).merged()
+    return cycles
 
 
 def find_all_parallel_paths(
     network: PDMSNetwork, ttl: int = DEFAULT_TTL
 ) -> Tuple[ParallelPaths, ...]:
     """All distinct pairs of parallel paths in the network."""
+    from .discovery import (
+        PATHS_FROM,
+        ProbePlan,
+        ProbeWorkUnit,
+        SerialDiscoveryExecutor,
+        TopologySnapshot,
+    )
+
     validate_ttl(ttl)
-    seen: set[Tuple[Tuple[str, ...], Tuple[str, ...]]] = set()
-    pairs: List[ParallelPaths] = []
-    for peer in network.peers:
-        for pair in find_parallel_paths_from(network, peer.name, ttl=ttl):
-            key = pair.canonical_key()
-            if key in seen:
-                continue
-            seen.add(key)
-            pairs.append(pair)
-    return tuple(pairs)
+    snapshot = TopologySnapshot.of(network)
+    plan = ProbePlan(
+        snapshot=snapshot,
+        work_units=tuple(
+            ProbeWorkUnit(PATHS_FROM, name) for name in snapshot.peer_names
+        ),
+        ttl=ttl,
+        include_parallel_paths=True,
+    )
+    _, pairs = SerialDiscoveryExecutor().run(plan).merged()
+    return pairs

@@ -1,0 +1,184 @@
+"""Discovery-frontier contract tests for the core layer.
+
+Two guarantees land here, mirroring ``test_plan_ir.py`` one layer up:
+
+1. A lint-style sweep over ``repro/core/*.py``: the core must reach
+   structure discovery through the probe-plan frontier of
+   :mod:`repro.pdms.discovery` — never by importing the enumeration
+   walkers (``find_cycles_through``, ``find_all_parallel_paths``, ...)
+   from :mod:`repro.pdms.probing` directly.  Structure types
+   (``MappingCycle``, ``ParallelPaths``) and ``validate_ttl`` remain fair
+   game; it is the *enumeration* that must flow through plans.
+2. The serial x origin-sharded parity matrix: both structure caches must
+   hand back canonically identical structure sets — and the assessor
+   identical posteriors — whether probes run on the serial executor or
+   origin-sharded over a process pool, for fresh probes and for
+   mutation-log incremental refreshes alike.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+import repro.core
+from repro.core.analysis import NeighborhoodStructureCache, NetworkStructureCache
+from repro.core.quality import MappingQualityAssessor
+from repro.generators.topologies import scale_free_network
+from repro.pdms.discovery import ProcessPoolDiscoveryExecutor
+
+#: Enumeration walkers of ``repro.pdms.probing``.  Core modules must not
+#: import them — discovery flows through ``repro.pdms.discovery`` plans.
+WALKER_NAMES = frozenset(
+    {
+        "find_cycles_through",
+        "find_parallel_paths_from",
+        "find_parallel_paths_through",
+        "find_all_cycles",
+        "find_all_parallel_paths",
+        "probe_neighborhood",
+    }
+)
+
+SEEDS = (1, 2, 3)
+
+PEERS = 10
+
+
+def _pooled():
+    # workers=2 / min_units=1 forces real sharding even on single-core CI
+    # runners, so the parity matrix always exercises the fan-out + merge.
+    return ProcessPoolDiscoveryExecutor(workers=2, min_units=1)
+
+
+def _canon(structures):
+    return {s.canonical_key() for s in structures}
+
+
+def _churn(network):
+    """One incremental-refresh-friendly mutation pair: drop a mapping,
+    then graft it back (both land in the mutation log — no full probe)."""
+    name = sorted(network.mapping_names)[0]
+    mapping = network.mapping(name)
+    network.remove_mapping(name)
+    network.add_mapping(mapping, bidirectional=False)
+
+
+class TestCoreUsesTheDiscoveryFrontier:
+    def test_no_core_module_imports_walkers_from_probing(self):
+        core_dir = pathlib.Path(repro.core.__file__).parent
+        offenders = []
+        for path in sorted(core_dir.glob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom):
+                    module = node.module or ""
+                    if not module.endswith("pdms.probing"):
+                        continue
+                    for alias in node.names:
+                        if alias.name in WALKER_NAMES or alias.name == "*":
+                            offenders.append(
+                                f"{path.name}:{node.lineno} imports "
+                                f"{alias.name!r} from pdms.probing"
+                            )
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if "pdms.probing" in alias.name:
+                            offenders.append(
+                                f"{path.name}:{node.lineno} imports module "
+                                f"{alias.name!r}"
+                            )
+        assert not offenders, (
+            "core modules must discover structures via repro.pdms.discovery "
+            "plans, not the repro.pdms.probing walkers:\n" + "\n".join(offenders)
+        )
+
+
+@pytest.mark.parametrize("ttl", [4, 6])
+@pytest.mark.parametrize("seed", SEEDS)
+class TestNetworkCacheParity:
+    def test_fresh_and_incremental_probes_match_serial(self, seed, ttl):
+        serial_net = scale_free_network(PEERS, seed=seed)
+        pooled_net = scale_free_network(PEERS, seed=seed)
+        serial = NetworkStructureCache(serial_net, ttl=ttl)
+        pooled = NetworkStructureCache(pooled_net, ttl=ttl, probe_executor=_pooled())
+
+        s_cycles, s_paths = serial.structures()
+        p_cycles, p_paths = pooled.structures()
+        assert _canon(p_cycles) == _canon(s_cycles)
+        assert _canon(p_paths) == _canon(s_paths)
+        assert serial.statistics.sharded_probes == 0
+        assert pooled.statistics.sharded_probes >= 1
+        assert pooled.statistics.work_units == len(serial_net.peer_names) * 2
+        assert pooled.statistics.probe_seconds >= pooled.statistics.last_probe_seconds > 0
+
+        _churn(serial_net)
+        _churn(pooled_net)
+        s_cycles, s_paths = serial.structures()
+        p_cycles, p_paths = pooled.structures()
+        assert serial.statistics.partial_refreshes == 1
+        assert pooled.statistics.partial_refreshes == 1
+        assert _canon(p_cycles) == _canon(s_cycles)
+        assert _canon(p_paths) == _canon(s_paths)
+        # ... and both match a from-scratch probe of the mutated network.
+        fresh = NetworkStructureCache(scale_free_network(PEERS, seed=seed), ttl=ttl)
+        _churn(fresh.network)
+        f_cycles, f_paths = fresh.structures()
+        assert _canon(s_cycles) == _canon(f_cycles)
+        assert _canon(s_paths) == _canon(f_paths)
+
+
+@pytest.mark.parametrize("ttl", [4, 6])
+@pytest.mark.parametrize("seed", SEEDS)
+class TestNeighborhoodCacheParity:
+    def test_fresh_and_incremental_probes_match_serial(self, seed, ttl):
+        serial_net = scale_free_network(PEERS, seed=seed)
+        pooled_net = scale_free_network(PEERS, seed=seed)
+        serial = NeighborhoodStructureCache(serial_net, ttl=ttl)
+        pooled = NeighborhoodStructureCache(
+            pooled_net, ttl=ttl, probe_executor=_pooled()
+        )
+        origins = list(serial_net.peer_names)[:4]
+
+        # warm() lowers all pending origins onto ONE sharded plan but must
+        # keep the per-origin accounting of individual structures_for calls.
+        pooled.warm(origins)
+        assert pooled.statistics.probes == len(origins)
+        assert pooled.statistics.sharded_probes >= 1
+        for origin in origins:
+            s_cycles, s_paths = serial.structures_for(origin)
+            p_cycles, p_paths = pooled.structures_for(origin)
+            assert _canon(p_cycles) == _canon(s_cycles), origin
+            assert _canon(p_paths) == _canon(s_paths), origin
+        assert pooled.statistics.probes == len(origins)
+        assert serial.statistics.probes == len(origins)
+        assert serial.statistics.sharded_probes == 0
+
+        _churn(serial_net)
+        _churn(pooled_net)
+        for origin in origins:
+            s_cycles, s_paths = serial.structures_for(origin)
+            p_cycles, p_paths = pooled.structures_for(origin)
+            assert _canon(p_cycles) == _canon(s_cycles), origin
+            assert _canon(p_paths) == _canon(s_paths), origin
+        assert serial.statistics.partial_refreshes == len(origins)
+        assert pooled.statistics.partial_refreshes == len(origins)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestAssessorParity:
+    def test_posteriors_identical_across_probe_executors(self, seed):
+        serial_net = scale_free_network(PEERS, seed=seed)
+        pooled_net = scale_free_network(PEERS, seed=seed)
+        serial = MappingQualityAssessor(serial_net, ttl=4)
+        pooled = MappingQualityAssessor(
+            pooled_net, ttl=4, probe_executor=_pooled()
+        )
+        serial_result = serial.assess_all_attributes()
+        pooled_result = pooled.assess_all_attributes()
+        assert serial_result.keys() == pooled_result.keys()
+        for attribute in serial_result:
+            assert (
+                pooled_result[attribute].posteriors
+                == serial_result[attribute].posteriors
+            ), attribute
