@@ -54,6 +54,8 @@ def emit_json_report(name: str, payload: dict) -> None:
     their payload) and the discovery executor / worker count of the probe
     phase (``REPRO_PROBE_EXECUTOR`` / ``REPRO_PROBE_WORKERS``, same
     override rule) so the perf trajectory across PRs stays attributable.
+    A chaos fault plan active for the run (``REPRO_FAULT_PLAN``) is
+    stamped too, so chaos-smoke numbers are never mistaken for clean ones.
     """
     record = dict(payload)
     record.setdefault("benchmark", name)
@@ -65,6 +67,9 @@ def emit_json_report(name: str, payload: dict) -> None:
     )
     record.setdefault(
         "probe_workers", os.environ.get("REPRO_PROBE_WORKERS") or None
+    )
+    record.setdefault(
+        "fault_plan", os.environ.get("REPRO_FAULT_PLAN") or None
     )
     REPORT_DIR.mkdir(exist_ok=True)
     path = REPORT_DIR / f"BENCH_{name}.json"

@@ -1,0 +1,169 @@
+"""Chaos probe — discovery under a seeded fault plan, bit-identical anyway.
+
+The acceptance bar of the resilience layer (``repro.reliability``): with a
+seeded :class:`~repro.reliability.FaultPlan` crashing or hanging at least
+25% of the discovery shards of a 256-peer full probe, the
+:class:`~repro.reliability.ResilientDiscoveryExecutor` must
+
+* produce the *same* merged structure set as a fault-free
+  :class:`~repro.pdms.discovery.SerialDiscoveryExecutor` run, canonical
+  keys in merge order (not "close" — identical);
+* drive a :class:`~repro.core.quality.MappingQualityAssessor` to
+  bit-identical posteriors (cycles-only evidence at this density, per the
+  paper's §5.1.2 advice);
+* complete within the bounded retry budget — every first retry of an
+  attempt-0 fault is deterministically clean, so no shard is quarantined —
+  while the reliability statistics count *exactly* the injected faults.
+
+``BENCH_chaos_probe_256_peers.json`` records the injected-fault, retry and
+fallback counts next to the fault-free and chaos wall-clock, so the
+overhead of surviving the chaos stays visible across PRs.
+"""
+
+import time
+
+import pytest
+
+from repro.core.quality import MappingQualityAssessor
+from repro.generators.scenarios import generate_scenario
+from repro.pdms.discovery import SerialDiscoveryExecutor, plan_full_probe
+from repro.reliability import (
+    FAULT_CRASH,
+    FAULT_HANG,
+    FaultPlan,
+    ResilientDiscoveryExecutor,
+)
+
+PEERS = 256
+
+TTL = 3
+
+WORKERS = 2
+
+#: 2 workers × 4 shards per worker.
+SHARDS = WORKERS * ResilientDiscoveryExecutor.SHARDS_PER_WORKER
+
+#: Short deadline so each injected hang costs ~1s, not the default 120s;
+#: the hang sleeps well past it so the parent always observes the expiry.
+SHARD_TIMEOUT = 1.0
+
+HANG_SECONDS = 4.0
+
+#: Seeded chaos: seed 8 at rate 0.4 over 8 shards schedules 2 crashes and
+#: 2 hangs — 50% of the shards, double the ≥25% acceptance floor.
+FAULT_PLAN = FaultPlan.seeded(
+    seed=8,
+    rate=0.4,
+    kinds=(FAULT_CRASH, FAULT_HANG),
+    shards=SHARDS,
+    hang_seconds=HANG_SECONDS,
+)
+
+
+def test_bench_chaos_probe(report_json):
+    scheduled = FAULT_PLAN.scheduled(SHARDS)
+    crash_count = sum(1 for kind in scheduled.values() if kind == FAULT_CRASH)
+    hang_count = sum(1 for kind in scheduled.values() if kind == FAULT_HANG)
+    faulted_fraction = FAULT_PLAN.faulted_shard_fraction(SHARDS)
+    assert faulted_fraction >= 0.25, (
+        f"chaos plan only disturbs {faulted_fraction:.0%} of the shards; "
+        "the acceptance bar wants ≥25%"
+    )
+
+    scenario = generate_scenario(peer_count=PEERS, seed=PEERS)
+    network = scenario.network
+    plan = plan_full_probe(network, ttl=TTL, include_parallel_paths=True)
+
+    # -- structure-set parity under chaos ---------------------------------
+    started = time.perf_counter()
+    serial_run = SerialDiscoveryExecutor().run(plan)
+    serial_seconds = time.perf_counter() - started
+    serial_cycles, serial_paths = serial_run.merged()
+
+    chaos_executor = ResilientDiscoveryExecutor(
+        workers=WORKERS,
+        shard_timeout=SHARD_TIMEOUT,
+        fault_plan=FAULT_PLAN,
+    )
+    started = time.perf_counter()
+    chaos_run = chaos_executor.run(plan)
+    chaos_seconds = time.perf_counter() - started
+    chaos_cycles, chaos_paths = chaos_run.merged()
+
+    assert [c.canonical_key() for c in chaos_cycles] == [
+        c.canonical_key() for c in serial_cycles
+    ], "chaos run diverged from the fault-free serial cycle set"
+    assert [p.canonical_key() for p in chaos_paths] == [
+        p.canonical_key() for p in serial_paths
+    ], "chaos run diverged from the fault-free serial parallel-path set"
+
+    stats = chaos_executor.last_run_statistics
+    # Exactly the injected faults, nothing spurious: every crash surfaces
+    # as one worker error, every hang as one deadline expiry, and each
+    # fault costs exactly one retry (first retries are clean by
+    # construction — seeded plans only schedule attempt 0).
+    assert stats.injected_crashes == crash_count
+    assert stats.injected_hangs == hang_count
+    assert stats.worker_errors == crash_count
+    assert stats.timeouts == hang_count
+    assert stats.retries == crash_count + hang_count
+    assert stats.quarantined_shards == 0, (
+        "retry budget exhausted despite deterministically clean retries"
+    )
+    assert stats.serial_fallbacks == 0
+
+    # -- assessor-posterior parity under chaos ----------------------------
+    attribute = sorted(scenario.ground_truth)[0][1]
+    reference_assessor = MappingQualityAssessor(
+        network, ttl=TTL, include_parallel_paths=False, probe_executor="serial"
+    )
+    reference = reference_assessor.assess_attribute(attribute).posteriors
+
+    chaos_assessor = MappingQualityAssessor(
+        network,
+        ttl=TTL,
+        include_parallel_paths=False,
+        probe_executor="process",
+        probe_workers=WORKERS,
+        shard_timeout=SHARD_TIMEOUT,
+        fault_plan=FAULT_PLAN,
+    )
+    chaos_posteriors = chaos_assessor.assess_attribute(attribute).posteriors
+    assert chaos_posteriors == reference, (
+        "assessor posteriors diverged from the fault-free serial run"
+    )
+    assessor_stats = chaos_assessor.reliability_statistics()
+    assert assessor_stats.faults_injected > 0, (
+        "the assessor's probe fan-out never saw the chaos plan"
+    )
+    assert assessor_stats.quarantined_shards == 0
+
+    report_json(
+        "chaos_probe_256_peers",
+        {
+            "peer_count": PEERS,
+            "ttl": TTL,
+            "workers": WORKERS,
+            "shards": SHARDS,
+            "shard_timeout": SHARD_TIMEOUT,
+            "fault_plan": FAULT_PLAN.spec(),
+            "faulted_shard_fraction": faulted_fraction,
+            "scheduled_crashes": crash_count,
+            "scheduled_hangs": hang_count,
+            "max_attempts": chaos_executor.max_attempts,
+            "work_units": len(plan.work_units),
+            "cycle_count": len(serial_cycles),
+            "parallel_path_count": len(serial_paths),
+            "serial_seconds": serial_seconds,
+            "chaos_seconds": chaos_seconds,
+            "chaos_overhead": (
+                chaos_seconds / serial_seconds
+                if serial_seconds > 0
+                else float("inf")
+            ),
+            "structures_identical": True,
+            "posteriors_identical": True,
+            "probe_statistics": stats.as_dict(),
+            "assessor_statistics": assessor_stats.as_dict(),
+        },
+    )

@@ -22,7 +22,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .constants import DEFAULT_TTL
+from .constants import DEFAULT_SHARD_TIMEOUT, DEFAULT_TTL
 from .core.quality import MappingQualityAssessor
 from .evaluation.experiments import (
     run_assessor_amortization,
@@ -154,6 +154,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--probe-workers", type=int, default=None,
         help="probe mode only: worker count of the process-pool discovery "
         "executor (default: REPRO_PROBE_WORKERS or the CPU count)",
+    )
+    throughput.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="probe mode only: seeded chaos fault plan injected into the "
+        "process-side discovery shards (e.g. "
+        "'seed=7:rate=0.25:kinds=crash,hang'; default: REPRO_FAULT_PLAN). "
+        "Upgrades the process executor to the resilient wrapper; parity "
+        "with the serial run is still enforced and the survived faults "
+        "are reported",
+    )
+    throughput.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="probe mode only: per-shard deadline of the process-side "
+        "discovery fan-out (default: REPRO_SHARD_TIMEOUT or "
+        f"{DEFAULT_SHARD_TIMEOUT:.0f}s)",
     )
 
     amortization = subparsers.add_parser(
@@ -419,7 +434,20 @@ def _render_probe_throughput(args: argparse.Namespace) -> str:
         ttl=args.ttl if args.ttl is not None else THROUGHPUT_DEFAULT_TTL,
         repeats=args.repeats,
         probe_workers=args.probe_workers,
+        shard_timeout=args.shard_timeout,
+        fault_plan=args.fault_plan,
     )
+
+    def chaos_cell(point) -> str:
+        survived = point.reliability
+        if not survived:
+            return "-"
+        return (
+            f"{survived['faults_injected']}f/"
+            f"{survived['retries']}r/"
+            f"{survived['serial_fallbacks']}s"
+        )
+
     rows = [
         (
             point.peer_count,
@@ -430,6 +458,7 @@ def _render_probe_throughput(args: argparse.Namespace) -> str:
             f"{point.process_seconds * 1e3:.1f}",
             f"{point.speedup:.1f}x",
             f"{point.workers}" if point.sharded else "inline",
+            chaos_cell(point),
         )
         for point in result.points
     ]
@@ -443,6 +472,7 @@ def _render_probe_throughput(args: argparse.Namespace) -> str:
             "process ms",
             "speedup",
             "workers",
+            "faults/retries/serial",
         ),
         rows,
         title=(
@@ -607,6 +637,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         if args.mode != "probe" and args.probe_workers is not None:
             parser.error("--probe-workers only applies to --mode probe")
+        if args.mode != "probe" and args.fault_plan is not None:
+            parser.error("--fault-plan only applies to --mode probe")
+        if args.mode != "probe" and args.shard_timeout is not None:
+            parser.error("--shard-timeout only applies to --mode probe")
     if args.command == "intro":
         output = _render_intro()
     elif args.command == "convergence":

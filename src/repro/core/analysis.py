@@ -50,6 +50,7 @@ from ..constants import DEFAULT_TTL
 from ..exceptions import FeedbackError
 from ..mapping.mapping import Mapping
 from ..pdms.network import PDMSNetwork
+from ..reliability import ReliabilityStatistics
 from ..pdms.discovery import (
     TopologySnapshot,
     plan_full_probe,
@@ -187,6 +188,11 @@ class StructureCacheStatistics:
     actually fanned out to a worker pool (an inlined small plan is not
     sharded), and ``probe_seconds`` / ``last_probe_seconds`` the wall time
     spent inside plan runs — cumulative and for the most recent run.
+
+    ``reliability`` accumulates the fault / retry / fallback accounting of
+    a chaos-hardened executor (see
+    :class:`~repro.reliability.ResilientDiscoveryExecutor`); it stays
+    all-zero under fault-free executors.
     """
 
     probes: int = 0
@@ -198,6 +204,9 @@ class StructureCacheStatistics:
     sharded_probes: int = 0
     probe_seconds: float = 0.0
     last_probe_seconds: float = 0.0
+    reliability: ReliabilityStatistics = field(
+        default_factory=ReliabilityStatistics
+    )
 
     @property
     def lookups(self) -> int:
@@ -221,11 +230,18 @@ class _ProbeDriver:
         statistics: StructureCacheStatistics,
         probe_executor: object = None,
         probe_workers: Optional[int] = None,
+        shard_timeout: Optional[float] = None,
+        fault_plan: object = None,
     ) -> None:
         self.network = network
         self.ttl = ttl
         self.statistics = statistics
-        self.executor = resolve_discovery_executor(probe_executor, workers=probe_workers)
+        self.executor = resolve_discovery_executor(
+            probe_executor,
+            workers=probe_workers,
+            shard_timeout=shard_timeout,
+            fault_plan=fault_plan,
+        )
         self._snapshot: Optional[Tuple[int, TopologySnapshot]] = None
 
     def snapshot(self) -> TopologySnapshot:
@@ -245,6 +261,11 @@ class _ProbeDriver:
         stats.last_probe_seconds = elapsed
         if run.sharded:
             stats.sharded_probes += 1
+        # Duck-typed: only the chaos-hardened executors expose per-run
+        # reliability accounting (faults survived, retries, fallbacks).
+        survived = getattr(self.executor, "last_run_statistics", None)
+        if survived is not None:
+            stats.reliability.merge(survived)
         return run
 
     def full_probe(
@@ -344,6 +365,8 @@ class NetworkStructureCache:
         include_parallel_paths: Optional[bool] = None,
         probe_executor: object = None,
         probe_workers: Optional[int] = None,
+        shard_timeout: Optional[float] = None,
+        fault_plan: object = None,
     ) -> None:
         self.network = network
         # Fail fast: a nonsense ttl would otherwise only surface at the
@@ -352,7 +375,13 @@ class NetworkStructureCache:
         self.include_parallel_paths = include_parallel_paths
         self.statistics = StructureCacheStatistics()
         self._driver = _ProbeDriver(
-            network, self.ttl, self.statistics, probe_executor, probe_workers
+            network,
+            self.ttl,
+            self.statistics,
+            probe_executor,
+            probe_workers,
+            shard_timeout,
+            fault_plan,
         )
         self._key: Optional[Tuple[int, int, bool]] = None
         self._cycles: Tuple[MappingCycle, ...] = ()
@@ -509,6 +538,8 @@ class NeighborhoodStructureCache:
         include_parallel_paths: Optional[bool] = None,
         probe_executor: object = None,
         probe_workers: Optional[int] = None,
+        shard_timeout: Optional[float] = None,
+        fault_plan: object = None,
     ) -> None:
         self.network = network
         # Fail fast: a nonsense ttl would otherwise only surface at the
@@ -517,7 +548,13 @@ class NeighborhoodStructureCache:
         self.include_parallel_paths = include_parallel_paths
         self.statistics = StructureCacheStatistics()
         self._driver = _ProbeDriver(
-            network, self.ttl, self.statistics, probe_executor, probe_workers
+            network,
+            self.ttl,
+            self.statistics,
+            probe_executor,
+            probe_workers,
+            shard_timeout,
+            fault_plan,
         )
         self._entries: Dict[str, _NeighborhoodEntry] = {}
         # Structures through a freshly added mapping, shared across the

@@ -42,6 +42,16 @@ origin-sharded via ``probe_executor=``, identical either way):
   Per-lane convergence masking freezes finished lanes so they stop
   contributing work.
 
+Both axes also keep the resilience row of that matrix: a deterministic
+:class:`~repro.reliability.FaultPlan` (``fault_plan=`` on the assessor,
+``REPRO_FAULT_PLAN`` process-wide) upgrades the probe row to the retrying
+:class:`~repro.reliability.ResilientDiscoveryExecutor` and arms the
+threaded sweep executor's synchronous per-bucket NumPy fallback — the
+compiled plan, the structure lists and every lane's posteriors are
+bit-identical to the fault-free serial run, with the injected/survived
+fault counts reported by
+:meth:`~repro.core.quality.MappingQualityAssessor.reliability_statistics`.
+
 A lane is any ``(evidence subset, priors, Δ, rng stream)`` tuple
 (:class:`AssessmentLane`) bound to a subset of the plan's structures:
 

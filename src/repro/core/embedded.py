@@ -118,6 +118,19 @@ structure lists, so the sweep axes above are completely independent of the
 probe axis — any lowering × sweep executor × probe executor combination
 agrees.
 
+Resilience row — chaos moves no point on the matrix: under a deterministic
+:class:`~repro.reliability.FaultPlan` (``fault_plan=`` on the assessor and
+both structure caches, or ``REPRO_FAULT_PLAN`` process-wide) the
+``"process"`` probe row upgrades to the retrying
+:class:`~repro.reliability.ResilientDiscoveryExecutor` — per-shard
+deadlines, bounded seeded-backoff retries, checksum-verified wire
+payloads, per-shard serial quarantine fallback — and the ``"threaded"``
+sweep executor re-runs each faulted bucket synchronously through the NumPy
+kernels over the same disjoint rows.  Merged structures and posteriors
+stay bit-identical to the fault-free serial run; what was injected,
+retried and quarantined is counted by
+:class:`~repro.reliability.ReliabilityStatistics`.
+
 The *kernel crossover rule* is stated once, in the plan IR, and applied by
 every lowering: a feedback factor with ``arity >=``
 :data:`repro.constants.COUNT_KERNEL_MIN_ARITY` mappings is represented as a

@@ -111,6 +111,12 @@ class EvolvingPDMS:
         default) and its pool size, forwarded to every assessor's structure
         caches — structure sets are identical across executors, so churn
         replays are invariant to the choice.
+    shard_timeout / fault_plan:
+        Fault policy of the probe fan-outs (per-shard deadline and chaos
+        :class:`~repro.reliability.FaultPlan`), forwarded to every
+        assessor — churn replays stay bit-identical under injected faults
+        because the resilient executor re-executes or serially re-walks
+        every disturbed shard.
     assessor_kwargs:
         Extra keyword arguments forwarded to every
         :class:`~repro.core.quality.MappingQualityAssessor` built after an
@@ -124,6 +130,8 @@ class EvolvingPDMS:
         track_local_views: bool = False,
         probe_executor: object = None,
         probe_workers: Optional[int] = None,
+        shard_timeout: Optional[float] = None,
+        fault_plan: object = None,
         **assessor_kwargs,
     ) -> None:
         self.network = network
@@ -133,6 +141,8 @@ class EvolvingPDMS:
             assessor_kwargs,
             probe_executor=probe_executor,
             probe_workers=probe_workers,
+            shard_timeout=shard_timeout,
+            fault_plan=fault_plan,
         )
         self.history: List[AssessmentRound] = []
 

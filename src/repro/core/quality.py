@@ -142,6 +142,17 @@ class MappingQualityAssessor:
         both structure caches; structure sets are identical across
         executors, so the choice only affects probe wall-clock.
         ``probe_workers`` sizes the process pool (``None`` = CPU count).
+    shard_timeout / fault_plan:
+        Fault policy of the probe fan-outs, forwarded to both structure
+        caches: the per-shard deadline in seconds (``None`` for
+        :data:`repro.constants.DEFAULT_SHARD_TIMEOUT`) and a chaos
+        :class:`~repro.reliability.FaultPlan` (object, spec string, or
+        ``None`` for the ``REPRO_FAULT_PLAN`` environment variable).
+        Configuring a fault plan upgrades a ``"process"`` probe executor
+        to the :class:`~repro.reliability.ResilientDiscoveryExecutor`;
+        structure sets and posteriors stay bit-identical to a fault-free
+        serial run, and the faults survived are tallied in
+        :meth:`reliability_statistics`.
     """
 
     def __init__(
@@ -159,6 +170,8 @@ class MappingQualityAssessor:
         executor: object = None,
         probe_executor: object = None,
         probe_workers: Optional[int] = None,
+        shard_timeout: Optional[float] = None,
+        fault_plan: object = None,
     ) -> None:
         self.network = network
         # Note: an empty PriorBeliefStore is falsy (it defines __len__), so
@@ -189,12 +202,18 @@ class MappingQualityAssessor:
         #: identical structure sets; the choice only affects wall-clock.
         self.probe_executor = probe_executor
         self.probe_workers = probe_workers
+        #: Fault policy of the probe fan-outs (per-shard deadline + chaos
+        #: plan), forwarded to both structure caches' discovery executors.
+        self.shard_timeout = shard_timeout
+        self.fault_plan = fault_plan
         self.structure_cache = NetworkStructureCache(
             network,
             ttl=ttl,
             include_parallel_paths=include_parallel_paths,
             probe_executor=probe_executor,
             probe_workers=probe_workers,
+            shard_timeout=shard_timeout,
+            fault_plan=fault_plan,
         )
         self.neighborhood_cache = NeighborhoodStructureCache(
             network,
@@ -202,6 +221,8 @@ class MappingQualityAssessor:
             include_parallel_paths=include_parallel_paths,
             probe_executor=probe_executor,
             probe_workers=probe_workers,
+            shard_timeout=shard_timeout,
+            fault_plan=fault_plan,
         )
         self._assessments: Dict[str, AttributeAssessment] = {}
         self._plan: Optional[AssessmentPlan] = None
@@ -670,6 +691,22 @@ class MappingQualityAssessor:
         self._local_plan_key = None
         self._local_blocks = {}
         self._local_views.clear()
+
+    def reliability_statistics(self):
+        """Aggregate fault / retry / fallback accounting across every
+        fan-out the assessor drives: both structure caches' probe executors
+        and — when the sweep executor is a chaos-armed
+        :class:`~repro.factorgraph.plan.ThreadedExecutor` — the sweep
+        buckets.  All-zero (falsy) under fault-free execution."""
+        from ..reliability import ReliabilityStatistics
+
+        total = ReliabilityStatistics()
+        total.merge(self.structure_cache.statistics.reliability)
+        total.merge(self.neighborhood_cache.statistics.reliability)
+        sweep = getattr(self.executor, "statistics", None)
+        if isinstance(sweep, ReliabilityStatistics):
+            total.merge(sweep)
+        return total
 
     # -- queries -----------------------------------------------------------------------------
 

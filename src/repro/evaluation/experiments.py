@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,7 +20,7 @@ from ..constants import COUNT_KERNEL_MIN_ARITY
 from ..core.analysis import analyze_network
 from ..core.beliefs import PriorBeliefStore
 from ..core.embedded import EmbeddedMessagePassing, EmbeddedOptions, MessageTransport
-from ..core.feedback import Feedback, feedback_from_cycle
+from ..core.feedback import Feedback, FeedbackKind, feedback_from_cycle
 from ..core.pdms_factor_graph import build_factor_graph, variable_name_for
 from ..core.quality import MappingQualityAssessor
 from ..core.schedules import LazySchedule, PeriodicSchedule
@@ -42,6 +42,7 @@ from ..pdms.discovery import (
     ProcessPoolDiscoveryExecutor,
     SerialDiscoveryExecutor,
     plan_full_probe,
+    resolve_discovery_executor,
     resolve_probe_workers,
 )
 from ..pdms.probing import find_cycles_through
@@ -61,6 +62,8 @@ __all__ = [
     "run_cycle_length",
     "FaultToleranceResult",
     "run_fault_tolerance",
+    "AdversarialFeedbackResult",
+    "run_adversarial_feedback",
     "RealWorldResult",
     "run_real_world",
     "BaselineComparisonResult",
@@ -452,6 +455,152 @@ def run_fault_tolerance(
         )
     return FaultToleranceResult(
         points=points, max_rounds=max_rounds, reference_posteriors=reference
+    )
+
+
+@dataclass
+class AdversarialFeedbackResult:
+    """Quarantine speed of the assessment layer under colluding liars.
+
+    One point per liar fraction: ``(fraction, mean rounds until every
+    evidence-covered erroneous mapping sits below θ, fraction of attributes
+    fully quarantined, mean false-quarantine count at the fixed point)``.
+    """
+
+    points: List[Tuple[float, float, float, float]]
+    theta: float
+    max_rounds: int
+
+    def point_at(self, liar_fraction: float) -> Tuple[float, float, float, float]:
+        for point in self.points:
+            if abs(point[0] - liar_fraction) < 1e-9:
+                return point
+        raise EvaluationError(
+            f"no adversarial feedback point for liar fraction {liar_fraction}"
+        )
+
+    def rounds_at(self, liar_fraction: float) -> float:
+        return self.point_at(liar_fraction)[1]
+
+    def quarantined_at(self, liar_fraction: float) -> float:
+        return self.point_at(liar_fraction)[2]
+
+
+def _flip_feedback(feedback: Feedback) -> Feedback:
+    """A liar's report: positive evidence claimed negative and vice versa."""
+    if feedback.kind is FeedbackKind.POSITIVE:
+        return replace(feedback, kind=FeedbackKind.NEGATIVE)
+    if feedback.kind is FeedbackKind.NEGATIVE:
+        return replace(feedback, kind=FeedbackKind.POSITIVE)
+    return feedback
+
+
+def run_adversarial_feedback(
+    liar_fractions: Sequence[float] = (0.0, 0.1, 0.25),
+    peer_count: int = 20,
+    attribute_count: int = 4,
+    error_rate: float = 0.25,
+    ttl: int = 3,
+    theta: float = 0.5,
+    priors: float = 0.7,
+    delta: float = 0.1,
+    max_rounds: int = 60,
+    seed: int = 0,
+) -> AdversarialFeedbackResult:
+    """Measure rounds-until-θ-quarantine under colluding lying peers.
+
+    The message-loss experiment (Figure 11) stresses the *transport*; this
+    one stresses the *feedback* itself — the paper's Byzantine concern that
+    peers may report wrong cycle/path evidence.  A seeded fraction of peers
+    colludes: every feedback such a peer originates has its sign flipped
+    (positive evidence reported negative and vice versa) before the
+    embedded engine runs.  For each attribute of a generated scenario the
+    engine is advanced round by round and the experiment records the first
+    round at which every *evidence-covered* genuinely-erroneous mapping has
+    posterior ≤ θ — the round the network would quarantine its faulty
+    links.  Attributes whose erroneous mappings never all drop below θ
+    within ``max_rounds`` count as not quarantined (liars succeeded in
+    shielding an erroneous mapping).  ``false_quarantines`` counts healthy
+    mappings pushed below θ at the fixed point — liars framing good links.
+
+    Everything is deterministic: the scenario, the liar set per fraction
+    (seeded from ``seed``) and the lossless engine runs.
+    """
+    scenario = generate_scenario(
+        peer_count=peer_count,
+        attribute_count=attribute_count,
+        error_rate=error_rate,
+        seed=seed,
+    )
+    network = scenario.network
+    peers = sorted(network.peer_names)
+
+    # Structures (and thus honest evidence) are fraction-independent:
+    # gather once per attribute, flip per liar set.
+    attributes = sorted({attribute for _, attribute in scenario.ground_truth})
+    evidence = {
+        attribute: analyze_network(network, attribute, ttl=ttl)
+        for attribute in attributes
+    }
+
+    points: List[Tuple[float, float, float, float]] = []
+    for fraction in liar_fractions:
+        liar_count = int(round(fraction * peer_count))
+        rng = random.Random(seed * 7919 + round(fraction * 1000))
+        liars = set(rng.sample(peers, liar_count)) if liar_count else set()
+
+        rounds_needed: List[int] = []
+        quarantined_attributes = 0
+        measured_attributes = 0
+        false_quarantines: List[int] = []
+        for attribute in attributes:
+            feedbacks = [
+                _flip_feedback(f) if f.origin in liars else f
+                for f in evidence[attribute].feedbacks
+            ]
+            engine = EmbeddedMessagePassing(
+                feedbacks,
+                priors=priors,
+                delta=delta,
+                options=EmbeddedOptions(max_rounds=max_rounds),
+            )
+            erroneous = set(scenario.erroneous_mappings(attribute))
+            posteriors = engine.posteriors()
+            covered = erroneous & set(posteriors)
+            if not covered:
+                continue  # nothing quarantinable is evidence-covered
+            measured_attributes += 1
+            quarantine_round: Optional[int] = None
+            for round_number in range(1, max_rounds + 1):
+                engine.run_round()
+                posteriors = engine.posteriors()
+                if all(posteriors[name] <= theta for name in covered):
+                    quarantine_round = round_number
+                    break
+            if quarantine_round is None:
+                rounds_needed.append(max_rounds)
+            else:
+                rounds_needed.append(quarantine_round)
+                quarantined_attributes += 1
+            healthy = set(posteriors) - erroneous
+            false_quarantines.append(
+                sum(1 for name in healthy if posteriors[name] <= theta)
+            )
+        if not measured_attributes:
+            raise EvaluationError(
+                "adversarial feedback scenario produced no evidence-covered "
+                "erroneous mappings; raise error_rate or peer_count"
+            )
+        points.append(
+            (
+                fraction,
+                sum(rounds_needed) / len(rounds_needed),
+                quarantined_attributes / measured_attributes,
+                sum(false_quarantines) / len(false_quarantines),
+            )
+        )
+    return AdversarialFeedbackResult(
+        points=points, theta=theta, max_rounds=max_rounds
     )
 
 
@@ -1722,6 +1871,11 @@ class ProbeThroughputPoint:
     process_seconds: float
     sharded: bool
     workers: int
+    #: Fault / retry / fallback accounting of the process-side executor
+    #: (:meth:`~repro.reliability.ReliabilityStatistics.as_dict`, summed
+    #: over the timing repeats) when it ran chaos-hardened; ``None`` for a
+    #: plain fault-free pool.
+    reliability: Optional[Dict[str, int]] = None
 
     @property
     def structure_count(self) -> int:
@@ -1768,6 +1922,8 @@ def run_probe_throughput(
     repeats: int = 2,
     probe_workers: Optional[int] = None,
     min_units: int = 4,
+    shard_timeout: Optional[float] = None,
+    fault_plan: object = None,
 ) -> ProbeThroughputResult:
     """Measure full-probe discovery: process-pool sharding vs serial walkers.
 
@@ -1782,6 +1938,14 @@ def run_probe_throughput(
     ``sharded=False``.  The merged structure lists of the two executors are
     compared structure-for-structure (canonical keys in merge order) and an
     :class:`~repro.exceptions.EvaluationError` is raised on any divergence.
+
+    ``shard_timeout`` / ``fault_plan`` configure the process side's fault
+    policy: the process executor resolves through
+    :func:`~repro.pdms.discovery.resolve_discovery_executor`, so a chaos
+    plan — passed explicitly or via ``REPRO_FAULT_PLAN`` — upgrades it to
+    the :class:`~repro.reliability.ResilientDiscoveryExecutor` and the
+    point records the faults survived (parity is still enforced, making
+    this the CI chaos-smoke entry point).
     """
     workers = resolve_probe_workers(probe_workers)
     points: List[ProbeThroughputPoint] = []
@@ -1790,9 +1954,13 @@ def run_probe_throughput(
         plan = plan_full_probe(network, ttl=ttl, include_parallel_paths=True)
 
         serial_executor = SerialDiscoveryExecutor()
-        process_executor = ProcessPoolDiscoveryExecutor(
-            workers=workers, min_units=min_units
+        process_executor = resolve_discovery_executor(
+            "process",
+            workers=workers,
+            shard_timeout=shard_timeout,
+            fault_plan=fault_plan,
         )
+        process_executor.min_units = min_units
 
         def best_of(executor):
             best_seconds = float("inf")
@@ -1822,6 +1990,7 @@ def run_probe_throughput(
                 f"{peer_count} peers"
             )
 
+        survived = getattr(process_executor, "statistics", None)
         points.append(
             ProbeThroughputPoint(
                 peer_count=peer_count,
@@ -1834,6 +2003,9 @@ def run_probe_throughput(
                 process_seconds=process_seconds,
                 sharded=process_run.sharded,
                 workers=process_run.workers,
+                reliability=(
+                    survived.as_dict() if survived is not None else None
+                ),
             )
         )
     return ProbeThroughputResult(points=tuple(points), ttl=ttl)

@@ -65,8 +65,10 @@ import numpy as np
 from ..constants import (
     COUNT_KERNEL_MIN_ARITY,
     DEFAULT_EXECUTOR,
+    EXECUTOR_ENV,
     EXECUTOR_NUMPY,
     EXECUTOR_THREADED,
+    FAULT_PLAN_ENV,
     MAX_COMPILED_ARITY,
 )
 from ..exceptions import FactorGraphError, FeedbackError, VariableDomainError
@@ -827,9 +829,89 @@ class ThreadedExecutor(NumpyExecutor):
     are bit-identical to :class:`NumpyExecutor` — only wall-clock changes.
     NumPy releases the GIL inside the kernels, so plans with several
     buckets (mixed arities) overlap on multi-core hosts.
+
+    A bucket whose thread raises — an injected chaos fault under a
+    :class:`~repro.reliability.FaultPlan` (keyed by ``(bucket, 0)``), or a
+    genuine kernel error — is degraded to the synchronous
+    :class:`NumpyExecutor` sweep instead of aborting the round.  The
+    fallback re-runs the *whole* bucket, and buckets overwrite their full
+    disjoint row set, so a degraded round stays bit-identical to an
+    undisturbed one; :attr:`statistics` counts every fallback.
     """
 
     name = EXECUTOR_THREADED
+
+    def __init__(self, fault_plan: object = None) -> None:
+        # Lazy import: repro.reliability sits above the factor-graph layer
+        # (it pulls in the probe-plan IR), so the sweep module only reaches
+        # up when an executor is actually constructed.
+        from ..reliability import (
+            FaultInjector,
+            ReliabilityStatistics,
+            fault_plan_or_env,
+        )
+
+        resolved = fault_plan_or_env(fault_plan)
+        self.fault_plan = resolved
+        self._injector = (
+            FaultInjector(resolved) if resolved is not None else None
+        )
+        #: Cumulative fault / fallback accounting across every round this
+        #: executor instance ran.
+        self.statistics = ReliabilityStatistics()
+
+    def _guarded_bucket(
+        self,
+        index: int,
+        bucket: BucketPlan,
+        kernel,
+        pool: np.ndarray,
+        out: np.ndarray,
+    ) -> Optional[str]:
+        """One bucket's sweep, preceded by its scheduled chaos fault (if
+        any); returns the fired fault kind for the caller's accounting."""
+        fired = None
+        if self._injector is not None:
+            fired = self._injector.fire_in_thread(index, 0)
+        self.sweep_bucket(bucket, kernel, pool, out)
+        return fired
+
+    def _settle_bucket(
+        self,
+        index: int,
+        bucket: BucketPlan,
+        kernel,
+        pool: np.ndarray,
+        out: np.ndarray,
+        result,
+    ) -> None:
+        """Account for one guarded bucket's outcome, degrading a failed
+        bucket to the synchronous NumPy sweep."""
+        from ..reliability import (
+            FAULT_CORRUPT,
+            FAULT_CRASH,
+            FAULT_DELAY,
+            FAULT_HANG,
+        )
+
+        try:
+            fired = result()
+        except Exception:
+            stats = self.statistics
+            if self.fault_plan is not None:
+                kind = self.fault_plan.fault_for(index, 0)
+                if kind == FAULT_CRASH:
+                    stats.injected_crashes += 1
+                elif kind == FAULT_HANG:
+                    stats.injected_hangs += 1
+                elif kind == FAULT_CORRUPT:
+                    stats.injected_corruptions += 1
+            stats.worker_errors += 1
+            stats.bucket_fallbacks += 1
+            NumpyExecutor.sweep_bucket(self, bucket, kernel, pool, out)
+            return
+        if fired == FAULT_DELAY:
+            self.statistics.injected_delays += 1
 
     def factor_sweep(
         self,
@@ -839,36 +921,69 @@ class ThreadedExecutor(NumpyExecutor):
         out: np.ndarray,
     ) -> None:
         pairs = list(zip(plan.batches, kernels))
-        if len(pairs) <= 1:
+        if len(pairs) <= 1 and self._injector is None:
             for bucket, kernel in pairs:
                 self.sweep_bucket(bucket, kernel, pool, out)
             return
+        if len(pairs) <= 1:
+            for index, (bucket, kernel) in enumerate(pairs):
+                self._settle_bucket(
+                    index,
+                    bucket,
+                    kernel,
+                    pool,
+                    out,
+                    lambda i=index, b=bucket, k=kernel: self._guarded_bucket(
+                        i, b, k, pool, out
+                    ),
+                )
+            return
         futures = [
-            _shared_pool().submit(self.sweep_bucket, bucket, kernel, pool, out)
-            for bucket, kernel in pairs
+            _shared_pool().submit(
+                self._guarded_bucket, index, bucket, kernel, pool, out
+            )
+            for index, (bucket, kernel) in enumerate(pairs)
         ]
-        for future in futures:
-            future.result()
+        for index, ((bucket, kernel), future) in enumerate(
+            zip(pairs, futures)
+        ):
+            self._settle_bucket(index, bucket, kernel, pool, out, future.result)
 
 
 _EXECUTORS: Dict[str, Executor] = {}
 
 
 def get_executor(spec: object = None) -> Executor:
-    """Resolve an executor spec: ``None`` (the configured default), a name
+    """Resolve an executor spec: ``None`` (the configured default, read
+    live from the ``REPRO_EXECUTOR`` environment variable), a name
     (:data:`~repro.constants.EXECUTOR_NUMPY` /
     :data:`~repro.constants.EXECUTOR_THREADED`), or an
-    :class:`Executor` instance passed through unchanged."""
+    :class:`Executor` instance passed through unchanged.
+
+    When a chaos fault plan is configured via ``REPRO_FAULT_PLAN``, the
+    threaded executor is built armed with it (and not cached, so each
+    resolution starts with fresh statistics).
+    """
+    from_env = False
     if spec is None:
-        spec = DEFAULT_EXECUTOR
+        env = os.environ.get(EXECUTOR_ENV, "").strip()
+        from_env = bool(env)
+        spec = env or DEFAULT_EXECUTOR
     if isinstance(spec, str):
         if spec == EXECUTOR_NUMPY:
             return _EXECUTORS.setdefault(spec, NumpyExecutor())
         if spec == EXECUTOR_THREADED:
+            if os.environ.get(FAULT_PLAN_ENV, "").strip():
+                return ThreadedExecutor()  # arms itself from the environment
             return _EXECUTORS.setdefault(spec, ThreadedExecutor())
         raise FactorGraphError(
-            f"unknown executor {spec!r}; expected "
+            f"unknown sweep executor {spec!r}; expected "
             f"{EXECUTOR_NUMPY!r} or {EXECUTOR_THREADED!r}"
+            + (
+                f" (from the {EXECUTOR_ENV} environment variable)"
+                if from_env
+                else ""
+            )
         )
     if hasattr(spec, "run_round"):
         return spec  # type: ignore[return-value]

@@ -1,42 +1,68 @@
-"""The discovery core: origin-sharded probe plans behind the structure caches.
+"""The discovery core: probe plans × executors × fault policy.
 
 Cycle / parallel-path discovery is the probe phase of §3.2.1 — peers flood
 their neighbourhood with TTL-bounded probe messages.  The recursive walkers
 living in :mod:`repro.pdms.probing` enumerate one origin's view at a time;
 this module is the layer above them, mirroring what
-:mod:`repro.factorgraph.plan` did for the sweep engines one level down:
+:mod:`repro.factorgraph.plan` did for the sweep engines one level down.
+Every probe is described, run and hardened along three independent axes:
 
-* a :class:`ProbePlan` IR — an immutable, picklable
-  :class:`TopologySnapshot` of the network plus a *frontier* of per-origin
-  :class:`ProbeWorkUnit`\\ s (cycles-through, parallel-paths-from/-through
-  and full-neighbourhood probes), with the TTL and the parallel-path flag
-  stated once for the whole plan;
-* a :class:`DiscoveryExecutor` protocol running a plan, with two
-  implementations: :class:`SerialDiscoveryExecutor` (in-process, result
-  order identical to the historical recursive sweeps) and
-  :class:`ProcessPoolDiscoveryExecutor` (origin-sharded fan-out over a
-  ``multiprocessing`` pool — origins partition cleanly, every structure is
-  discoverable from exactly the origins its work unit names — with results
-  streamed back as compact name tuples and rehydrated against the parent's
-  snapshot);
-* a canonical merge (:func:`merge_structures` via :meth:`ProbeRun.merged`):
-  outcomes are reassembled by work-unit position and deduplicated by the
-  structures' rotation/order-invariant canonical keys, so the merged
-  structure set is deterministic and independent of worker completion
-  order — sharded and serial discovery produce identical structure lists.
-
-Both structure caches of :mod:`repro.core.analysis` lower their full probes
-*and* their mutation-log incremental refreshes onto this frontier
+**Plan** — *what* to discover.  A :class:`ProbePlan` IR: an immutable,
+picklable :class:`TopologySnapshot` of the network plus a *frontier* of
+per-origin :class:`ProbeWorkUnit`\\ s (cycles-through,
+parallel-paths-from/-through and full-neighbourhood probes), with the TTL
+and the parallel-path flag stated once for the whole plan.  Both structure
+caches of :mod:`repro.core.analysis` lower their full probes *and* their
+mutation-log incremental refreshes onto this frontier
 (:func:`replay_structure_log` is the shared replay that used to be
-duplicated per cache).  The executor is selected per consumer
-(``probe_executor=``), falling back to the ``REPRO_PROBE_EXECUTOR``
-environment variable and :data:`repro.constants.DEFAULT_PROBE_EXECUTOR`.
+duplicated per cache).
+
+**Executor** — *how* to run it.  A :class:`DiscoveryExecutor` protocol with
+three implementations: :class:`SerialDiscoveryExecutor` (in-process, result
+order identical to the historical recursive sweeps),
+:class:`ProcessPoolDiscoveryExecutor` (origin-sharded fan-out over a
+``multiprocessing`` pool — origins partition cleanly, every structure is
+discoverable from exactly the origins its work unit names — with results
+streamed back as compact, checksummed name tuples and rehydrated against
+the parent's snapshot) and the chaos-hardened
+:class:`~repro.reliability.ResilientDiscoveryExecutor` layered on top of
+the process fan-out.  Whatever the executor, outcomes are reassembled by
+work-unit position and merged canonically (:func:`merge_structures` via
+:meth:`ProbeRun.merged`): deduplication by the structures'
+rotation/order-invariant canonical keys makes the merged structure set
+deterministic and independent of worker scheduling — serial, sharded and
+chaos-ridden discovery produce identical structure lists.
+
+**Fault policy** — *what may go wrong, and what happens then*.  Workers
+can crash, hang, straggle or return corrupted payloads; the policy axis
+decides how the parent reacts.  The baseline
+:class:`ProcessPoolDiscoveryExecutor` is fail-fast but never silent: every
+shard carries a per-shard deadline (:func:`resolve_shard_timeout`, default
+:data:`repro.constants.DEFAULT_SHARD_TIMEOUT`) turning a wedged worker
+into a descriptive :class:`~repro.exceptions.DiscoveryTimeoutError`, and
+every wire payload carries a :func:`payload_checksum` so corruption is
+detected before — never merged after — rehydration.  The resilient
+executor upgrades detection to recovery: bounded retry with seeded
+backoff, quarantine, per-shard serial fallback.  Deterministic chaos
+(seeded :class:`~repro.reliability.FaultPlan` schedules, installed into
+workers through the same :func:`_install_worker_plan` pool initializer
+that ships the plan) exercises all of it reproducibly.
+
+The executor and fault policy are selected per consumer
+(``probe_executor=``, ``fault_plan=``, ``shard_timeout=``), falling back
+to the ``REPRO_PROBE_EXECUTOR`` / ``REPRO_FAULT_PLAN`` /
+``REPRO_SHARD_TIMEOUT`` environment variables; all resolution helpers
+(:func:`resolve_discovery_executor`, :func:`resolve_probe_workers`,
+:func:`resolve_shard_timeout`) validate their inputs eagerly and name the
+offending knob in their errors.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+import zlib
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -53,11 +79,16 @@ from typing import (
 from ..constants import (
     DEFAULT_PROBE_EXECUTOR,
     DEFAULT_PROBE_WORKERS,
+    DEFAULT_SHARD_TIMEOUT,
     DEFAULT_TTL,
+    PROBE_EXECUTOR_ENV,
     PROBE_EXECUTOR_PROCESS,
+    PROBE_EXECUTOR_RESILIENT,
     PROBE_EXECUTOR_SERIAL,
+    PROBE_WORKERS_ENV,
+    SHARD_TIMEOUT_ENV,
 )
-from ..exceptions import PDMSError, UnknownPeerError
+from ..exceptions import DiscoveryTimeoutError, PDMSError, UnknownPeerError
 from ..mapping.mapping import Mapping
 from .probing import (
     MappingCycle,
@@ -87,8 +118,10 @@ __all__ = [
     "DiscoveryExecutor",
     "SerialDiscoveryExecutor",
     "ProcessPoolDiscoveryExecutor",
+    "payload_checksum",
     "resolve_discovery_executor",
     "resolve_probe_workers",
+    "resolve_shard_timeout",
 ]
 
 
@@ -463,10 +496,26 @@ class SerialDiscoveryExecutor:
 #: ship unit indices instead of re-pickling the snapshot per task.
 _WORKER_PLAN: Optional[ProbePlan] = None
 
+#: Chaos injector installed alongside the plan when the run carries a
+#: :class:`~repro.reliability.FaultPlan`; ``None`` in production runs.
+_WORKER_INJECTOR: Optional[object] = None
 
-def _install_worker_plan(plan: ProbePlan) -> None:
-    global _WORKER_PLAN
+
+def _install_worker_plan(plan: ProbePlan, fault_plan: object = None) -> None:
+    """Pool initializer: install the plan (and, under chaos, the injector).
+
+    This is the one hook through which anything reaches a discovery worker
+    — the probe plan always, and a seeded
+    :class:`~repro.reliability.FaultPlan` when the parent executor runs a
+    chaos schedule."""
+    global _WORKER_PLAN, _WORKER_INJECTOR
     _WORKER_PLAN = plan
+    if fault_plan is None:
+        _WORKER_INJECTOR = None
+    else:
+        from ..reliability import FaultInjector
+
+        _WORKER_INJECTOR = FaultInjector(fault_plan)
 
 
 def _wire_cycle(cycle: MappingCycle) -> Tuple[str, Tuple[str, ...]]:
@@ -508,6 +557,40 @@ def _execute_shard(indices: Sequence[int]):
     return wired
 
 
+def payload_checksum(wired) -> int:
+    """CRC32 over a shard's wire payload (nested tuples of names/indices).
+
+    The payload is pure strings, ints and tuples, whose ``repr`` is a
+    deterministic serialization — cheap enough to compute on both sides of
+    the process boundary, strong enough that a corrupted shard result is
+    detected and re-executed instead of merged."""
+    return zlib.crc32(repr(wired).encode("utf-8"))
+
+
+def _execute_shard_task(task):
+    """Run one ``(shard, attempt, indices)`` task; return a checksummed result.
+
+    The returned tuple is ``(shard, attempt, fired, wired, checksum)``:
+    ``fired`` names the injected fault that hit this attempt (``None``
+    outside chaos runs), and ``checksum`` is :func:`payload_checksum` over
+    the *authentic* payload — computed before an injected ``corrupt`` fault
+    mangles the wire tuples, so the parent's integrity check observes the
+    mismatch exactly as it would observe real corruption.
+    """
+    shard, attempt, indices = task
+    fired = None
+    if _WORKER_INJECTOR is not None:
+        # A "crash" raises out of the worker here; "hang"/"delay" sleep.
+        fired = _WORKER_INJECTOR.fire(shard, attempt)
+    wired = _execute_shard(indices)
+    checksum = payload_checksum(wired)
+    if fired == "corrupt":
+        from ..reliability import corrupt_payload
+
+        wired = corrupt_payload(wired)
+    return shard, attempt, fired, wired, checksum
+
+
 def _rehydrate_outcome(snapshot: TopologySnapshot, wire) -> ProbeOutcome:
     index, wire_cycles, wire_pairs = wire
     cycles = tuple(
@@ -531,15 +614,80 @@ def _rehydrate_outcome(snapshot: TopologySnapshot, wire) -> ProbeOutcome:
 
 def resolve_probe_workers(workers: Optional[int] = None) -> int:
     """Resolve a worker count: explicit argument, then
-    ``REPRO_PROBE_WORKERS`` (via :data:`~repro.constants.DEFAULT_PROBE_WORKERS`),
-    then the machine's CPU count."""
+    ``REPRO_PROBE_WORKERS``, then the machine's CPU count.
+
+    The environment variable is re-read here (not only captured at import
+    in :data:`~repro.constants.DEFAULT_PROBE_WORKERS`) so a malformed value
+    surfaces as one clear error at resolution time, naming the variable and
+    the accepted values, instead of a raw ``ValueError`` at import."""
     if workers is not None:
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            raise ValueError(
+                f"probe workers must be an integer >= 1, got {workers!r}"
+            )
         if workers < 1:
             raise ValueError(f"probe workers must be >= 1, got {workers}")
         return workers
+    raw = os.environ.get(PROBE_WORKERS_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{PROBE_WORKERS_ENV} must be an integer worker count "
+                f"(unset, empty or <= 0 meaning 'decide at runtime'), "
+                f"got {raw!r}"
+            ) from None
+        if value > 0:
+            return value
+        return os.cpu_count() or 1
     if DEFAULT_PROBE_WORKERS is not None:
         return DEFAULT_PROBE_WORKERS
     return os.cpu_count() or 1
+
+
+def resolve_shard_timeout(timeout: object = None) -> float:
+    """Resolve a per-shard deadline (seconds): explicit argument, then
+    ``REPRO_SHARD_TIMEOUT``, then
+    :data:`~repro.constants.DEFAULT_SHARD_TIMEOUT`.
+
+    Pass ``float("inf")`` to disable the deadline entirely; zero and
+    negative values are rejected (they would time every shard out
+    immediately)."""
+    if timeout is not None:
+        try:
+            value = float(timeout)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"shard timeout must be a positive number of seconds, "
+                f"got {timeout!r}"
+            ) from None
+        if not value > 0:
+            raise ValueError(
+                f"shard timeout must be > 0 seconds, got {timeout!r}"
+            )
+        return value
+    raw = os.environ.get(SHARD_TIMEOUT_ENV, "").strip()
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{SHARD_TIMEOUT_ENV} must be a positive number of "
+                f"seconds, got {raw!r}"
+            ) from None
+        if not value > 0:
+            raise ValueError(
+                f"{SHARD_TIMEOUT_ENV} must be > 0 seconds, got {raw!r}"
+            )
+        return value
+    return DEFAULT_SHARD_TIMEOUT if DEFAULT_SHARD_TIMEOUT else float("inf")
+
+
+#: How often the parent polls outstanding shard results for readiness or
+#: deadline expiry — short enough that healthy sub-second probes are not
+#: noticeably delayed, long enough not to busy-spin.
+_POLL_INTERVAL_SECONDS = 0.005
 
 
 class ProcessPoolDiscoveryExecutor:
@@ -550,10 +698,21 @@ class ProcessPoolDiscoveryExecutor:
     partition) and the origin groups are dealt round-robin into a few
     shards per worker.  Each worker receives the plan once through the pool
     initializer, executes its shards with the same per-unit walkers the
-    serial executor uses, and streams compact results back
-    (``imap_unordered``); the parent reassembles them by unit index, so the
-    outcome tuple — and hence the canonical merge — is bit-identical to
-    serial discovery regardless of scheduling.
+    serial executor uses, and streams compact, checksummed results back;
+    the parent verifies each payload's :func:`payload_checksum` and
+    reassembles outcomes by unit index, so the outcome tuple — and hence
+    the canonical merge — is bit-identical to serial discovery regardless
+    of scheduling.
+
+    Fault policy: fail fast, never hang, never merge garbage.  Every shard
+    carries a per-shard deadline (``shard_timeout``, default
+    :data:`~repro.constants.DEFAULT_SHARD_TIMEOUT` via
+    :func:`resolve_shard_timeout`) — a wedged worker raises
+    :class:`~repro.exceptions.DiscoveryTimeoutError` instead of blocking
+    the parent forever — and a corrupted payload raises
+    :class:`~repro.exceptions.PDMSError` before rehydration.  For retry,
+    quarantine and graceful degradation, use the
+    :class:`~repro.reliability.ResilientDiscoveryExecutor` subclass.
 
     Plans smaller than ``min_units`` (or a 1-worker pool) run inline: the
     fork/pickle overhead would dwarf the work, and incremental-refresh delta
@@ -570,9 +729,18 @@ class ProcessPoolDiscoveryExecutor:
         self,
         workers: Optional[int] = None,
         min_units: int = 4,
+        shard_timeout: object = None,
+        fault_plan: object = None,
     ) -> None:
         self.workers = resolve_probe_workers(workers)
         self.min_units = min_units
+        self.shard_timeout = resolve_shard_timeout(shard_timeout)
+        #: Optional :class:`~repro.reliability.FaultPlan` installed into the
+        #: workers — deterministic chaos for tests and drills.  The base
+        #: executor only *detects* the injected faults (crash propagates,
+        #: hang times out, corruption fails the checksum); recovery is the
+        #: resilient subclass's job.
+        self.fault_plan = fault_plan
         self._serial = SerialDiscoveryExecutor()
 
     def _shards(self, plan: ProbePlan) -> List[List[int]]:
@@ -596,12 +764,44 @@ class ProcessPoolDiscoveryExecutor:
         with multiprocessing.get_context().Pool(
             processes=min(self.workers, len(shards)),
             initializer=_install_worker_plan,
-            initargs=(plan,),
+            initargs=(plan, self.fault_plan),
         ) as pool:
-            for batch in pool.imap_unordered(_execute_shard, shards, chunksize=1):
-                for wire in batch:
-                    outcome = _rehydrate_outcome(plan.snapshot, wire)
-                    outcomes[outcome.index] = outcome
+            pending: Dict[int, Tuple[object, float]] = {}
+            for shard, indices in enumerate(shards):
+                handle = pool.apply_async(
+                    _execute_shard_task, ((shard, 0, tuple(indices)),)
+                )
+                pending[shard] = (handle, time.monotonic() + self.shard_timeout)
+            while pending:
+                progressed = False
+                for shard in list(pending):
+                    handle, deadline = pending[shard]
+                    if handle.ready():  # type: ignore[attr-defined]
+                        del pending[shard]
+                        progressed = True
+                        # Re-raises the worker's exception (e.g. a crash).
+                        _, _, _, wired, checksum = handle.get()  # type: ignore[attr-defined]
+                        if payload_checksum(wired) != checksum:
+                            raise PDMSError(
+                                f"corrupted wire payload from probe shard "
+                                f"{shard}: checksum mismatch; the shard "
+                                f"result was discarded, not merged"
+                            )
+                        for wire in wired:
+                            outcome = _rehydrate_outcome(plan.snapshot, wire)
+                            outcomes[outcome.index] = outcome
+                    elif time.monotonic() > deadline:
+                        raise DiscoveryTimeoutError(
+                            f"probe shard {shard} "
+                            f"({len(shards[shard])} work units) exceeded its "
+                            f"{self.shard_timeout:.1f}s deadline; the worker "
+                            f"is presumed wedged (raise {SHARD_TIMEOUT_ENV} "
+                            f"for slow hosts, or use the "
+                            f"{PROBE_EXECUTOR_RESILIENT!r} probe executor "
+                            f"for retry + serial fallback)"
+                        )
+                if pending and not progressed:
+                    time.sleep(_POLL_INTERVAL_SECONDS)
         missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
         if missing:  # pragma: no cover - defensive: a shard vanished
             raise PDMSError(f"probe work units {missing!r} returned no outcome")
@@ -617,27 +817,60 @@ class ProcessPoolDiscoveryExecutor:
 
 
 def resolve_discovery_executor(
-    executor: object = None, workers: Optional[int] = None
+    executor: object = None,
+    workers: Optional[int] = None,
+    *,
+    shard_timeout: object = None,
+    fault_plan: object = None,
 ) -> DiscoveryExecutor:
     """Resolve a ``probe_executor=`` specification to an executor object.
 
     ``None`` selects the configured default
     (:data:`repro.constants.DEFAULT_PROBE_EXECUTOR`, overridable through the
-    ``REPRO_PROBE_EXECUTOR`` environment variable); strings name the
-    built-in executors; anything with a ``run`` method passes through
-    unchanged (``workers`` is ignored for it).
+    ``REPRO_PROBE_EXECUTOR`` environment variable, re-read here so the
+    error for a bad value names the variable); strings name the built-in
+    executors (``"serial"`` / ``"process"`` / ``"resilient"``); anything
+    with a ``run`` method passes through unchanged (``workers``,
+    ``shard_timeout`` and ``fault_plan`` are ignored for it).
+
+    ``fault_plan`` — a :class:`~repro.reliability.FaultPlan`, a spec string,
+    or ``None`` to consult ``REPRO_FAULT_PLAN`` — arms deterministic chaos.
+    A faulted *process* fan-out always resolves to the resilient executor:
+    injected faults must be recovered from, never allowed to abort a probe
+    or poison a merge.  ``"serial"`` ignores the fault plan (there is no
+    fan-out to inject into).
     """
+    from_env = False
     if executor is None:
-        executor = DEFAULT_PROBE_EXECUTOR
+        executor = os.environ.get(PROBE_EXECUTOR_ENV, "").strip() or (
+            DEFAULT_PROBE_EXECUTOR
+        )
+        from_env = True
     if isinstance(executor, str):
+        if executor in (PROBE_EXECUTOR_PROCESS, PROBE_EXECUTOR_RESILIENT):
+            from ..reliability import ResilientDiscoveryExecutor, fault_plan_or_env
+
+            fault_plan = fault_plan_or_env(fault_plan)
+            if executor == PROBE_EXECUTOR_RESILIENT or fault_plan is not None:
+                return ResilientDiscoveryExecutor(
+                    workers=workers,
+                    shard_timeout=shard_timeout,
+                    fault_plan=fault_plan,
+                )
+            return ProcessPoolDiscoveryExecutor(
+                workers=workers, shard_timeout=shard_timeout
+            )
         if executor == PROBE_EXECUTOR_SERIAL:
             return SerialDiscoveryExecutor()
-        if executor == PROBE_EXECUTOR_PROCESS:
-            return ProcessPoolDiscoveryExecutor(workers=workers)
+        hint = (
+            f" (from the {PROBE_EXECUTOR_ENV} environment variable)"
+            if from_env
+            else ""
+        )
         raise ValueError(
-            f"unknown probe executor {executor!r}; expected "
-            f"{PROBE_EXECUTOR_SERIAL!r}, {PROBE_EXECUTOR_PROCESS!r} or an "
-            "executor object"
+            f"unknown probe executor {executor!r}{hint}; expected "
+            f"{PROBE_EXECUTOR_SERIAL!r}, {PROBE_EXECUTOR_PROCESS!r}, "
+            f"{PROBE_EXECUTOR_RESILIENT!r} or an executor object"
         )
     if isinstance(executor, DiscoveryExecutor):
         return executor
