@@ -56,8 +56,19 @@ def emit_json_report(name: str, payload: dict) -> None:
     override rule) so the perf trajectory across PRs stays attributable.
     A chaos fault plan active for the run (``REPRO_FAULT_PLAN``) is
     stamped too, so chaos-smoke numbers are never mistaken for clean ones.
+    Correctness provenance rides along as well: ``lint_clean`` (did the
+    tree pass ``repro-lint`` — linted once per process, cached) and
+    ``lintkit_version`` (the rule-set version), so a perf number can never
+    silently come from a tree that violates the architectural invariants.
     """
+    from repro.lintkit import lint_status
+
     record = dict(payload)
+    record.update(
+        (key, value)
+        for key, value in lint_status().items()
+        if key not in record
+    )
     record.setdefault("benchmark", name)
     record.setdefault("git_rev", _git_revision())
     record.setdefault("unix_time", int(time.time()))

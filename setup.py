@@ -1,3 +1,22 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-pdms",
+    version="0.9.0",
+    description=(
+        "Reproduction of 'Probabilistic Message Passing in Peer Data "
+        "Management Systems' (Cudré-Mauroux, Aberer & Feher, ICDE 2006): "
+        "decentralised schema-mapping quality assessment via loopy "
+        "message passing on factor graphs"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.cli:main",
+            "repro-lint=repro.lintkit.cli:main",
+        ]
+    },
+)

@@ -1,10 +1,15 @@
 """Command-line interface for running the paper's experiments.
 
 Installing the package exposes a ``repro-experiments`` console script (see
-``pyproject.toml``); the same entry point is reachable with
+``setup.py``); the same entry point is reachable with
 ``python -m repro.cli``.  Each sub-command runs one experiment of the
 evaluation section and prints the corresponding paper-vs-measured table —
 the same runners the benchmark harness uses, without the timing machinery.
+
+A sibling ``repro-lint`` console script (``python -m repro.lintkit``) runs
+the AST-based architectural analyzer over the tree — the layering,
+determinism, process-safety, knob-hygiene and numeric invariants stated in
+``ARCHITECTURE.md``.
 
 Examples
 --------

@@ -53,6 +53,8 @@ __all__ = [
     "DEFAULT_RETRY_JITTER",
     "DEFAULT_HANG_SECONDS",
     "DEFAULT_DELAY_SECONDS",
+    "KNOWN_ENV_KNOBS",
+    "read_env",
 ]
 
 #: Hard cap on synchronous rounds, shared by the centralised and embedded runs.
@@ -132,6 +134,39 @@ FAULT_PLAN_ENV: str = "REPRO_FAULT_PLAN"
 
 #: Environment variable overriding the per-shard discovery timeout.
 SHARD_TIMEOUT_ENV: str = "REPRO_SHARD_TIMEOUT"
+
+#: Every environment knob the package reads.  :func:`read_env` — the one
+#: sanctioned gate to ``os.environ`` outside this module (enforced by the
+#: ``knob-env-read`` rule of :mod:`repro.lintkit`) — refuses names missing
+#: from this registry, so a new knob cannot ship without being declared,
+#: documented and validated here first.
+KNOWN_ENV_KNOBS = frozenset(
+    {
+        EXECUTOR_ENV,
+        PROBE_EXECUTOR_ENV,
+        PROBE_WORKERS_ENV,
+        FAULT_PLAN_ENV,
+        SHARD_TIMEOUT_ENV,
+    }
+)
+
+
+def read_env(name: str) -> str:
+    """Read a *declared* environment knob, stripped; ``''`` when unset.
+
+    The single sanctioned environment gate of the package: every module
+    except this one resolves its knobs through here (the lintkit
+    ``knob-env-read`` rule bans direct ``os.environ`` access), and the
+    name must be registered in :data:`KNOWN_ENV_KNOBS` — PR 8's strict
+    named-variable validation pattern applied at the read itself.
+    """
+    if name not in KNOWN_ENV_KNOBS:
+        raise ValueError(
+            f"undeclared environment knob {name!r}; register it in "
+            f"repro.constants.KNOWN_ENV_KNOBS (known: "
+            f"{', '.join(sorted(KNOWN_ENV_KNOBS))})"
+        )
+    return os.environ.get(name, "").strip()
 
 #: Executor used when none is requested.  Overridable via the
 #: ``REPRO_EXECUTOR`` environment variable so whole test/benchmark runs can

@@ -10,7 +10,10 @@ full topology machinery (edge layouts, segment index plans, factor-batch
 gather/scatter operands, factor tables) from scratch for each attribute.
 
 This module splits that work along the topology/evidence boundary, on the
-same two axes the engine matrix in :mod:`repro.core.embedded` documents —
+same two axes the engine matrix in :mod:`repro.core.embedded` documents
+(normative statement of the underlying layering/determinism/process-safety
+contracts: ``ARCHITECTURE.md`` at the repository root, enforced by
+``repro-lint`` / :mod:`repro.lintkit`) —
 *plan-IR lowering* × *executor choice* (plus the upstream probe-executor
 row of that matrix: the structure lists compiled here arrive from the
 discovery frontier of :mod:`repro.pdms.discovery`, serial or

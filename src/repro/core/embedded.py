@@ -61,6 +61,13 @@ rounds*; all combinations agree on posteriors to floating-point accuracy
 under shared seeds (the per-message ``backend="dicts"`` state sits off the
 matrix as the loop reference everything is compared against).
 
+The layering, determinism and process-safety invariants this matrix rests
+on — engines import kernels from the plan surface only, discovery flows
+through probe plans, rng streams are explicitly seeded, wire payloads are
+registered picklable types — are stated normatively in ``ARCHITECTURE.md``
+at the repository root and enforced mechanically by ``repro-lint``
+(:mod:`repro.lintkit`).
+
 Lowering axis — who calls
 :func:`~repro.factorgraph.plan.compile_sweep_plan` and with what row space:
 

@@ -140,7 +140,9 @@ def segment_exclusive_products(
     to its segment index.
     """
     grouped = np.asarray(grouped, dtype=float)
-    zeros = grouped == 0.0
+    # Exact-zero detection is the point of the zero-aware kernels:
+    # only true zeros are masked out of the product.
+    zeros = grouped == 0.0  # lint: disable=numeric-float-equality
     safe = np.where(zeros, 1.0, grouped)
     segment_product = np.multiply.reduceat(safe, segment_starts, axis=-2)
     segment_zeros = np.add.reduceat(

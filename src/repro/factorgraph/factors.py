@@ -246,7 +246,8 @@ class CountFactor(Factor):
             raise FactorShapeError(f"factor {name!r} has negative entries")
         if not np.any(count_values > 0):
             raise FactorShapeError(f"factor {name!r} is identically zero")
-        if count_values.size > 3 and np.ptp(count_values[2:]) != 0.0:
+        # The tail must be *bitwise* constant for the O(arity) kernels.
+        if count_values.size > 3 and np.ptp(count_values[2:]) != 0.0:  # lint: disable=numeric-float-equality
             raise FactorShapeError(
                 f"count factor {name!r} needs a constant tail "
                 f"(f(k) identical for all k >= 2), got {count_values[2:]!r}; "

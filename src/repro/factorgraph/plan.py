@@ -70,6 +70,7 @@ from ..constants import (
     EXECUTOR_THREADED,
     FAULT_PLAN_ENV,
     MAX_COMPILED_ARITY,
+    read_env,
 )
 from ..exceptions import FactorGraphError, FeedbackError, VariableDomainError
 from .compiled import (
@@ -966,14 +967,14 @@ def get_executor(spec: object = None) -> Executor:
     """
     from_env = False
     if spec is None:
-        env = os.environ.get(EXECUTOR_ENV, "").strip()
+        env = read_env(EXECUTOR_ENV)
         from_env = bool(env)
         spec = env or DEFAULT_EXECUTOR
     if isinstance(spec, str):
         if spec == EXECUTOR_NUMPY:
             return _EXECUTORS.setdefault(spec, NumpyExecutor())
         if spec == EXECUTOR_THREADED:
-            if os.environ.get(FAULT_PLAN_ENV, "").strip():
+            if read_env(FAULT_PLAN_ENV):
                 return ThreadedExecutor()  # arms itself from the environment
             return _EXECUTORS.setdefault(spec, ThreadedExecutor())
         raise FactorGraphError(

@@ -1,0 +1,168 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a line-oriented text file (comment-friendly, diff-friendly)
+committed at the repository root as ``lintkit-baseline.txt``.  Each entry
+grandfathers exactly one finding by its stable fingerprint
+(:meth:`repro.lintkit.model.Finding.fingerprint` — rule id + module +
+message, deliberately line-number-free so unrelated edits do not invalidate
+it) and must carry a one-line justification::
+
+    # repro-lint baseline v1
+    numeric-float-equality repro.some.module a1b2c3d4e5f6  # exact sentinel check, see PR 9
+
+``repro-lint --update-baseline`` rewrites the file from the current
+findings, preserving the justification of every entry that survives and
+stamping new entries with ``TODO: justify``.  Entries matching no current
+finding are *stale* and reported (they are dropped on the next update).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .model import Finding
+
+__all__ = [
+    "BaselineEntry",
+    "HEADER",
+    "TODO_JUSTIFICATION",
+    "load_baseline",
+    "format_baseline",
+    "save_baseline",
+    "apply_baseline",
+    "update_entries",
+    "find_default_baseline",
+]
+
+HEADER = "# repro-lint baseline v1"
+
+TODO_JUSTIFICATION = "TODO: justify"
+
+#: Default file name of the committed baseline at the repository root.
+DEFAULT_BASELINE_NAME = "lintkit-baseline.txt"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    module: str
+    fingerprint: str
+    justification: str
+
+    def render(self) -> str:
+        return (
+            f"{self.rule} {self.module} {self.fingerprint}"
+            f"  # {self.justification}"
+        )
+
+
+def load_baseline(path) -> List[BaselineEntry]:
+    """Parse a baseline file; raises ``ValueError`` on malformed lines."""
+    entries: List[BaselineEntry] = []
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, comment = line.partition("#")
+        fields = body.split()
+        if len(fields) != 3:
+            raise ValueError(
+                f"{path}:{number}: baseline entries are "
+                f"'<rule-id> <module> <fingerprint>  # <justification>', "
+                f"got {raw!r}"
+            )
+        justification = comment.strip()
+        if not justification:
+            raise ValueError(
+                f"{path}:{number}: baseline entry is missing its "
+                f"one-line justification comment"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=fields[0],
+                module=fields[1],
+                fingerprint=fields[2],
+                justification=justification,
+            )
+        )
+    return entries
+
+
+def format_baseline(entries: Iterable[BaselineEntry]) -> str:
+    lines = [
+        HEADER,
+        "# One grandfathered finding per line; every entry needs a",
+        "# one-line justification.  Regenerate with:",
+        "#   repro-lint --update-baseline [--baseline <path>] <paths>",
+    ]
+    lines.extend(
+        entry.render()
+        for entry in sorted(
+            entries, key=lambda e: (e.rule, e.module, e.fingerprint)
+        )
+    )
+    return "\n".join(lines) + "\n"
+
+
+def save_baseline(path, entries: Iterable[BaselineEntry]) -> None:
+    pathlib.Path(path).write_text(
+        format_baseline(entries), encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[BaselineEntry]]:
+    """Mark baselined findings; return (findings, stale entries)."""
+    by_fingerprint: Dict[str, BaselineEntry] = {
+        entry.fingerprint: entry for entry in entries
+    }
+    matched = set()
+    out: List[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if not finding.suppressed and fingerprint in by_fingerprint:
+            matched.add(fingerprint)
+            finding = finding.with_flags(baselined=True)
+        out.append(finding)
+    stale = [
+        entry
+        for fingerprint, entry in sorted(by_fingerprint.items())
+        if fingerprint not in matched
+    ]
+    return out, stale
+
+
+def update_entries(
+    findings: Sequence[Finding], previous: Sequence[BaselineEntry]
+) -> List[BaselineEntry]:
+    """Baseline entries for the current findings, keeping justifications."""
+    kept = {entry.fingerprint: entry for entry in previous}
+    entries: Dict[str, BaselineEntry] = {}
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        fingerprint = finding.fingerprint()
+        existing = kept.get(fingerprint)
+        entries[fingerprint] = BaselineEntry(
+            rule=finding.rule,
+            module=finding.module,
+            fingerprint=fingerprint,
+            justification=(
+                existing.justification if existing else TODO_JUSTIFICATION
+            ),
+        )
+    return list(entries.values())
+
+
+def find_default_baseline(start) -> Optional[pathlib.Path]:
+    """Look for ``lintkit-baseline.txt`` in ``start`` and its parents."""
+    probe = pathlib.Path(start).resolve()
+    for candidate in [probe, *probe.parents]:
+        path = candidate / DEFAULT_BASELINE_NAME
+        if path.is_file():
+            return path
+    return None

@@ -1,0 +1,66 @@
+"""Finding records and the rule protocol of the lintkit engine."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ParsedModule
+
+__all__ = ["Finding", "Rule"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file/line and a rule id.
+
+    ``module`` is the dotted module name relative to the scanned tree —
+    stable across checkouts, unlike ``path`` — and is what the baseline
+    fingerprint is computed from."""
+
+    rule: str
+    module: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = field(default=False, compare=False)
+    baselined: bool = field(default=False, compare=False)
+
+    def fingerprint(self) -> str:
+        """Stable identity of the finding for baseline matching.
+
+        Deliberately excludes the line number, so baselined findings
+        survive unrelated edits that shift the file."""
+        digest = hashlib.sha256(
+            f"{self.rule}:{self.module}:{self.message}".encode("utf-8")
+        )
+        return digest.hexdigest()[:12]
+
+    def with_flags(
+        self, *, suppressed: bool = False, baselined: bool = False
+    ) -> "Finding":
+        return replace(self, suppressed=suppressed, baselined=baselined)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """A pluggable lint rule.
+
+    Implementations carry a stable ``rule_id`` (what suppressions and the
+    baseline refer to), a ``family`` grouping related rules, and a one-line
+    ``description`` rendered by ``repro-lint --list-rules``.  ``check``
+    receives a fully parsed module (AST + suppression table, cached per
+    file) and yields findings; it must not mutate the module."""
+
+    rule_id: str
+    family: str
+    description: str
+
+    def check(self, module: "ParsedModule") -> Iterator[Finding]:
+        """Yield every violation of this rule in ``module``."""
+        ...

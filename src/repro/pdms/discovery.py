@@ -87,6 +87,7 @@ from ..constants import (
     PROBE_EXECUTOR_SERIAL,
     PROBE_WORKERS_ENV,
     SHARD_TIMEOUT_ENV,
+    read_env,
 )
 from ..exceptions import DiscoveryTimeoutError, PDMSError, UnknownPeerError
 from ..mapping.mapping import Mapping
@@ -628,7 +629,7 @@ def resolve_probe_workers(workers: Optional[int] = None) -> int:
         if workers < 1:
             raise ValueError(f"probe workers must be >= 1, got {workers}")
         return workers
-    raw = os.environ.get(PROBE_WORKERS_ENV, "").strip()
+    raw = read_env(PROBE_WORKERS_ENV)
     if raw:
         try:
             value = int(raw)
@@ -667,7 +668,7 @@ def resolve_shard_timeout(timeout: object = None) -> float:
                 f"shard timeout must be > 0 seconds, got {timeout!r}"
             )
         return value
-    raw = os.environ.get(SHARD_TIMEOUT_ENV, "").strip()
+    raw = read_env(SHARD_TIMEOUT_ENV)
     if raw:
         try:
             value = float(raw)
@@ -842,9 +843,7 @@ def resolve_discovery_executor(
     """
     from_env = False
     if executor is None:
-        executor = os.environ.get(PROBE_EXECUTOR_ENV, "").strip() or (
-            DEFAULT_PROBE_EXECUTOR
-        )
+        executor = read_env(PROBE_EXECUTOR_ENV) or DEFAULT_PROBE_EXECUTOR
         from_env = True
     if isinstance(executor, str):
         if executor in (PROBE_EXECUTOR_PROCESS, PROBE_EXECUTOR_RESILIENT):

@@ -40,7 +40,6 @@ at all.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import random
 import time
 from dataclasses import dataclass, field
@@ -53,6 +52,7 @@ from .constants import (
     DEFAULT_RETRY_JITTER,
     DEFAULT_SHARD_ATTEMPTS,
     FAULT_PLAN_ENV,
+    read_env,
     PROBE_EXECUTOR_RESILIENT,
 )
 from .exceptions import InjectedFaultError, PDMSError
@@ -356,7 +356,7 @@ def fault_plan_or_env(value: object = None) -> Optional[FaultPlan]:
     variable (returning ``None`` when chaos is not configured).  Errors
     name the source of the bad spec."""
     if value is None:
-        raw = os.environ.get(FAULT_PLAN_ENV, "").strip()
+        raw = read_env(FAULT_PLAN_ENV)
         if not raw:
             return None
         try:

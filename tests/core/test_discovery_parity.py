@@ -2,13 +2,16 @@
 
 Two guarantees land here, mirroring ``test_plan_ir.py`` one layer up:
 
-1. A lint-style sweep over ``repro/core/*.py``: the core must reach
-   structure discovery through the probe-plan frontier of
+1. The walker-ban layering invariant: the core must reach structure
+   discovery through the probe-plan frontier of
    :mod:`repro.pdms.discovery` — never by importing the enumeration
    walkers (``find_cycles_through``, ``find_all_parallel_paths``, ...)
    from :mod:`repro.pdms.probing` directly.  Structure types
    (``MappingCycle``, ``ParallelPaths``) and ``validate_ttl`` remain fair
-   game; it is the *enumeration* that must flow through plans.
+   game; it is the *enumeration* that must flow through plans.  Since
+   PR 9 the ban is stated once in :mod:`repro.lintkit.contracts`
+   (``WALKER_NAMES``) and enforced by the ``layering-discovery-walkers``
+   rule; this test asserts ``repro-lint`` reports zero findings for it.
 2. The serial x origin-sharded parity matrix: both structure caches must
    hand back canonically identical structure sets — and the assessor
    identical posteriors — whether probes run on the serial executor or
@@ -16,29 +19,16 @@ Two guarantees land here, mirroring ``test_plan_ir.py`` one layer up:
    mutation-log incremental refreshes alike.
 """
 
-import ast
 import pathlib
 
 import pytest
 
-import repro.core
+import repro
 from repro.core.analysis import NeighborhoodStructureCache, NetworkStructureCache
 from repro.core.quality import MappingQualityAssessor
 from repro.generators.topologies import scale_free_network
+from repro.lintkit import run_lint, rules_by_id
 from repro.pdms.discovery import ProcessPoolDiscoveryExecutor
-
-#: Enumeration walkers of ``repro.pdms.probing``.  Core modules must not
-#: import them — discovery flows through ``repro.pdms.discovery`` plans.
-WALKER_NAMES = frozenset(
-    {
-        "find_cycles_through",
-        "find_parallel_paths_from",
-        "find_parallel_paths_through",
-        "find_all_cycles",
-        "find_all_parallel_paths",
-        "probe_neighborhood",
-    }
-)
 
 SEEDS = (1, 2, 3)
 
@@ -66,28 +56,14 @@ def _churn(network):
 
 class TestCoreUsesTheDiscoveryFrontier:
     def test_no_core_module_imports_walkers_from_probing(self):
-        core_dir = pathlib.Path(repro.core.__file__).parent
-        offenders = []
-        for path in sorted(core_dir.glob("*.py")):
-            tree = ast.parse(path.read_text(), filename=str(path))
-            for node in ast.walk(tree):
-                if isinstance(node, ast.ImportFrom):
-                    module = node.module or ""
-                    if not module.endswith("pdms.probing"):
-                        continue
-                    for alias in node.names:
-                        if alias.name in WALKER_NAMES or alias.name == "*":
-                            offenders.append(
-                                f"{path.name}:{node.lineno} imports "
-                                f"{alias.name!r} from pdms.probing"
-                            )
-                elif isinstance(node, ast.Import):
-                    for alias in node.names:
-                        if "pdms.probing" in alias.name:
-                            offenders.append(
-                                f"{path.name}:{node.lineno} imports module "
-                                f"{alias.name!r}"
-                            )
+        package_dir = pathlib.Path(repro.__file__).parent
+        rule = rules_by_id()["layering-discovery-walkers"]
+        findings, _ = run_lint([package_dir], rules=[rule])
+        offenders = [
+            finding.render()
+            for finding in findings
+            if not finding.suppressed
+        ]
         assert not offenders, (
             "core modules must discover structures via repro.pdms.discovery "
             "plans, not the repro.pdms.probing walkers:\n" + "\n".join(offenders)

@@ -2,69 +2,43 @@
 
 Two guarantees land here:
 
-1. A lint-style sweep over ``repro/core/*.py``: engines must reach the
-   compiled kernels (``segment_products``, ``FactorBatch``,
-   ``CountFactorBatch``, ...) through :mod:`repro.factorgraph.plan` — the
-   sanctioned re-export surface of the plan IR — never directly from
-   :mod:`repro.factorgraph.compiled`.
+1. The kernel-surface layering invariant: engines must reach the compiled
+   kernels (``segment_products``, ``FactorBatch``, ``CountFactorBatch``,
+   ...) through :mod:`repro.factorgraph.plan` — the sanctioned re-export
+   surface of the plan IR — never directly from
+   :mod:`repro.factorgraph.compiled`.  Since PR 9 the invariant is stated
+   once in :mod:`repro.lintkit.contracts` and enforced by the
+   ``layering-plan-kernels`` rule; this test asserts ``repro-lint``
+   reports zero findings for it (the hand-rolled AST walk it replaces
+   lives on as the rule implementation).
 2. The cross-engine x cross-executor parity matrix: the loop reference
    (dict-state backend), the NumPy executor and the threaded executor must
    agree on posteriors, iteration counts and rng-stream replay at dense
    (3, 8) and count-space (25, 40) arities, lossless and lossy.
 """
 
-import ast
 import pathlib
 
 import pytest
 
-import repro.core
+import repro
 from repro.core.analysis import analyze_network
 from repro.core.embedded import EmbeddedMessagePassing, MessageTransport
 from repro.core.quality import MappingQualityAssessor
 from repro.generators.topologies import cycle_network
-
-#: Kernel functions and batch classes that live in
-#: ``repro.factorgraph.compiled`` but are re-exported by the plan IR.
-#: Engines must import them from ``repro.factorgraph.plan`` only.
-KERNEL_NAMES = frozenset(
-    {
-        "segment_products",
-        "segment_exclusive_products",
-        "normalize_rows",
-        "FactorBatch",
-        "StackedFactorBatch",
-        "CountFactorBatch",
-        "StackedCountFactorBatch",
-        "MAX_COMPILED_ARITY",
-    }
-)
+from repro.lintkit import run_lint, rules_by_id
 
 
 class TestEnginesUseThePlanIR:
     def test_no_engine_imports_kernels_from_compiled(self):
-        core_dir = pathlib.Path(repro.core.__file__).parent
-        offenders = []
-        for path in sorted(core_dir.glob("*.py")):
-            tree = ast.parse(path.read_text(), filename=str(path))
-            for node in ast.walk(tree):
-                if isinstance(node, ast.ImportFrom):
-                    module = node.module or ""
-                    if not module.endswith("factorgraph.compiled"):
-                        continue
-                    for alias in node.names:
-                        if alias.name in KERNEL_NAMES or alias.name == "*":
-                            offenders.append(
-                                f"{path.name}:{node.lineno} imports "
-                                f"{alias.name!r} from factorgraph.compiled"
-                            )
-                elif isinstance(node, ast.Import):
-                    for alias in node.names:
-                        if "factorgraph.compiled" in alias.name:
-                            offenders.append(
-                                f"{path.name}:{node.lineno} imports module "
-                                f"{alias.name!r}"
-                            )
+        package_dir = pathlib.Path(repro.__file__).parent
+        rule = rules_by_id()["layering-plan-kernels"]
+        findings, _ = run_lint([package_dir], rules=[rule])
+        offenders = [
+            finding.render()
+            for finding in findings
+            if not finding.suppressed
+        ]
         assert not offenders, (
             "engines must import kernels via repro.factorgraph.plan, "
             "not repro.factorgraph.compiled:\n" + "\n".join(offenders)

@@ -1,0 +1,7 @@
+"""Fixture: malformed and unknown-rule inline suppressions."""
+
+
+def classify(weight):
+    a = weight == 0.5  # lint: disable
+    b = weight == 0.5  # lint: disable=no-such-rule
+    return a, b

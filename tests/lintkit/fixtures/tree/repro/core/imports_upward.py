@@ -1,0 +1,7 @@
+"""Violating fixture: a core module importing up the stack."""
+
+from repro.evaluation import metrics
+
+
+def summarize(network):
+    return metrics.summary(network)

@@ -1,0 +1,7 @@
+"""Fixture: one justified suppression, one unsuppressed finding next line."""
+
+
+def classify(weight):
+    exact_zero = weight == 0.0  # lint: disable=numeric-float-equality
+    near_half = weight == 0.5
+    return exact_zero, near_half

@@ -1,0 +1,7 @@
+"""Violating fixture: an engine importing kernels from the implementation."""
+
+from repro.factorgraph.compiled import segment_products
+
+
+def lower(batch):
+    return segment_products(batch.values, batch.segments)

@@ -1,0 +1,7 @@
+"""Violating fixture: an engine enumerating structures with raw walkers."""
+
+from repro.pdms.probing import find_all_cycles
+
+
+def probe(network, ttl):
+    return find_all_cycles(network, ttl)

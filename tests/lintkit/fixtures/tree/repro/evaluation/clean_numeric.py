@@ -1,0 +1,14 @@
+"""Clean fixture: tolerance comparisons and per-call constructed defaults."""
+
+import math
+
+
+def is_uninformative(posterior):
+    return math.isclose(posterior, 0.5)
+
+
+def collect(name, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(name)
+    return bucket

@@ -1,0 +1,5 @@
+"""Violating fixture: equality against a float literal."""
+
+
+def is_uninformative(posterior):
+    return posterior == 0.5

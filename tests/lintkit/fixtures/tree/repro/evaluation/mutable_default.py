@@ -1,0 +1,6 @@
+"""Violating fixture: a mutable default argument."""
+
+
+def collect(name, bucket=[]):
+    bucket.append(name)
+    return bucket

@@ -1,0 +1,11 @@
+"""Clean fixture: seeded rng streams and monotonic duration measurement."""
+
+import random
+import time
+
+
+def timed_shuffle(values, seed):
+    rng = random.Random(seed)
+    start = time.monotonic()
+    shuffled = rng.sample(values, len(values))
+    return shuffled, time.monotonic() - start

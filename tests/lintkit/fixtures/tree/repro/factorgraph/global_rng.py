@@ -1,0 +1,7 @@
+"""Violating fixture: hidden-global-state randomness."""
+
+import random
+
+
+def jitter(values):
+    return [value + random.random() for value in values]

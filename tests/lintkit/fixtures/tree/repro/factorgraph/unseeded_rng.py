@@ -1,0 +1,7 @@
+"""Violating fixture: an rng factory without an explicit seed."""
+
+import random
+
+
+def make_stream():
+    return random.Random()

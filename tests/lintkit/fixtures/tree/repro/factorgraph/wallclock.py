@@ -1,0 +1,7 @@
+"""Violating fixture: wall-clock read inside a deterministic code path."""
+
+import time
+
+
+def stamp():
+    return time.time()

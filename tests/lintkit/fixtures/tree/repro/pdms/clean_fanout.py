@@ -1,0 +1,12 @@
+"""Clean fixture: module-level worker entry, registered wire payload, and
+the sanctioned deferred (function-scope) discovery import."""
+
+
+def probe_entry(plan):
+    return plan
+
+
+def fan_out(pool, snapshot):
+    from repro.pdms.discovery import ProbePlan
+
+    return pool.apply_async(probe_entry, args=(ProbePlan(snapshot),))

@@ -1,0 +1,10 @@
+"""Violating fixture: closures shipped to executor submission sites."""
+
+
+def fan_out(pool, units):
+    handles = [pool.submit(lambda unit=unit: unit) for unit in units]
+
+    def merge(handle):
+        return handle.result()
+
+    return [pool.submit(merge) for handle in handles]

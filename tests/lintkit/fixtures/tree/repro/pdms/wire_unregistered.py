@@ -1,0 +1,15 @@
+"""Violating fixture: bound methods and unregistered payloads on the wire."""
+
+
+def probe_entry(envelope):
+    return envelope
+
+
+class Coordinator:
+    def launch(self, pool, unit):
+        bound = pool.apply_async(self._probe, args=(unit,))
+        wired = pool.apply_async(probe_entry, args=(WireEnvelope(unit),))
+        return bound, wired
+
+    def _probe(self, unit):
+        return unit

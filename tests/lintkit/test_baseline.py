@@ -1,0 +1,125 @@
+"""Baseline mechanics: fingerprints, round-trips, staleness, updates."""
+
+import pytest
+
+from repro.lintkit import (
+    BaselineEntry,
+    Finding,
+    find_default_baseline,
+    format_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.lintkit.baseline import (
+    HEADER,
+    TODO_JUSTIFICATION,
+    apply_baseline,
+    update_entries,
+)
+
+
+def finding(rule="numeric-float-equality", module="repro.some.module",
+            line=7, message="equality against 0.5", **flags):
+    result = Finding(
+        rule=rule, module=module, path=f"{module.replace('.', '/')}.py",
+        line=line, message=message,
+    )
+    return result.with_flags(**flags) if flags else result
+
+
+def entry_for(f, justification="deliberate sentinel"):
+    return BaselineEntry(
+        rule=f.rule,
+        module=f.module,
+        fingerprint=f.fingerprint(),
+        justification=justification,
+    )
+
+
+class TestFingerprint:
+    def test_fingerprint_ignores_the_line_number(self):
+        assert finding(line=7).fingerprint() == finding(line=99).fingerprint()
+
+    def test_fingerprint_depends_on_rule_module_and_message(self):
+        base = finding().fingerprint()
+        assert finding(rule="knob-env-read").fingerprint() != base
+        assert finding(module="repro.other").fingerprint() != base
+        assert finding(message="other message").fingerprint() != base
+
+
+class TestRoundTrip:
+    def test_save_and_load_round_trip(self, tmp_path):
+        entries = [entry_for(finding()), entry_for(finding(rule="knob-env-read"))]
+        path = tmp_path / "lintkit-baseline.txt"
+        save_baseline(path, entries)
+        text = path.read_text(encoding="utf-8")
+        assert text.startswith(HEADER)
+        assert load_baseline(path) == sorted(
+            entries, key=lambda e: (e.rule, e.module, e.fingerprint)
+        )
+
+    def test_entries_render_with_their_justification(self):
+        text = format_baseline([entry_for(finding(), "see PR 9")])
+        assert "# see PR 9" in text
+
+    def test_load_rejects_missing_justification(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text(
+            f"{HEADER}\nnumeric-float-equality repro.m abc123def456\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="justification"):
+            load_baseline(path)
+
+    def test_load_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text(f"{HEADER}\njust-two fields  # why\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="baseline entries are"):
+            load_baseline(path)
+
+
+class TestApply:
+    def test_matching_findings_are_marked_baselined(self):
+        current = finding()
+        applied, stale = apply_baseline([current], [entry_for(current)])
+        assert applied[0].baselined
+        assert stale == []
+
+    def test_unmatched_entries_are_stale(self):
+        ghost = entry_for(finding(message="long gone"))
+        applied, stale = apply_baseline([finding()], [ghost])
+        assert not applied[0].baselined
+        assert stale == [ghost]
+
+    def test_suppressed_findings_do_not_consume_entries(self):
+        current = finding(suppressed=True)
+        applied, stale = apply_baseline([current], [entry_for(current)])
+        assert applied[0].suppressed and not applied[0].baselined
+        assert len(stale) == 1
+
+
+class TestUpdate:
+    def test_new_findings_get_todo_justifications(self):
+        [entry] = update_entries([finding()], [])
+        assert entry.justification == TODO_JUSTIFICATION
+        assert entry.fingerprint == finding().fingerprint()
+
+    def test_surviving_entries_keep_their_justification(self):
+        previous = entry_for(finding(), "reviewed in PR 9")
+        [entry] = update_entries([finding()], [previous])
+        assert entry.justification == "reviewed in PR 9"
+
+    def test_suppressed_findings_are_not_baselined(self):
+        assert update_entries([finding(suppressed=True)], []) == []
+
+
+class TestDefaultBaseline:
+    def test_found_by_walking_upward(self, tmp_path):
+        (tmp_path / "lintkit-baseline.txt").write_text(HEADER + "\n")
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        found = find_default_baseline(nested)
+        assert found == tmp_path / "lintkit-baseline.txt"
+
+    def test_absent_baseline_returns_none(self, tmp_path):
+        assert find_default_baseline(tmp_path) is None

@@ -1,0 +1,158 @@
+"""The ``repro-lint`` entry point: exit codes, JSON schema, baseline flow."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.lintkit import main
+from repro.lintkit.baseline import HEADER, TODO_JUSTIFICATION
+from repro.lintkit.contracts import RULESET_VERSION
+from repro.lintkit.rules import all_rules
+
+FIXTURE_TREE = pathlib.Path(__file__).parent / "fixtures" / "tree"
+
+SRC_REPRO = pathlib.Path(__file__).parents[2] / "src" / "repro"
+
+#: The pinned ``--json`` schema.  Extending it is fine (bump the ruleset
+#: version); renaming or dropping keys breaks CI consumers.
+TOP_KEYS = {
+    "tool",
+    "ruleset_version",
+    "clean",
+    "paths",
+    "counts",
+    "rules",
+    "findings",
+    "stale_baseline",
+}
+COUNT_KEYS = {"total", "active", "baselined", "suppressed", "stale_baseline"}
+RULE_KEYS = {"id", "family", "description"}
+FINDING_KEYS = {
+    "rule",
+    "module",
+    "file",
+    "line",
+    "message",
+    "baselined",
+    "suppressed",
+    "fingerprint",
+}
+STALE_KEYS = {"rule", "module", "fingerprint", "justification"}
+
+
+def write_violation(tree, rel="repro/mapping/bad.py",
+                    line="from repro.core import analysis\n"):
+    target = tree / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(line, encoding="utf-8")
+    return target
+
+
+class TestJsonReport:
+    def test_schema_key_sets_are_stable(self, capsys, tmp_path):
+        ghost = tmp_path / "baseline.txt"
+        ghost.write_text(
+            f"{HEADER}\n"
+            f"knob-env-read repro.long.gone aaaaaaaaaaaa  # ghost entry\n",
+            encoding="utf-8",
+        )
+        code = main(
+            ["--json", "--baseline", str(ghost), str(FIXTURE_TREE)]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert set(report) == TOP_KEYS
+        assert set(report["counts"]) == COUNT_KEYS
+        assert report["findings"] and report["rules"]
+        for rule in report["rules"]:
+            assert set(rule) == RULE_KEYS
+        for finding in report["findings"]:
+            assert set(finding) == FINDING_KEYS
+        assert report["stale_baseline"], "ghost entry must be reported stale"
+        for stale in report["stale_baseline"]:
+            assert set(stale) == STALE_KEYS
+        assert report["tool"] == "repro-lint"
+        assert report["ruleset_version"] == RULESET_VERSION
+        assert report["clean"] is False
+        assert report["counts"]["stale_baseline"] == 1
+        assert report["counts"]["suppressed"] == 1
+
+    def test_json_lists_the_full_default_rule_set(self, capsys, tmp_path):
+        clean = tmp_path / "repro" / "evaluation"
+        clean.mkdir(parents=True)
+        (clean / "ok.py").write_text("VALUE = 1\n", encoding="utf-8")
+        code = main(["--json", "--no-baseline", str(tmp_path)])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["clean"] is True
+        listed = {rule["id"] for rule in report["rules"]}
+        assert listed == {rule.rule_id for rule in all_rules()}
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys, tmp_path):
+        (tmp_path / "repro").mkdir()
+        (tmp_path / "repro" / "ok.py").write_text("VALUE = 1\n")
+        assert main(["--no-baseline", str(tmp_path)]) == 0
+
+    def test_synthetic_layering_violation_fails_ci_mode(self, capsys, tmp_path):
+        write_violation(tmp_path)
+        code = main(["--json", str(tmp_path)])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["clean"] is False
+        rules = {f["rule"] for f in report["findings"]}
+        assert rules == {"layering-import-dag"}
+        [finding] = report["findings"]
+        assert finding["module"] == "repro.mapping.bad"
+        assert finding["line"] == 1
+
+    def test_unknown_rule_id_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--rules", "no-such-rule", str(FIXTURE_TREE)])
+        assert excinfo.value.code == 2
+
+    def test_missing_path_is_a_usage_error(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(tmp_path / "nowhere")])
+        assert excinfo.value.code == 2
+
+    def test_list_rules_prints_every_id(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.rule_id in out
+
+
+class TestBaselineFlow:
+    def test_update_then_rerun_is_clean(self, capsys, tmp_path):
+        write_violation(tmp_path)
+        baseline = tmp_path / "lintkit-baseline.txt"
+        assert main(
+            ["--baseline", str(baseline), "--update-baseline", str(tmp_path)]
+        ) == 0
+        assert TODO_JUSTIFICATION in baseline.read_text(encoding="utf-8")
+        # The grandfathered finding no longer fails the run ...
+        assert main(["--baseline", str(baseline), str(tmp_path)]) == 0
+        # ... but a fresh violation still does.
+        write_violation(tmp_path, rel="repro/schema/worse.py")
+        assert main(["--baseline", str(baseline), str(tmp_path)]) == 1
+
+    def test_update_preserves_edited_justifications(self, capsys, tmp_path):
+        write_violation(tmp_path)
+        baseline = tmp_path / "lintkit-baseline.txt"
+        main(["--baseline", str(baseline), "--update-baseline", str(tmp_path)])
+        edited = baseline.read_text(encoding="utf-8").replace(
+            TODO_JUSTIFICATION, "sanctioned legacy edge, tracked in ISSUE 12"
+        )
+        baseline.write_text(edited, encoding="utf-8")
+        main(["--baseline", str(baseline), "--update-baseline", str(tmp_path)])
+        assert "sanctioned legacy edge" in baseline.read_text(encoding="utf-8")
+
+
+class TestRepositoryIsClean:
+    def test_repro_lint_over_the_installed_tree_exits_zero(self, capsys):
+        assert main([str(SRC_REPRO)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
