@@ -35,15 +35,24 @@ from .factorgraph import (
 from .schema import Attribute, AttributeType, DataModel, InstanceStore, Record, Schema, SchemaRegistry
 from .mapping import Correspondence, Mapping, compose, round_trip_outcome
 from .pdms import (
+    GossipJournal,
+    JournalEntry,
+    MappingAdded,
+    MappingRemoved,
     PDMSNetwork,
     Peer,
+    PeerAdded,
+    PeerRemoved,
     Query,
     QueryRouter,
     QueryTrace,
     RoutingPolicy,
+    TopologyEvent,
+    VectorClock,
     probe_neighborhood,
     substring_predicate,
 )
+from .pdms.gossip import GossipHarness, PeerNode, SeededTransport
 from .core import (
     BatchedEmbeddedMessagePassing,
     EmbeddedMessagePassing,
@@ -106,6 +115,17 @@ __all__ = [
     "RoutingPolicy",
     "probe_neighborhood",
     "substring_predicate",
+    "VectorClock",
+    "TopologyEvent",
+    "PeerAdded",
+    "PeerRemoved",
+    "MappingAdded",
+    "MappingRemoved",
+    "JournalEntry",
+    "GossipJournal",
+    "GossipHarness",
+    "PeerNode",
+    "SeededTransport",
     "BatchedEmbeddedMessagePassing",
     "EmbeddedMessagePassing",
     "EmbeddedOptions",

@@ -37,6 +37,7 @@ from .evaluation.experiments import (
     run_embedded_throughput,
     run_engine_throughput,
     run_fault_tolerance,
+    run_gossip_convergence,
     run_intro_example,
     run_local_assessment,
     run_long_cycle_throughput,
@@ -103,20 +104,22 @@ def build_parser() -> argparse.ArgumentParser:
         "backends, embedded dict vs array state with --mode embedded, "
         "the batched per-origin decentralised view with --mode local, "
         "the count-space kernels on long mapping rings with "
-        "--mode long-cycle, or origin-sharded structure discovery with "
-        "--mode probe)",
+        "--mode long-cycle, origin-sharded structure discovery with "
+        "--mode probe, or the event-sourced multi-node gossip harness "
+        "with --mode gossip)",
     )
     throughput.add_argument(
         "--sizes", type=int, nargs="+", default=None,
         help="peer counts of the generated scale-free networks "
         "(default 8 16 32 64 128; 8 16 32 64 in embedded mode; "
-        "8 16 32 in local mode; 64 128 256 in probe mode); in long-cycle "
+        "8 16 32 in local mode; 64 128 256 in probe mode; 16 32 in "
+        "gossip mode); in long-cycle "
         "mode the *cycle lengths* of the generated mapping rings "
         "(default 20 30 40)",
     )
     throughput.add_argument(
         "--mode",
-        choices=("sum-product", "embedded", "local", "long-cycle", "probe"),
+        choices=("sum-product", "embedded", "local", "long-cycle", "probe", "gossip"),
         default="sum-product",
         help="'sum-product' times the centralised loop vs vectorized "
         "backends; 'embedded' times decentralised rounds on the dict vs "
@@ -125,7 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
         "'long-cycle' times the count-space kernels against the loop "
         "reference on rings far beyond the dense arity limit; 'probe' times "
         "full-probe structure discovery on the process-pool executor vs the "
-        "serial walkers",
+        "serial walkers; 'gossip' runs N event-sourced peer replicas to "
+        "convergence through a dropping/duplicating/reordering transport "
+        "and verifies every local view equals the single-process oracle",
     )
     throughput.add_argument(
         "--ttl", type=int, default=None,
@@ -174,6 +179,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="probe mode only: per-shard deadline of the process-side "
         "discovery fan-out (default: REPRO_SHARD_TIMEOUT or "
         f"{DEFAULT_SHARD_TIMEOUT:.0f}s)",
+    )
+    throughput.add_argument(
+        "--fanout", type=int, default=None,
+        help="gossip mode only: partners each node pushes its journal to "
+        "per round (default 3)",
+    )
+    throughput.add_argument(
+        "--drop-probability", type=float, default=None,
+        help="gossip mode only: per-message drop probability of the "
+        "seeded transport (default 0.05; duplicates ride at the same "
+        "rate, reordering is always on)",
     )
 
     amortization = subparsers.add_parser(
@@ -322,6 +338,8 @@ def _render_throughput(args: argparse.Namespace) -> str:
         return _render_long_cycle_throughput(args)
     if args.mode == "probe":
         return _render_probe_throughput(args)
+    if args.mode == "gossip":
+        return _render_gossip_convergence(args)
     sizes = tuple(args.sizes) if args.sizes else (8, 16, 32, 64, 128)
     result = run_engine_throughput(
         peer_counts=sizes,
@@ -488,6 +506,54 @@ def _render_probe_throughput(args: argparse.Namespace) -> str:
     )
 
 
+def _render_gossip_convergence(args: argparse.Namespace) -> str:
+    sizes = tuple(args.sizes) if args.sizes else (16, 32)
+    fanout = args.fanout if args.fanout is not None else 3
+    drop_probability = (
+        args.drop_probability if args.drop_probability is not None else 0.05
+    )
+    result = run_gossip_convergence(
+        peer_counts=sizes,
+        fanout=fanout,
+        drop_probability=drop_probability,
+        duplicate_probability=drop_probability,
+    )
+    rows = [
+        (
+            point.peer_count,
+            point.mapping_count,
+            point.event_count,
+            f"{point.peer_rounds}+{point.mapping_rounds}",
+            point.deliveries_buffered,
+            point.duplicates_dropped,
+            point.messages_dropped,
+            f"{point.events_per_second:,.0f}",
+            "exact" if point.views_identical else "DIVERGED",
+        )
+        for point in result.points
+    ]
+    return format_table(
+        (
+            "peers",
+            "mappings",
+            "events",
+            "rounds",
+            "buffered",
+            "dups dropped",
+            "msgs lost",
+            "deliveries/s",
+            "oracle parity",
+        ),
+        rows,
+        title=(
+            "Gossip convergence — event-sourced replicas vs the "
+            f"single-process oracle (fanout={fanout}, "
+            f"P(drop)=P(dup)={drop_probability}, "
+            f"attribute={result.attribute!r})"
+        ),
+    )
+
+
 def _render_long_cycle_throughput(args: argparse.Namespace) -> str:
     lengths = tuple(args.sizes) if args.sizes else (20, 30, 40)
     result = run_long_cycle_throughput(
@@ -626,11 +692,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--max-iterations only applies to --mode sum-product")
         if args.mode != "embedded" and args.rounds is not None:
             parser.error("--rounds only applies to --mode embedded")
-        if args.mode in ("sum-product", "long-cycle", "probe") and args.send_probability is not None:
+        if args.mode in ("sum-product", "long-cycle", "probe", "gossip") and args.send_probability is not None:
             parser.error(
                 "--send-probability only applies to --mode embedded or local"
             )
-        if args.mode in ("sum-product", "probe") and args.executor is not None:
+        if args.mode in ("sum-product", "probe", "gossip") and args.executor is not None:
             parser.error(
                 "--executor only applies to --mode embedded, local or "
                 "long-cycle"
@@ -640,12 +706,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "--ttl does not apply to --mode long-cycle (each ring is "
                 "probed with its full cycle length)"
             )
+        if args.mode == "gossip" and args.ttl is not None:
+            parser.error(
+                "--ttl does not apply to --mode gossip (the assessor TTL "
+                "follows the workload's chord length)"
+            )
         if args.mode != "probe" and args.probe_workers is not None:
             parser.error("--probe-workers only applies to --mode probe")
         if args.mode != "probe" and args.fault_plan is not None:
             parser.error("--fault-plan only applies to --mode probe")
         if args.mode != "probe" and args.shard_timeout is not None:
             parser.error("--shard-timeout only applies to --mode probe")
+        if args.mode != "gossip" and args.fanout is not None:
+            parser.error("--fanout only applies to --mode gossip")
+        if args.mode != "gossip" and args.drop_probability is not None:
+            parser.error("--drop-probability only applies to --mode gossip")
     if args.command == "intro":
         output = _render_intro()
     elif args.command == "convergence":

@@ -20,8 +20,9 @@ cycles through the origin and the parallel paths departing from it —
 exactly what the peer's own TTL-bounded probes can discover.  Structures
 are attribute-independent (§3.2.1), so either cache amortises one
 enumeration across all attributes and EM rounds of a topology version; both
-replay the network's mutation log (:func:`repro.pdms.discovery.replay_structure_log`)
-to refresh incrementally when only mappings changed.
+replay the network's typed event log (:func:`repro.pdms.discovery.replay_structure_log`
+over :meth:`~repro.pdms.network.PDMSNetwork.events_since`) to refresh
+incrementally when only mappings changed.
 
 **Discovery executor** — *how* the probe work runs.  Neither cache walks
 the network itself: both lower their full probes and their
@@ -320,23 +321,25 @@ class NetworkStructureCache:
 
     Incremental maintenance
     -----------------------
-    When the network's mutation log (:meth:`PDMSNetwork.mutations_since`)
+    When the network's typed event log (:meth:`PDMSNetwork.events_since`)
     shows only mapping-level changes since the cached version, the refresh
     updates just the structures touching the mutated mappings instead of
     re-enumerating the whole network:
 
-    * ``remove_mapping`` drops the cycles and parallel paths traversing the
-      removed mapping (exact: a structure stays valid iff all its own
-      mappings still exist);
-    * ``add_mapping`` enumerates only the structures *through the new
-      edge*: the cycles from the new mapping's source peer that contain
-      the new mapping (every genuinely new cycle must contain it) and —
-      when parallel paths are enabled — the parallel-path pairs with one
-      branch traversing it (a
+    * :class:`~repro.pdms.events.MappingRemoved` drops the cycles and
+      parallel paths traversing the removed mapping (exact: a structure
+      stays valid iff all its own mappings still exist);
+    * :class:`~repro.pdms.events.MappingAdded` enumerates only the
+      structures *through the new edge*: the cycles from the new
+      mapping's source peer that contain the new mapping (every genuinely
+      new cycle must contain it) and — when parallel paths are enabled —
+      the parallel-path pairs with one branch traversing it (a
       :func:`~repro.pdms.discovery.plan_mapping_delta` frontier; every
       genuinely new pair must route a branch through the new edge).
       Unseen structures are appended;
-    * ``add_peer`` always falls back to a full re-probe.
+    * :class:`~repro.pdms.events.PeerAdded` /
+      :class:`~repro.pdms.events.PeerRemoved` always fall back to a full
+      re-probe — peer churn changes the reachable neighbourhood itself.
 
     Both the full probes and the incremental deltas run through the cache's
     discovery executor (``probe_executor=``); the replay itself is the
@@ -440,7 +443,7 @@ class NetworkStructureCache:
         """
         if self._key is None or self._key[1:] != key[1:]:
             return False
-        mutations = self.network.mutations_since(self._key[0])
+        mutations = self.network.events_since(self._key[0])
         if mutations is None or not mutations:
             return False
         include = key[2]
@@ -695,7 +698,7 @@ class NeighborhoodStructureCache:
         """
         if entry.key[1:] != key[1:]:
             return False
-        mutations = self.network.mutations_since(entry.key[0])
+        mutations = self.network.events_since(entry.key[0])
         if mutations is None or not mutations:
             return False
         include = key[2]

@@ -28,6 +28,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..exceptions import PDMSError
 from ..mapping.correspondence import Correspondence
 from ..mapping.mapping import Mapping
+from ..pdms.events import (
+    MappingAdded,
+    MappingRemoved,
+    TopologyEvent,
+    apply as apply_topology,
+)
 from ..pdms.network import PDMSNetwork
 from .beliefs import PriorBeliefStore
 from .quality import MappingQualityAssessor
@@ -68,6 +74,38 @@ class MappingEvent:
     mapping_name: str = ""
     attribute: str = ""
     new_target: str = ""
+
+    def to_topology_event(self) -> Optional[TopologyEvent]:
+        """The typed :mod:`repro.pdms.events` record for topology kinds.
+
+        ``ADD_MAPPING`` / ``REMOVE_MAPPING`` are the same transitions the
+        event-sourced network records — this adapter is how the evolution
+        layer's vocabulary collapses onto the shared event types.
+        Correspondence-level kinds (corrupt / repair) are *data* churn,
+        not topology, and return ``None``.
+        """
+        if self.kind is MappingEventKind.ADD_MAPPING:
+            if self.mapping is None:
+                raise PDMSError("ADD_MAPPING events need a mapping")
+            return MappingAdded(mapping=self.mapping)
+        if self.kind is MappingEventKind.REMOVE_MAPPING:
+            return MappingRemoved(name=self.mapping_name)
+        return None
+
+    @classmethod
+    def from_topology_event(cls, event: TopologyEvent) -> "MappingEvent":
+        """Wrap a typed topology event in the evolution vocabulary —
+        the inverse of :meth:`to_topology_event`, for feeding gossiped
+        mapping churn into an :class:`EvolvingPDMS`."""
+        if isinstance(event, MappingAdded):
+            return cls(kind=MappingEventKind.ADD_MAPPING, mapping=event.mapping)
+        if isinstance(event, MappingRemoved):
+            return cls(
+                kind=MappingEventKind.REMOVE_MAPPING, mapping_name=event.name
+            )
+        raise PDMSError(
+            f"no mapping-churn equivalent for topology event {event!r}"
+        )
 
 
 @dataclass
@@ -150,14 +188,11 @@ class EvolvingPDMS:
 
     def _apply(self, event: MappingEvent) -> Tuple[str, ...]:
         """Mutate the network; return the attributes whose evidence changed."""
-        if event.kind is MappingEventKind.ADD_MAPPING:
-            if event.mapping is None:
-                raise PDMSError("ADD_MAPPING events need a mapping")
-            self.network.add_mapping(event.mapping, bidirectional=False)
-            return event.mapping.source_attributes
-
-        if event.kind is MappingEventKind.REMOVE_MAPPING:
-            mapping = self.network.remove_mapping(event.mapping_name)
+        topology_event = event.to_topology_event()
+        if topology_event is not None:
+            # Topology kinds lower onto the one shared transition the
+            # event-sourced network replays — no parallel mutation path.
+            mapping = apply_topology(self.network, topology_event)
             return mapping.source_attributes
 
         if event.kind in (
@@ -221,6 +256,21 @@ class EvolvingPDMS:
     def apply_events(self, events: Iterable[MappingEvent]) -> List[AssessmentRound]:
         """Apply a sequence of events, one assessment round each."""
         return [self.apply_event(event) for event in events]
+
+    def apply_topology_event(self, event: TopologyEvent) -> AssessmentRound:
+        """Apply a typed :mod:`repro.pdms.events` record directly.
+
+        Mapping additions / removals arriving from a replicated event log
+        (e.g. a :class:`~repro.pdms.events.GossipJournal`) re-assess and
+        fold into the priors exactly like locally-decided churn.
+        """
+        return self.apply_event(MappingEvent.from_topology_event(event))
+
+    def apply_topology_events(
+        self, events: Iterable[TopologyEvent]
+    ) -> List[AssessmentRound]:
+        """Apply a sequence of typed topology events, one round each."""
+        return [self.apply_topology_event(event) for event in events]
 
     def current_belief(self, mapping_name: str, attribute: str) -> float:
         """The prior the peers currently hold for a (mapping, attribute) pair."""

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Sequence
 
 import numpy as np
 
-from ..constants import COUNT_KERNEL_MIN_ARITY
+from ..constants import COUNT_KERNEL_MIN_ARITY, DEFAULT_SEED
 from ..core.analysis import analyze_network
 from ..core.beliefs import PriorBeliefStore
 from ..core.embedded import EmbeddedMessagePassing, EmbeddedOptions, MessageTransport
@@ -27,8 +27,8 @@ from ..core.schedules import LazySchedule, PeriodicSchedule
 from ..exceptions import EvaluationError
 from ..factorgraph.exact import exact_marginals
 from ..factorgraph.sum_product import run_sum_product
-from ..generators.scenarios import generate_scenario
-from ..generators.topologies import scale_free_network
+from ..generators.scenarios import generate_scenario, inject_errors
+from ..generators.topologies import cycle_network, identity_mapping, scale_free_network
 from ..generators.paper import (
     INTRO_ATTRIBUTE,
     extended_cycle_feedbacks,
@@ -45,6 +45,9 @@ from ..pdms.discovery import (
     resolve_discovery_executor,
     resolve_probe_workers,
 )
+from ..pdms.events import MappingAdded, PeerAdded
+from ..pdms.gossip import GossipHarness, SeededTransport
+from ..pdms.network import PDMSNetwork
 from ..pdms.probing import find_cycles_through
 from ..pdms.query import Query, substring_predicate
 from ..pdms.routing import QueryRouter, RoutingPolicy
@@ -93,6 +96,10 @@ __all__ = [
     "ProbeThroughputPoint",
     "ProbeThroughputResult",
     "run_probe_throughput",
+    "GossipConvergencePoint",
+    "GossipConvergenceResult",
+    "gossip_workload_network",
+    "run_gossip_convergence",
 ]
 
 
@@ -2009,3 +2016,227 @@ def run_probe_throughput(
             )
         )
     return ProbeThroughputResult(points=tuple(points), ttl=ttl)
+
+
+# ---------------------------------------------------------------------------
+# EX — gossip convergence: the event-sourced multi-node harness vs its oracle
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GossipConvergencePoint:
+    """One N-peer gossip run to convergence under an unreliable transport.
+
+    Every peer originates its own :class:`~repro.pdms.events.PeerAdded`
+    and the :class:`~repro.pdms.events.MappingAdded` events of its
+    outgoing mappings; entries spread through a
+    :class:`~repro.pdms.gossip.SeededTransport` that drops, duplicates
+    and reorders.  ``views_identical`` records that after convergence
+    every node's decentralised ``assess_local`` decision equalled the
+    single-process oracle's — exact float equality, enforced by the
+    runner (it raises :class:`~repro.exceptions.EvaluationError` on any
+    divergence, so a reported rate is always a rate on verified output).
+    """
+
+    peer_count: int
+    mapping_count: int
+    #: Distinct events originated across all peers (= entries in the log).
+    event_count: int
+    #: Gossip rounds to converge the PeerAdded phase / the MappingAdded
+    #: phase (each phase runs to full convergence before the next starts,
+    #: so mapping events never reference peers a replica hasn't seen).
+    peer_rounds: int
+    mapping_rounds: int
+    #: Wall-clock of the gossip phases (origination + rounds), and the
+    #: total deliveries applied across all replicas in that time.
+    gossip_seconds: float
+    deliveries_applied: int
+    #: Journal accounting summed over all nodes, and transport accounting.
+    duplicates_dropped: int
+    deliveries_buffered: int
+    messages_sent: int
+    messages_dropped: int
+    messages_duplicated: int
+    #: Transport / harness configuration the run is deterministic in.
+    fanout: int
+    drop_probability: float
+    duplicate_probability: float
+    seed: int
+    #: Corrupted correspondences in the workload, and the parity verdict.
+    corrupted_correspondences: int
+    origins_compared: int
+    views_identical: bool
+
+    @property
+    def total_rounds(self) -> int:
+        return self.peer_rounds + self.mapping_rounds
+
+    @property
+    def events_per_second(self) -> float:
+        """Deliveries applied across all replicas per gossip second."""
+        if self.gossip_seconds <= 0.0:
+            return float("inf")
+        return self.deliveries_applied / self.gossip_seconds
+
+
+@dataclass(frozen=True)
+class GossipConvergenceResult:
+    """Gossip-to-convergence runs across harness sizes."""
+
+    points: Tuple[GossipConvergencePoint, ...]
+    attribute: str
+
+    def point_for(self, peer_count: int) -> GossipConvergencePoint:
+        for point in self.points:
+            if point.peer_count == peer_count:
+                return point
+        raise EvaluationError(
+            f"no gossip convergence point for {peer_count} peers"
+        )
+
+
+def gossip_workload_network(
+    peer_count: int,
+    chord_step: int = 4,
+    attribute_count: int = 4,
+    error_rate: float = 0.25,
+    seed: int = DEFAULT_SEED,
+) -> PDMSNetwork:
+    """The template topology a gossip run replicates: a corrupted chord ring.
+
+    A directed ring ``p1 → p2 → … → pn → p1`` of identity mappings plus a
+    backward chord every ``chord_step`` peers (``p_{i+k} → p_i``), so the
+    network contains many short mapping cycles of length ``chord_step + 1``
+    — the feedback the §4.5 assessment runs on.  ``error_rate`` of the
+    correspondences are then corrupted in place (seeded), giving every
+    cycle a mix of consistent and inconsistent feedback.
+    """
+    if peer_count < chord_step + 1:
+        raise EvaluationError(
+            f"gossip workload needs more than chord_step={chord_step} peers, "
+            f"got {peer_count}"
+        )
+    network = cycle_network(
+        peer_count,
+        attribute_count=attribute_count,
+        directed=True,
+        seed=seed,
+        name="gossip-workload",
+    )
+    peers = network.peers
+    for index in range(0, peer_count - chord_step, chord_step):
+        source = peers[(index + chord_step) % peer_count]
+        target = peers[index]
+        network.add_mapping(
+            identity_mapping(source.schema, target.schema), bidirectional=False
+        )
+    inject_errors(network, error_rate, seed=seed + 1)
+    return network
+
+
+def run_gossip_convergence(
+    peer_counts: Sequence[int] = (32,),
+    fanout: int = 3,
+    drop_probability: float = 0.05,
+    duplicate_probability: float = 0.05,
+    error_rate: float = 0.25,
+    chord_step: int = 4,
+    attribute_count: int = 4,
+    seed: int = DEFAULT_SEED,
+    max_rounds: int = 128,
+) -> GossipConvergenceResult:
+    """Gossip a corrupted chord-ring topology to convergence; verify parity.
+
+    For each peer count the :func:`gossip_workload_network` template is
+    built single-process, then re-enacted decentralised: a
+    :class:`~repro.pdms.gossip.GossipHarness` of empty
+    :class:`~repro.pdms.gossip.PeerNode` replicas where each peer
+    originates its own ``PeerAdded`` (phase one, gossiped to convergence)
+    and then the ``MappingAdded`` events of its outgoing mappings (phase
+    two) — all through a seeded transport configured to drop, duplicate
+    and reorder.  After convergence every node's ``assess_local`` view of
+    ``attribute`` (one blocked-embedded lane over its event-sourced
+    replica) is compared against the single-process oracle built from the
+    same canonical event log; any inequality — exact, not approximate —
+    raises :class:`~repro.exceptions.EvaluationError`.
+
+    The assessor runs with ``ttl = chord_step + 1`` so the chord cycles
+    (and not the full ring) carry the feedback.
+    """
+    points: List[GossipConvergencePoint] = []
+    attribute = ""
+    for peer_count in peer_counts:
+        template = gossip_workload_network(
+            peer_count,
+            chord_step=chord_step,
+            attribute_count=attribute_count,
+            error_rate=error_rate,
+            seed=seed,
+        )
+        corrupted = sum(
+            1
+            for mapping in template.mappings
+            for correspondence in mapping.correspondences
+            if correspondence.is_correct is False
+        )
+        attribute = sorted(template.peers[0].schema.attribute_names)[0]
+
+        transport = SeededTransport(
+            seed=seed,
+            drop_probability=drop_probability,
+            duplicate_probability=duplicate_probability,
+        )
+        harness = GossipHarness.of_names(
+            template.peer_names,
+            transport=transport,
+            fanout=fanout,
+            seed=seed,
+            ttl=chord_step + 1,
+        )
+
+        start = time.perf_counter()
+        for peer in template.peers:
+            harness.originate(
+                peer.name, PeerAdded(name=peer.name, schema=peer.schema)
+            )
+        peer_rounds = harness.run_until_converged(max_rounds=max_rounds)
+        for mapping in template.mappings:
+            harness.originate(mapping.source, MappingAdded(mapping=mapping))
+        mapping_rounds = harness.run_until_converged(max_rounds=max_rounds)
+        gossip_seconds = time.perf_counter() - start
+
+        local = harness.local_views(attribute)
+        oracle = harness.oracle_views(attribute)
+        if local != oracle:
+            divergent = sorted(
+                name for name in local if local[name] != oracle.get(name)
+            )
+            raise EvaluationError(
+                f"gossip views diverge from the oracle at {peer_count} "
+                f"peers for origins {divergent}"
+            )
+
+        points.append(
+            GossipConvergencePoint(
+                peer_count=peer_count,
+                mapping_count=len(template.mapping_names),
+                event_count=len(harness.all_entries()),
+                peer_rounds=peer_rounds,
+                mapping_rounds=mapping_rounds,
+                gossip_seconds=gossip_seconds,
+                deliveries_applied=harness.delivered_event_count,
+                duplicates_dropped=harness.duplicates_dropped,
+                deliveries_buffered=harness.deliveries_buffered,
+                messages_sent=transport.sent,
+                messages_dropped=transport.dropped,
+                messages_duplicated=transport.duplicated,
+                fanout=fanout,
+                drop_probability=drop_probability,
+                duplicate_probability=duplicate_probability,
+                seed=seed,
+                corrupted_correspondences=corrupted,
+                origins_compared=len(local),
+                views_identical=True,
+            )
+        )
+    return GossipConvergenceResult(points=tuple(points), attribute=attribute)

@@ -62,7 +62,7 @@ __all__ = [
 #: Version of the rule set, stamped into every ``--json`` report and into
 #: the ``lintkit_version`` field of the ``BENCH_*.json`` provenance records.
 #: Bump it whenever a contract table or a rule's semantics change.
-RULESET_VERSION = "1.0.0"
+RULESET_VERSION = "1.1.0"
 
 
 # ---------------------------------------------------------------------------
@@ -71,8 +71,10 @@ RULESET_VERSION = "1.0.0"
 
 #: Layer assignment: dotted-module prefix -> layer name.  The most specific
 #: matching prefix wins, which is how ``repro.pdms.discovery`` (and the
-#: reliability substrate it forms one layer with) escapes the ``repro.pdms``
-#: topology layer it physically lives in.
+#: reliability substrate it forms one layer with) and the multi-node
+#: ``repro.pdms.gossip`` harness (which drives the core assessors over
+#: event-sourced replicas) escape the ``repro.pdms`` topology layer they
+#: physically live in.
 LAYER_PREFIXES: Mapping[str, str] = {
     "repro.exceptions": "foundation",
     "repro.constants": "foundation",
@@ -80,6 +82,7 @@ LAYER_PREFIXES: Mapping[str, str] = {
     "repro.mapping": "mapping",
     "repro.pdms": "pdms",
     "repro.pdms.discovery": "fanout",
+    "repro.pdms.gossip": "gossip",
     "repro.reliability": "fanout",
     "repro.factorgraph": "factorgraph",
     "repro.core": "core",
@@ -107,6 +110,17 @@ IMPORT_DAG: Mapping[str, FrozenSet[str]] = {
     "core": frozenset(
         {"foundation", "schema", "mapping", "pdms", "fanout", "factorgraph"}
     ),
+    "gossip": frozenset(
+        {
+            "foundation",
+            "schema",
+            "mapping",
+            "pdms",
+            "fanout",
+            "factorgraph",
+            "core",
+        }
+    ),
     "generators": frozenset(
         {"foundation", "schema", "mapping", "pdms", "core"}
     ),
@@ -120,6 +134,7 @@ IMPORT_DAG: Mapping[str, FrozenSet[str]] = {
             "fanout",
             "factorgraph",
             "core",
+            "gossip",
             "generators",
             "alignment",
         }
@@ -133,6 +148,7 @@ IMPORT_DAG: Mapping[str, FrozenSet[str]] = {
             "fanout",
             "factorgraph",
             "core",
+            "gossip",
             "generators",
             "alignment",
             "evaluation",
@@ -148,6 +164,7 @@ IMPORT_DAG: Mapping[str, FrozenSet[str]] = {
             "fanout",
             "factorgraph",
             "core",
+            "gossip",
             "generators",
             "alignment",
             "evaluation",
@@ -347,7 +364,11 @@ PROCESS_CONSTRUCTORS: FrozenSet[str] = frozenset(
 #: Repository-defined types sanctioned to cross the shard wire — the
 #: ``TopologySnapshot``/``FaultPlan`` pattern of PRs 7–8: immutable,
 #: explicitly picklable, checksummable.  A repo class constructed inline
-#: at a process submission site must be registered here.
+#: at a process submission site must be registered here.  The topology
+#: event records, the vector clock and the journal entry are the wire
+#: vocabulary of the gossip substrate (:mod:`repro.pdms.events` /
+#: :mod:`repro.pdms.clock`): frozen dataclasses a future socket runtime
+#: ships between peer processes.
 PICKLABLE_BOUNDARY: FrozenSet[str] = frozenset(
     {
         "TopologySnapshot",
@@ -356,6 +377,12 @@ PICKLABLE_BOUNDARY: FrozenSet[str] = frozenset(
         "ProbeOutcome",
         "FaultPlan",
         "FaultInjector",
+        "PeerAdded",
+        "PeerRemoved",
+        "MappingAdded",
+        "MappingRemoved",
+        "VectorClock",
+        "JournalEntry",
     }
 )
 

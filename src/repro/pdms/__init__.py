@@ -1,8 +1,26 @@
-"""PDMS substrate: peers, mapping networks, queries, reformulation, routing,
-neighbourhood probing and the sharded discovery core."""
+"""PDMS substrate: peers, mapping networks, typed topology events, vector
+clocks, queries, reformulation, routing, neighbourhood probing and the
+sharded discovery core.
+
+The multi-node gossip harness (:mod:`repro.pdms.gossip`) is *not*
+re-exported here: it sits in its own layer above the core engines, so
+importing this package must not drag the engine stack in.  Import it
+directly (``from repro.pdms.gossip import GossipHarness``) or through the
+top-level :mod:`repro` API."""
 
 from .peer import Peer
 from .network import PDMSNetwork
+from .clock import VectorClock
+from .events import (
+    GossipJournal,
+    JournalEntry,
+    MappingAdded,
+    MappingRemoved,
+    PeerAdded,
+    PeerRemoved,
+    TopologyEvent,
+    apply_topology_event,
+)
 from .query import Operation, OperationKind, Query, substring_predicate
 from .reformulation import ReformulationResult, reformulate, reformulate_through_chain
 from .routing import QueryRouter, RoutingPolicy, execute_locally
@@ -38,6 +56,15 @@ from .discovery import (
 __all__ = [
     "Peer",
     "PDMSNetwork",
+    "VectorClock",
+    "TopologyEvent",
+    "PeerAdded",
+    "PeerRemoved",
+    "MappingAdded",
+    "MappingRemoved",
+    "apply_topology_event",
+    "JournalEntry",
+    "GossipJournal",
     "Operation",
     "OperationKind",
     "Query",

@@ -884,7 +884,7 @@ def resolve_discovery_executor(
 
 
 def replay_structure_log(
-    mutations: Sequence[Tuple[int, str, str]],
+    mutations: Sequence[Tuple],
     cycles: Sequence[MappingCycle],
     parallel_paths: Sequence[ParallelPaths],
     *,
@@ -896,14 +896,18 @@ def replay_structure_log(
     adapt_cycle: Optional[Callable[[MappingCycle], Optional[MappingCycle]]] = None,
     adapt_path: Optional[Callable[[ParallelPaths], Optional[ParallelPaths]]] = None,
 ) -> Optional[Tuple[Tuple[MappingCycle, ...], Tuple[ParallelPaths, ...]]]:
-    """Replay a network mutation log onto a cached structure set.
+    """Replay a network event log onto a cached structure set.
 
     This is the one incremental-refresh algorithm both structure caches
-    lower to (they used to duplicate it):
+    lower to (they used to duplicate it).  ``mutations`` holds the typed
+    entries of :meth:`~repro.pdms.network.PDMSNetwork.events_since` —
+    ``(version, TopologyEvent)`` pairs — or, for older callers, the
+    derived legacy ``(version, kind, subject)`` tuples; the two forms may
+    not be mixed semantically but normalise to the same replay:
 
-    * ``remove_mapping`` filters the cached structures (exact: a structure
+    * ``MappingRemoved`` filters the cached structures (exact: a structure
       stays valid iff all of its own mappings still exist);
-    * ``add_mapping`` grafts the structures *through* the new edge —
+    * ``MappingAdded`` grafts the structures *through* the new edge —
       enumerated by ``structures_through(entry_version, name)``, typically a
       :func:`plan_mapping_delta` run through the consumer's discovery
       executor — deduplicated against the survivors by canonical key.
@@ -911,16 +915,21 @@ def replay_structure_log(
       the consumer's view first (the per-origin cache rotates cycles to its
       origin and keeps only pairs departing from it); returning ``None``
       drops the structure;
-    * ``add_peer`` (or an unknown mutation kind) aborts: the caller must
-      fall back to a full re-probe.
+    * ``PeerAdded`` / ``PeerRemoved`` (or an unknown event kind) abort:
+      the caller must fall back to a full re-probe — peer churn changes
+      the reachable neighbourhood itself, not just one edge.
 
     Returns the refreshed ``(cycles, parallel_paths)`` or ``None`` when the
     log cannot be replayed.  Mappings added and removed again later in the
     log are skipped (the later removal entry keeps the set consistent).
     """
+    mutations = tuple(
+        (entry[0], entry[1].kind, entry[1].subject)
+        if len(entry) == 2
+        else entry
+        for entry in mutations
+    )
     kinds = {kind for _, kind, _ in mutations}
-    if "add_peer" in kinds:
-        return None
     if not kinds <= {"add_mapping", "remove_mapping"}:
         return None
     live_cycles = list(cycles)

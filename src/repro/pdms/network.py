@@ -13,13 +13,22 @@ undirected network simply registers every mapping in both directions
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterable, Iterator, Optional, Tuple
 
 import networkx as nx
 
 from ..exceptions import PDMSError, UnknownPeerError
 from ..mapping.mapping import Mapping
 from ..schema.schema import Schema
+from .events import (
+    MappingAdded,
+    MappingRemoved,
+    PeerAdded,
+    PeerRemoved,
+    TopologyEvent,
+    apply as apply_event,
+)
 from .peer import Peer
 
 __all__ = ["PDMSNetwork"]
@@ -40,8 +49,9 @@ class PDMSNetwork:
         ``auto_reverse`` is left on.
     """
 
-    #: Mutation-log entries kept for incremental consumers; older entries
-    #: are dropped and :meth:`mutations_since` reports the log as truncated.
+    #: Event-log entries kept for incremental consumers; older entries
+    #: are dropped and :meth:`events_since` / :meth:`mutations_since`
+    #: report the log as truncated.
     MUTATION_LOG_LIMIT = 256
 
     def __init__(self, name: str = "pdms", directed: bool = True) -> None:
@@ -50,7 +60,9 @@ class PDMSNetwork:
         self._peers: Dict[str, Peer] = {}
         self._mappings: Dict[str, Mapping] = {}
         self._version = 0
-        self._mutation_log: List[Tuple[int, str, str]] = []
+        self._event_log: Deque[Tuple[int, TopologyEvent]] = deque(
+            maxlen=self.MUTATION_LOG_LIMIT
+        )
         self._mutation_floor = 0
 
     @property
@@ -63,32 +75,87 @@ class PDMSNetwork:
         """
         return self._version
 
-    def _record_mutation(self, kind: str, subject: str) -> None:
-        """Append one ``(version, kind, subject)`` entry to the bounded log."""
-        self._mutation_log.append((self._version, kind, subject))
-        if len(self._mutation_log) > self.MUTATION_LOG_LIMIT:
-            dropped_version, _, _ = self._mutation_log.pop(0)
-            self._mutation_floor = dropped_version
+    def _record_event(self, event: TopologyEvent) -> None:
+        """Append one typed event to the bounded log (O(1)).
 
-    def mutations_since(
+        The log is a ``deque(maxlen=...)``: when full, appending evicts
+        the oldest entry in constant time, and the evicted entry's version
+        becomes the truncation floor below which incremental consumers
+        must fall back to a full re-derivation.
+        """
+        if len(self._event_log) == self.MUTATION_LOG_LIMIT:
+            self._mutation_floor = self._event_log[0][0]
+        self._event_log.append((self._version, event))
+
+    def events_since(
         self, version: int
-    ) -> Optional[Tuple[Tuple[int, str, str], ...]]:
-        """Topology mutations applied after ``version``, oldest first.
+    ) -> Optional[Tuple[Tuple[int, TopologyEvent], ...]]:
+        """Typed topology events applied after ``version``, oldest first.
 
-        Each entry is ``(version_after_mutation, kind, subject)`` with
-        ``kind`` one of ``"add_peer"``, ``"add_mapping"`` or
-        ``"remove_mapping"`` and ``subject`` the peer / mapping name.
-        Returns ``None`` when the bounded log no longer reaches back to
-        ``version`` — callers must then fall back to a full re-derivation.
-        :class:`repro.core.analysis.NetworkStructureCache` uses this to
-        refresh only the structures touching mutated mappings instead of
-        re-enumerating the whole network.
+        Each entry is ``(version_after_mutation, event)``.  Returns
+        ``None`` when the bounded log no longer reaches back to
+        ``version`` — callers must then fall back to a full
+        re-derivation.  Both structure caches in
+        :mod:`repro.core.analysis` feed these entries to
+        :func:`repro.pdms.discovery.replay_structure_log` to refresh only
+        the structures touching mutated mappings.
         """
         if version < self._mutation_floor:
             return None
         return tuple(
-            entry for entry in self._mutation_log if entry[0] > version
+            entry for entry in self._event_log if entry[0] > version
         )
+
+    def mutations_since(
+        self, version: int
+    ) -> Optional[Tuple[Tuple[int, str, str], ...]]:
+        """Legacy view of :meth:`events_since`: ``(version, kind, subject)``.
+
+        ``kind`` is one of ``"add_peer"``, ``"remove_peer"``,
+        ``"add_mapping"`` or ``"remove_mapping"`` and ``subject`` the
+        peer / mapping name — derived from the typed event log, kept for
+        consumers that predate :mod:`repro.pdms.events`.  Returns ``None``
+        on truncation exactly like :meth:`events_since`.
+        """
+        entries = self.events_since(version)
+        if entries is None:
+            return None
+        return tuple(event.as_legacy(entry_version) for entry_version, event in entries)
+
+    def event_log(self) -> Tuple[TopologyEvent, ...]:
+        """The retained typed events, oldest first.
+
+        Bounded by :attr:`MUTATION_LOG_LIMIT`; when :attr:`log_truncated`
+        is ``False`` this is the *complete* mutation history and
+        :meth:`from_events` replays it to a network with identical peers,
+        mappings and :attr:`version`.
+        """
+        return tuple(event for _, event in self._event_log)
+
+    @property
+    def log_truncated(self) -> bool:
+        """``True`` when the bounded log has dropped its oldest entries."""
+        return self._mutation_floor > 0
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Iterable[TopologyEvent],
+        name: str = "pdms",
+        directed: bool = True,
+    ) -> "PDMSNetwork":
+        """Replay a recorded event log into a fresh network.
+
+        Applies each event through the deterministic transition
+        :func:`repro.pdms.events.apply`; replaying a network's complete
+        :meth:`event_log` reproduces its peers, mappings and ``version``
+        exactly (instance records are data, not topology, and are not
+        replayed).
+        """
+        network = cls(name=name, directed=directed)
+        for event in events:
+            apply_event(network, event)
+        return network
 
     # -- peers -----------------------------------------------------------------------
 
@@ -103,7 +170,32 @@ class PDMSNetwork:
             raise PDMSError(f"peer {peer.name!r} already exists in {self.name!r}")
         self._peers[peer.name] = peer
         self._version += 1
-        self._record_mutation("add_peer", peer.name)
+        self._record_event(PeerAdded(name=peer.name, schema=peer.schema))
+        return peer
+
+    def remove_peer(self, name: str) -> Peer:
+        """Remove a peer, cascading the removal of its incident mappings.
+
+        Every incident mapping (outgoing *and* incoming) is removed first
+        through :meth:`remove_mapping` — each recording its own
+        :class:`~repro.pdms.events.MappingRemoved` event — and the peer's
+        departure is then recorded as a typed
+        :class:`~repro.pdms.events.PeerRemoved` event, so the log stays
+        replayable without hidden cascades.  Structure caches fall back
+        to a full re-probe on peer removal (the incremental replay only
+        handles mapping-level churn).
+        """
+        peer = self.peer(name)
+        incident = [
+            mapping.name
+            for mapping in self._mappings.values()
+            if mapping.source == name or mapping.target == name
+        ]
+        for mapping_name in incident:
+            self.remove_mapping(mapping_name)
+        del self._peers[name]
+        self._version += 1
+        self._record_event(PeerRemoved(name=name))
         return peer
 
     def peer(self, name: str) -> Peer:
@@ -151,7 +243,7 @@ class PDMSNetwork:
         self._mappings[mapping.name] = mapping
         self._peers[mapping.source].add_outgoing_mapping(mapping)
         self._version += 1
-        self._record_mutation("add_mapping", mapping.name)
+        self._record_event(MappingAdded(mapping=mapping))
 
         reverse = (not self.directed) if bidirectional is None else bidirectional
         if reverse:
@@ -160,7 +252,7 @@ class PDMSNetwork:
                 self._mappings[reversed_mapping.name] = reversed_mapping
                 self._peers[reversed_mapping.source].add_outgoing_mapping(reversed_mapping)
                 self._version += 1
-                self._record_mutation("add_mapping", reversed_mapping.name)
+                self._record_event(MappingAdded(mapping=reversed_mapping))
         return mapping
 
     def mapping(self, name: str) -> Mapping:
@@ -176,7 +268,7 @@ class PDMSNetwork:
         del self._mappings[name]
         self._peers[mapping.source]._outgoing.pop(name, None)
         self._version += 1
-        self._record_mutation("remove_mapping", name)
+        self._record_event(MappingRemoved(name=name))
         return mapping
 
     def has_mapping(self, name: str) -> bool:

@@ -1,0 +1,241 @@
+"""Tests for the gossip journal's causal delivery and the multi-node harness."""
+
+import pytest
+
+from repro.exceptions import PDMSError, UnknownPeerError
+from repro.generators.paper import intro_example_network
+from repro.pdms.events import GossipJournal, MappingAdded, PeerAdded, PeerRemoved
+from repro.pdms.gossip import GossipHarness, PeerNode, SeededTransport
+
+
+def intro_events():
+    """The intro network as (peer events by origin, mapping events by origin)."""
+    network = intro_example_network(with_records=False)
+    peer_events = {
+        peer.name: PeerAdded(name=peer.name, schema=peer.schema)
+        for peer in network.peers
+    }
+    mapping_events = {}
+    for mapping in network.mappings:
+        mapping_events.setdefault(mapping.source, []).append(
+            MappingAdded(mapping=mapping)
+        )
+    return network, peer_events, mapping_events
+
+
+class TestJournalCausalDelivery:
+    def test_append_delivers_locally(self):
+        journal = GossipJournal("a")
+        entry = journal.append(PeerRemoved(name="x"))
+        assert journal.entries() == (entry,)
+        assert journal.clock.counter("a") == 1
+        assert journal.pending_count == 0
+
+    def test_out_of_order_same_origin_is_buffered(self):
+        source = GossipJournal("a")
+        first = source.append(PeerRemoved(name="x"))
+        second = source.append(PeerRemoved(name="y"))
+        sink = GossipJournal("b")
+        assert sink.receive(second) == ()
+        assert sink.pending_count == 1
+        assert sink.deliveries_buffered == 1
+        # The missing predecessor unlocks the buffered entry.
+        assert sink.receive(first) == (first, second)
+        assert sink.pending_count == 0
+        assert sink.canonical_entries() == (first, second)
+
+    def test_cross_origin_causality_is_respected(self):
+        a = GossipJournal("a")
+        cause = a.append(PeerRemoved(name="x"))
+        b = GossipJournal("b")
+        b.receive(cause)
+        effect = b.append(PeerRemoved(name="y"))
+        assert effect.clock.counter("a") == 1
+        # A third replica seeing the effect first must wait for the cause.
+        c = GossipJournal("c")
+        assert c.receive(effect) == ()
+        assert c.pending_count == 1
+        assert c.receive(cause) == (cause, effect)
+
+    def test_duplicates_are_dropped(self):
+        source = GossipJournal("a")
+        entry = source.append(PeerRemoved(name="x"))
+        sink = GossipJournal("b")
+        sink.receive(entry)
+        assert sink.receive(entry) == ()
+        assert sink.duplicates_dropped == 1
+        assert len(sink.entries()) == 1
+
+    def test_buffered_duplicate_is_dropped_too(self):
+        source = GossipJournal("a")
+        source.append(PeerRemoved(name="x"))
+        second = source.append(PeerRemoved(name="y"))
+        sink = GossipJournal("b")
+        sink.receive(second)
+        assert sink.receive(second) == ()
+        assert sink.duplicates_dropped == 1
+
+    def test_canonical_order_is_arrival_independent(self):
+        source = GossipJournal("a")
+        entries = [source.append(PeerRemoved(name=f"x{i}")) for i in range(4)]
+        forward, backward = GossipJournal("f"), GossipJournal("b")
+        for entry in entries:
+            forward.receive(entry)
+        for entry in reversed(entries):
+            backward.receive(entry)
+        assert forward.canonical_entries() == backward.canonical_entries()
+        assert forward.canonical_events() == tuple(e.event for e in entries)
+
+    def test_delta_for_skips_what_the_target_knows(self):
+        source = GossipJournal("a")
+        first = source.append(PeerRemoved(name="x"))
+        second = source.append(PeerRemoved(name="y"))
+        sink = GossipJournal("b")
+        sink.receive(first)
+        assert source.delta_for(sink.clock) == (second,)
+        assert source.delta_for(source.clock) == ()
+
+    def test_owner_must_be_non_empty(self):
+        with pytest.raises(PDMSError):
+            GossipJournal("")
+
+
+class TestSeededTransport:
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(PDMSError):
+            SeededTransport(drop_probability=1.0)
+        with pytest.raises(PDMSError):
+            SeededTransport(duplicate_probability=1.5)
+
+    def test_same_seed_same_disturbances(self):
+        source = GossipJournal("a")
+        entries = [source.append(PeerRemoved(name=f"x{i}")) for i in range(20)]
+
+        def run(seed):
+            transport = SeededTransport(
+                seed=seed, drop_probability=0.3, duplicate_probability=0.3
+            )
+            for entry in entries:
+                transport.send("b", entry)
+            return transport.deliver(), transport.dropped, transport.duplicated
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestPeerNode:
+    def test_assess_before_own_peer_event_raises(self):
+        node = PeerNode("p1")
+        with pytest.raises(UnknownPeerError):
+            node.assess_local("Creator")
+
+    def test_replica_is_rebuilt_only_on_growth(self):
+        network, peer_events, _ = intro_events()
+        node = PeerNode("p1")
+        node.originate(peer_events["p1"])
+        replica = node.local_network()
+        assert node.local_network() is replica
+        node.originate(peer_events["p2"])
+        assert node.local_network() is not replica
+
+
+class TestGossipHarness:
+    def test_validation(self):
+        with pytest.raises(PDMSError):
+            GossipHarness([])
+        with pytest.raises(PDMSError):
+            GossipHarness([PeerNode("a"), PeerNode("a")])
+        with pytest.raises(PDMSError):
+            GossipHarness([PeerNode("a")], fanout=0)
+        with pytest.raises(UnknownPeerError):
+            GossipHarness([PeerNode("a")]).node("zz")
+
+    def test_nonconvergence_raises(self):
+        harness = GossipHarness.of_names(["a", "b"])
+        harness.originate("a", PeerRemoved(name="x"))
+        with pytest.raises(PDMSError):
+            harness.run_until_converged(max_rounds=0)
+
+    @pytest.mark.parametrize(
+        "drop,duplicate,reorder",
+        [
+            (0.0, 0.0, False),  # perfect channel
+            (0.0, 0.0, True),  # reordering only
+            (0.3, 0.0, True),  # heavy loss
+            (0.0, 0.5, True),  # heavy duplication
+            (0.2, 0.2, True),  # everything at once
+        ],
+    )
+    @pytest.mark.parametrize("seed", [1, 99])
+    def test_delivery_matrix_converges_to_identical_replicas(
+        self, drop, duplicate, reorder, seed
+    ):
+        network, peer_events, mapping_events = intro_events()
+        transport = SeededTransport(
+            seed=seed,
+            drop_probability=drop,
+            duplicate_probability=duplicate,
+            reorder=reorder,
+        )
+        harness = GossipHarness.of_names(
+            network.peer_names, transport=transport, fanout=2, seed=seed
+        )
+        for name, event in peer_events.items():
+            harness.originate(name, event)
+        for name, events in mapping_events.items():
+            for event in events:
+                harness.originate(name, event)
+        harness.run_until_converged(max_rounds=256)
+        assert harness.converged()
+        canonical = harness.nodes[0].journal.canonical_events()
+        for node in harness.nodes:
+            assert node.journal.canonical_events() == canonical
+            assert node.journal.pending_count == 0
+            replica = node.local_network()
+            # The replica replays in canonical (clock-total) order, so the
+            # sets match the template even when the insertion order differs.
+            assert sorted(replica.peer_names) == sorted(network.peer_names)
+            assert sorted(replica.mapping_names) == sorted(network.mapping_names)
+
+    def test_converged_views_equal_the_oracle_exactly(self):
+        network, peer_events, mapping_events = intro_events()
+        transport = SeededTransport(
+            seed=5, drop_probability=0.2, duplicate_probability=0.2
+        )
+        harness = GossipHarness.of_names(
+            network.peer_names, transport=transport, fanout=2, seed=5
+        )
+        for name, event in peer_events.items():
+            harness.originate(name, event)
+        harness.run_until_converged()
+        for name, events in mapping_events.items():
+            for event in events:
+                harness.originate(name, event)
+        harness.run_until_converged()
+        assert sorted(harness.oracle_network().mapping_names) == sorted(
+            network.mapping_names
+        )
+        local = harness.local_views("Creator")
+        oracle = harness.oracle_views("Creator")
+        assert local == oracle  # exact float equality, not approximate
+
+    def test_same_seed_reproduces_the_run(self):
+        def run(seed):
+            network, peer_events, mapping_events = intro_events()
+            transport = SeededTransport(seed=seed, drop_probability=0.2)
+            harness = GossipHarness.of_names(
+                network.peer_names, transport=transport, fanout=2, seed=seed
+            )
+            for name, event in peer_events.items():
+                harness.originate(name, event)
+            rounds = harness.run_until_converged()
+            return rounds, transport.sent, transport.dropped
+
+        assert run(11) == run(11)
+
+    def test_broadcast_reaches_every_node(self):
+        network, peer_events, _ = intro_events()
+        harness = GossipHarness.of_names(network.peer_names, seed=3)
+        harness.broadcast("p1", peer_events.values())
+        for node in harness.nodes:
+            assert node.local_network().peer_names == network.peer_names

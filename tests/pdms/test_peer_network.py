@@ -184,3 +184,150 @@ class TestMutationLog:
         assert network.mutations_since(start) is None
         # Recent history is still reachable.
         assert network.mutations_since(network.version) == ()
+
+    def test_deque_truncation_preserves_floor_semantics(self, network):
+        """Regression for the bounded log's O(1) rewrite: the deque must
+        keep exactly the newest LIMIT events and report every version at
+        or below the truncation floor as unanswerable."""
+        limit = PDMSNetwork.MUTATION_LOG_LIMIT
+        assert not network.log_truncated
+        total = limit + 25
+        for index in range(total):
+            network.add_mapping(
+                Mapping.from_pairs(
+                    "p1", "p2", {"Creator": "Creator"}, label=f"m{index}"
+                )
+            )
+        assert network.log_truncated
+        assert len(network.event_log()) == limit
+        floor = network.version - limit
+        # Below the floor the history is gone; at the floor the full
+        # retained tail is served, contiguously versioned.
+        assert network.events_since(floor - 1) is None
+        tail = network.events_since(floor)
+        assert tail is not None and len(tail) == limit
+        versions = [version for version, _ in tail]
+        assert versions == list(range(floor + 1, network.version + 1))
+        # Every retained event is an addition from the overflow loop.
+        assert all(event.kind == "add_mapping" for _, event in tail)
+
+
+class TestRemovePeer:
+    def test_remove_peer_drops_incident_mappings(self, network):
+        network.add_mapping(Mapping.from_pairs("p1", "p2", {"Creator": "Creator"}))
+        network.add_mapping(Mapping.from_pairs("p2", "p3", {"Creator": "Creator"}))
+        network.add_mapping(Mapping.from_pairs("p1", "p3", {"Creator": "Creator"}))
+        removed = network.remove_peer("p2")
+        assert isinstance(removed, Peer)
+        assert removed.name == "p2"
+        assert not network.has_peer("p2")
+        assert network.mapping_names == ("p1->p3",)
+        # The survivor's outgoing index no longer references the peer.
+        assert network.peer("p1").mappings_to("p2") == ()
+
+    def test_remove_unknown_peer_raises(self, network):
+        with pytest.raises(UnknownPeerError):
+            network.remove_peer("zz")
+
+    def test_remove_peer_bumps_version_per_mutation(self, network):
+        network.add_mapping(Mapping.from_pairs("p1", "p2", {"Creator": "Creator"}))
+        network.add_mapping(Mapping.from_pairs("p2", "p3", {"Creator": "Creator"}))
+        before = network.version
+        network.remove_peer("p2")
+        # Two cascaded mapping removals plus the peer removal itself.
+        assert network.version == before + 3
+
+    def test_churn_parity_with_a_fresh_network(self, network):
+        """Adding a peer with mappings and removing it again leaves the
+        network indistinguishable from one that never saw the churn."""
+        network.add_mapping(Mapping.from_pairs("p1", "p2", {"Creator": "Creator"}))
+        network.add_peer(Peer("p4", schema("p4")))
+        network.add_mapping(Mapping.from_pairs("p2", "p4", {"Creator": "Creator"}))
+        network.add_mapping(Mapping.from_pairs("p4", "p1", {"Creator": "Creator"}))
+        network.remove_peer("p4")
+
+        fresh = PDMSNetwork("test", directed=True)
+        for name in ("p1", "p2", "p3"):
+            fresh.add_peer(Peer(name, schema(name)))
+        fresh.add_mapping(Mapping.from_pairs("p1", "p2", {"Creator": "Creator"}))
+
+        assert network.peer_names == fresh.peer_names
+        assert network.mapping_names == fresh.mapping_names
+        for name in ("p1", "p2", "p3"):
+            assert (
+                network.peer(name).neighbor_names
+                == fresh.peer(name).neighbor_names
+            )
+
+    def test_churned_structure_caches_match_a_fresh_network(self):
+        """After churn, both structure caches serve exactly the structures
+        a cache over a never-churned network serves."""
+        from repro.core.analysis import (
+            NetworkStructureCache,
+            NeighborhoodStructureCache,
+        )
+
+        def ring(net):
+            for source, target in (("p1", "p2"), ("p2", "p3"), ("p3", "p1")):
+                net.add_mapping(
+                    Mapping.from_pairs(source, target, {"Creator": "Creator"})
+                )
+
+        churned = PDMSNetwork("churned", directed=True)
+        for name in ("p1", "p2", "p3"):
+            churned.add_peer(Peer(name, schema(name)))
+        ring(churned)
+        cache = NetworkStructureCache(churned, ttl=4)
+        neighborhood = NeighborhoodStructureCache(churned, ttl=4)
+        cache.structures()
+        neighborhood.structures_for("p1")
+        churned.add_peer(Peer("p4", schema("p4")))
+        churned.add_mapping(Mapping.from_pairs("p3", "p4", {"Creator": "Creator"}))
+        churned.add_mapping(Mapping.from_pairs("p4", "p1", {"Creator": "Creator"}))
+        churned.remove_peer("p4")
+
+        fresh = PDMSNetwork("fresh", directed=True)
+        for name in ("p1", "p2", "p3"):
+            fresh.add_peer(Peer(name, schema(name)))
+        ring(fresh)
+
+        cycles, paths = cache.structures()
+        fresh_cycles, fresh_paths = NetworkStructureCache(fresh, ttl=4).structures()
+        assert [c.canonical_key() for c in cycles] == [
+            c.canonical_key() for c in fresh_cycles
+        ]
+        assert [p.canonical_key() for p in paths] == [
+            p.canonical_key() for p in fresh_paths
+        ]
+        local = neighborhood.structures_for("p1")
+        fresh_local = NeighborhoodStructureCache(fresh, ttl=4).structures_for("p1")
+        assert [c.canonical_key() for c in local[0]] == [
+            c.canonical_key() for c in fresh_local[0]
+        ]
+
+    def test_remove_peer_forces_full_reprobe_on_both_caches(self):
+        """PeerRemoved is not incrementally replayable: both caches must
+        abandon the mutation log and re-probe from scratch."""
+        from repro.core.analysis import (
+            NetworkStructureCache,
+            NeighborhoodStructureCache,
+        )
+
+        net = PDMSNetwork("test", directed=True)
+        for name in ("p1", "p2", "p3", "p4"):
+            net.add_peer(Peer(name, schema(name)))
+        for source, target in (("p1", "p2"), ("p2", "p3"), ("p3", "p1")):
+            net.add_mapping(
+                Mapping.from_pairs(source, target, {"Creator": "Creator"})
+            )
+        cache = NetworkStructureCache(net, ttl=4)
+        neighborhood = NeighborhoodStructureCache(net, ttl=4)
+        cache.structures()
+        neighborhood.structures_for("p1")
+        net.remove_peer("p4")
+        cache.structures()
+        neighborhood.structures_for("p1")
+        assert cache.statistics.probes == 2
+        assert cache.statistics.partial_refreshes == 0
+        assert neighborhood.statistics.probes == 2
+        assert neighborhood.statistics.partial_refreshes == 0
